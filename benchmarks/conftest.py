@@ -1,0 +1,43 @@
+"""Shared fixtures and helpers for the experiment benchmarks.
+
+Every experiment Eⁿ regenerates one claim-group of the paper (see DESIGN.md
+and EXPERIMENTS.md); the benchmark fixture times the computation and the
+assertions pin the *shape* of the result to the paper's statement.
+"""
+
+import sys
+from pathlib import Path
+
+import random
+
+import pytest
+
+SRC = Path(__file__).parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.finitary import FinitaryLanguage  # noqa: E402
+from repro.finitary.dfa import random_dfa  # noqa: E402
+from repro.words import Alphabet  # noqa: E402
+
+AB = Alphabet.from_letters("ab")
+
+REGEX_SAMPLES = ["a+b*", "(ab)+", ".*b", "a|b", "b+", "(a|b)+", "a.a*", ".*aa"]
+
+
+@pytest.fixture(scope="session")
+def sample_languages():
+    return [FinitaryLanguage.from_regex(text, AB) for text in REGEX_SAMPLES]
+
+
+@pytest.fixture(scope="session")
+def random_languages():
+    rng = random.Random(20260707)
+    return [FinitaryLanguage(random_dfa(AB, rng.randrange(2, 5), rng)) for _ in range(8)]
+
+
+def report(title: str, rows: list[str]) -> None:
+    """Print a regenerated paper artifact (visible with ``pytest -s``)."""
+    print(f"\n── {title} " + "─" * max(0, 60 - len(title)))
+    for row in rows:
+        print(f"   {row}")

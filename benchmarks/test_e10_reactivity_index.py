@@ -1,0 +1,90 @@
+"""E10 — the strict reactivity subhierarchy (§4) and Wagner's indices (§5.1).
+
+* the parity staircase needs exactly n Streett pairs at level n;
+* the Rabin-1 / Streett-2 separation (``◇□p ∧ □◇q``-style);
+* every formula of the catalog fits inside reactivity, with the syntactic
+  conjunct count bounding the semantic index (the CNF normal-form theorem's
+  observable shadow).
+"""
+
+from conftest import report
+
+from repro.core import classify_formula, formula_to_automaton
+from repro.core.canonical import parity_staircase
+from repro.logic import parse_formula
+from repro.logic.classes import reactivity_form_degree
+from repro.omega.classify import rabin_index, streett_index
+from repro.words import Alphabet
+
+PQ = Alphabet.powerset_of_propositions(["p", "q"])
+
+REACTIVITY_FORMS = [
+    "G F p | F G q",
+    "(G F p | F G q) & (G F q | F G p)",
+    "(G F p) & (G F q)",
+    "G F p",
+    "F G q",
+]
+
+
+def staircase_indices(levels):
+    return {n: streett_index(parity_staircase(n)) for n in levels}
+
+
+def test_staircase(benchmark):
+    indices = benchmark(staircase_indices, [1, 2, 3])
+    rows = [f"level {n}: streett index {idx}" for n, idx in indices.items()]
+    report("E10: the parity staircase (strict reactivity hierarchy)", rows)
+    for n, idx in indices.items():
+        assert idx == n
+
+
+def test_rabin_streett_separation(benchmark):
+    def separation():
+        letters = Alphabet.from_letters("123")
+        from repro.omega import Acceptance, DetAutomaton
+
+        rows = [[0, 1, 2]] * 3
+        aut = DetAutomaton(letters, rows, 0, Acceptance.rabin([({1}, {2})]))
+        return rabin_index(aut), streett_index(aut)
+
+    rabin, streett = benchmark(separation)
+    report(
+        "E10: Rabin/Streett separation (max-even parity on 3 colors)",
+        [f"rabin index {rabin} vs streett index {streett}"],
+    )
+    assert rabin == 1 and streett == 2
+
+
+def test_syntactic_count_bounds_semantic_index(benchmark):
+    def measure():
+        results = []
+        for text in REACTIVITY_FORMS:
+            formula = parse_formula(text)
+            automaton = formula_to_automaton(formula, PQ)
+            results.append((text, reactivity_form_degree(formula), streett_index(automaton)))
+        return results
+
+    results = benchmark(measure)
+    rows = [
+        f"{text:38s} syntactic pairs {syntactic}, semantic index {semantic}"
+        for text, syntactic, semantic in results
+    ]
+    report("E10: normal-form conjunct count vs Wagner index", rows)
+    for text, syntactic, semantic in results:
+        assert syntactic is not None
+        assert semantic <= syntactic, text
+
+
+def test_every_formula_is_reactivity(benchmark):
+    # The normal-form theorem's semantic content: any formula's automaton
+    # has a finite Streett index (trivially true for deterministic automata,
+    # measured here for the catalog).
+    def measure():
+        return [
+            classify_formula(parse_formula(text), PQ).streett_index
+            for text in ["p U q", "G (p -> F q)", "!(p W q)", "F (p & X (p U q))"]
+        ]
+
+    indices = benchmark(measure)
+    assert all(index <= 2 for index in indices)

@@ -1,0 +1,89 @@
+"""E11 — the topological view (§3): Borel levels coincide with the classes,
+G_δ approximants, convergence, density."""
+
+from fractions import Fraction
+
+from conftest import AB, report
+
+from repro.core.canonical import figure_1_zoo
+from repro.finitary import FinitaryLanguage
+from repro.omega import r_of
+from repro.topology import (
+    borel_level,
+    converges_to,
+    distance,
+    g_delta_approximants,
+    is_dense,
+    is_open,
+)
+from repro.words import LassoWord
+
+EXPECTED_LEVELS = {
+    "safety": "closed (F)",
+    "guarantee": "open (G)",
+    "obligation": "BC(F) — boolean combination of closed sets",
+    "recurrence": "G_δ",
+    "persistence": "F_σ",
+    "reactivity": "BC(G_δ) — boolean combination of G_δ sets",
+}
+
+
+def levels_of_zoo():
+    return {
+        example.expected_class.value: borel_level(example.automaton)
+        for example in figure_1_zoo()
+    }
+
+
+def test_borel_correspondence(benchmark):
+    levels = benchmark(levels_of_zoo)
+    rows = [f"{cls:12s} -> {level}" for cls, level in levels.items()]
+    report("E11: class ↔ Borel level on the canonical zoo (§3)", rows)
+    assert levels == EXPECTED_LEVELS
+
+
+def test_g_delta_decomposition(benchmark):
+    def approximate():
+        automaton = r_of(FinitaryLanguage.from_regex(".*b", AB))
+        return automaton, g_delta_approximants(automaton, 5)
+
+    automaton, approximants = benchmark(approximate)
+    rows = []
+    for k, g_k in enumerate(approximants, start=1):
+        rows.append(
+            f"G_{k}: open {'✓' if is_open(g_k) else '✗'}, Π ⊆ G_{k} "
+            f"{'✓' if automaton.is_subset_of(g_k) else '✗'}"
+        )
+    report("E11: (a*b)^ω = ⋂ₖ Gₖ (§3's G_δ witness)", rows)
+    for g_k in approximants:
+        assert is_open(g_k)
+        assert automaton.is_subset_of(g_k)
+    for tighter, looser in zip(approximants[1:], approximants):
+        assert tighter.is_subset_of(looser)
+
+
+def test_metric_and_convergence(benchmark):
+    def converge():
+        limit = LassoWord.from_letters("", "a")
+        family = lambda k: LassoWord(("a",) * k, ("b",))
+        gaps = [distance(family(k), limit) for k in range(1, 8)]
+        return converges_to(family, limit), gaps
+
+    converged, gaps = benchmark(converge)
+    rows = [f"μ(a^{k}b^ω, a^ω) = {gap}" for k, gap in enumerate(gaps, start=1)]
+    report("E11: the convergence example b^ω, ab^ω, aab^ω, … → a^ω", rows)
+    assert converged
+    assert gaps == [Fraction(1, 2**k) for k in range(1, 8)]
+
+
+def test_density_is_liveness(benchmark):
+    def survey():
+        return {
+            example.expected_class.value: is_dense(example.automaton)
+            for example in figure_1_zoo()
+        }
+
+    density = benchmark(survey)
+    assert density["safety"] is False
+    for live_class in ("guarantee", "obligation", "recurrence", "persistence", "reactivity"):
+        assert density[live_class] is True

@@ -1,0 +1,55 @@
+"""E1 — the §2 closure equalities of the four basic classes.
+
+All eight laws, as automata equivalences over sampled finitary languages:
+
+    A(Φ₁)∩A(Φ₂) = A(Φ₁∩Φ₂)          A(Φ₁)∪A(Φ₂) = A(A_f(Φ₁)∪A_f(Φ₂))
+    E(Φ₁)∪E(Φ₂) = E(Φ₁∪Φ₂)          E(Φ₁)∩E(Φ₂) = E(E_f(Φ₁)∩E_f(Φ₂))
+    R(Φ₁)∪R(Φ₂) = R(Φ₁∪Φ₂)          R(Φ₁)∩R(Φ₂) = R(minex(Φ₁,Φ₂))
+    P(Φ₁)∩P(Φ₂) = P(Φ₁∩Φ₂)          P(Φ₁)∪P(Φ₂) = P(¬minex(¬Φ₁,¬Φ₂))
+
+(the last law corrects the paper's display, which omits the inner
+complements — see EXPERIMENTS.md).
+"""
+
+import itertools
+
+from conftest import report
+
+from repro.omega import a_of, e_of, p_of, r_of
+
+
+def law_battery(languages):
+    results = []
+    for phi1, phi2 in itertools.combinations(languages, 2):
+        checks = {
+            "A∩": a_of(phi1).intersection(a_of(phi2)).equivalent_to(a_of(phi1 & phi2)),
+            "A∪": a_of(phi1).union(a_of(phi2)).equivalent_to(a_of(phi1.af() | phi2.af())),
+            "E∪": e_of(phi1).union(e_of(phi2)).equivalent_to(e_of(phi1 | phi2)),
+            "E∩": e_of(phi1).intersection(e_of(phi2)).equivalent_to(e_of(phi1.ef() & phi2.ef())),
+            "R∪": r_of(phi1).union(r_of(phi2)).equivalent_to(r_of(phi1 | phi2)),
+            "R∩": r_of(phi1).intersection(r_of(phi2)).equivalent_to(r_of(phi1.minex(phi2))),
+            "P∩": p_of(phi1).intersection(p_of(phi2)).equivalent_to(p_of(phi1 & phi2)),
+            "P∪": p_of(phi1).union(p_of(phi2)).equivalent_to(
+                p_of(phi1.complement().minex(phi2.complement()).complement())
+            ),
+        }
+        results.append(checks)
+    return results
+
+
+def test_closure_laws_on_samples(benchmark, sample_languages):
+    results = benchmark(law_battery, sample_languages[:5])
+    laws = sorted(results[0])
+    rows = [f"{'law':4s} pairs-verified"]
+    for law in laws:
+        verified = sum(1 for checks in results if checks[law])
+        rows.append(f"{law:4s} {verified}/{len(results)}")
+        assert verified == len(results), law
+    report("E1: closure laws of the basic classes (§2)", rows)
+
+
+def test_closure_laws_on_random_languages(benchmark, random_languages):
+    results = benchmark(law_battery, random_languages[:4])
+    for checks in results:
+        for law, verified in checks.items():
+            assert verified, law

@@ -1,0 +1,48 @@
+"""E2 — the duality structure of §2.
+
+Operator duality (``¬A(Φ) = E(¬Φ)``, ``¬R(Φ) = P(¬Φ)``, finitary versions)
+and class duality (Π safety ⟺ ¬Π guarantee; Π recurrence ⟺ ¬Π persistence).
+"""
+
+from conftest import report
+
+from repro.finitary import af, ef
+from repro.omega import a_of, e_of, p_of, r_of
+from repro.omega.classify import is_guarantee, is_persistence, is_recurrence, is_safety
+
+
+def duality_battery(languages):
+    outcomes = []
+    for phi in languages:
+        comp = phi.complement()
+        outcomes.append(
+            {
+                "¬A(Φ)=E(¬Φ)": a_of(phi).complement().equivalent_to(e_of(comp)),
+                "¬E(Φ)=A(¬Φ)": e_of(phi).complement().equivalent_to(a_of(comp)),
+                "¬R(Φ)=P(¬Φ)": r_of(phi).complement().equivalent_to(p_of(comp)),
+                "¬P(Φ)=R(¬Φ)": p_of(phi).complement().equivalent_to(r_of(comp)),
+                "¬A_f(Φ)=E_f(¬Φ)": af(phi).complement() == ef(comp),
+                "¬E_f(Φ)=A_f(¬Φ)": ef(phi).complement() == af(comp),
+                "safety↔guarantee": is_safety(a_of(phi)) == is_guarantee(a_of(phi).complement()),
+                "recurrence↔persistence": is_recurrence(r_of(phi))
+                == is_persistence(r_of(phi).complement()),
+            }
+        )
+    return outcomes
+
+
+def test_duality_laws(benchmark, sample_languages):
+    outcomes = benchmark(duality_battery, sample_languages)
+    laws = sorted(outcomes[0])
+    rows = []
+    for law in laws:
+        verified = sum(1 for checks in outcomes if checks[law])
+        rows.append(f"{law:24s} {verified}/{len(outcomes)}")
+        assert verified == len(outcomes), law
+    report("E2: operator and class duality (§2)", rows)
+
+
+def test_duality_on_random_languages(benchmark, random_languages):
+    outcomes = benchmark(duality_battery, random_languages)
+    for checks in outcomes:
+        assert all(checks.values()), checks

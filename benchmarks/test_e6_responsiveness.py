@@ -1,0 +1,53 @@
+"""E6 — the responsiveness summary of §4.
+
+Five formalizations of "the system responds", landing in five different
+classes — the paper's showcase for why the finer hierarchy matters.
+"""
+
+from conftest import report
+
+from repro.core import TemporalClass, classify_formula
+from repro.logic import parse_formula
+from repro.words import Alphabet
+
+PQ = Alphabet.powerset_of_propositions(["p", "q"])
+
+CATALOG = [
+    ("p -> F q", TemporalClass.GUARANTEE),
+    ("F p -> F (q & O p)", TemporalClass.OBLIGATION),
+    ("G (p -> F q)", TemporalClass.RECURRENCE),
+    ("p -> F G q", TemporalClass.PERSISTENCE),
+    ("G F p -> G F q", TemporalClass.REACTIVITY),
+]
+
+
+def classify_catalog():
+    return [
+        (text, classify_formula(parse_formula(text), PQ), expected)
+        for text, expected in CATALOG
+    ]
+
+
+def test_responsiveness_catalog(benchmark):
+    results = benchmark(classify_catalog)
+    rows = [f"{'formula':22s} {'paper says':12s} {'measured':12s} idx"]
+    for text, reprt, expected in results:
+        rows.append(
+            f"{text:22s} {expected.value:12s} {reprt.canonical_class.value:12s} "
+            f"{reprt.streett_index}"
+        )
+    report("E6: the responsiveness spectrum (§4 summary)", rows)
+    for text, reprt, expected in results:
+        assert reprt.canonical_class is expected, text
+
+
+def test_strong_fairness_is_simple_reactivity(benchmark):
+    def classify_fairness():
+        weak = classify_formula(parse_formula("G F (!p | q)"), PQ)
+        strong = classify_formula(parse_formula("G F p -> G F q"), PQ)
+        return weak, strong
+
+    weak, strong = benchmark(classify_fairness)
+    assert weak.canonical_class is TemporalClass.RECURRENCE
+    assert strong.canonical_class is TemporalClass.REACTIVITY
+    assert strong.streett_index == 1  # simple reactivity: one Streett pair

@@ -1,0 +1,108 @@
+"""E7 — §5.1's decision procedures and Prop 5.1's normalizations.
+
+On a corpus of random deterministic automata:
+
+* the class checks respect the lattice and the complement dualities;
+* every automaton whose property is κ normalizes into a κ-shaped automaton
+  with the *same language* (Prop 5.1);
+* the syntactic shape recognizers are sound certificates.
+"""
+
+import random
+
+from conftest import AB, report
+
+from repro.omega import Acceptance, DetAutomaton
+from repro.omega.classify import (
+    classify,
+    is_guarantee,
+    is_guarantee_shaped,
+    is_persistence,
+    is_persistence_shaped,
+    is_recurrence,
+    is_recurrence_shaped,
+    is_safety,
+    is_safety_shaped,
+)
+from repro.omega.transform import normalize, to_recurrence_automaton
+from repro.core import TemporalClass
+
+
+def corpus(count: int, seed: int = 42):
+    rng = random.Random(seed)
+    automata = []
+    for _ in range(count):
+        n = rng.randrange(1, 6)
+        rows = [[rng.randrange(n) for _ in AB] for _ in range(n)]
+        subset = lambda: [s for s in range(n) if rng.random() < 0.5]
+        kind = rng.choice(["streett", "rabin", "buchi", "cobuchi"])
+        if kind == "buchi":
+            acc = Acceptance.buchi(subset())
+        elif kind == "cobuchi":
+            acc = Acceptance.cobuchi(subset())
+        elif kind == "streett":
+            acc = Acceptance.streett([(subset(), subset()) for _ in range(rng.randrange(1, 3))])
+        else:
+            acc = Acceptance.rabin([(subset(), subset()) for _ in range(rng.randrange(1, 3))])
+        automata.append(DetAutomaton(AB, rows, 0, acc))
+    return automata
+
+
+def run_decision_procedures(automata):
+    class_counts = {cls: 0 for cls in TemporalClass}
+    duality_ok = normalization_ok = certificates_ok = 0
+    for automaton in automata:
+        verdict = classify(automaton)
+        class_counts[verdict.canonical] += 1
+        comp = automaton.complement()
+        if (
+            is_safety(automaton) == is_guarantee(comp)
+            and is_recurrence(automaton) == is_persistence(comp)
+        ):
+            duality_ok += 1
+        normal = normalize(automaton)
+        if normal.equivalent_to(automaton):
+            normalization_ok += 1
+        sound = True
+        if is_safety_shaped(normal) and not is_safety(normal):
+            sound = False
+        if is_guarantee_shaped(normal) and not is_guarantee(normal):
+            sound = False
+        if is_recurrence_shaped(normal) and not is_recurrence(normal):
+            sound = False
+        if is_persistence_shaped(normal) and not is_persistence(normal):
+            sound = False
+        certificates_ok += sound
+    return class_counts, duality_ok, normalization_ok, certificates_ok
+
+
+def test_decision_procedures_on_corpus(benchmark):
+    automata = corpus(30)
+    class_counts, duality_ok, normalization_ok, certificates_ok = benchmark(
+        run_decision_procedures, automata
+    )
+    rows = [f"{cls.value:12s}: {count}" for cls, count in class_counts.items()]
+    rows += [
+        f"duality consistent:      {duality_ok}/{len(automata)}",
+        f"normalization preserves: {normalization_ok}/{len(automata)}",
+        f"shapes are certificates: {certificates_ok}/{len(automata)}",
+    ]
+    report("E7: §5.1 procedures on a random-automata corpus", rows)
+    assert duality_ok == len(automata)
+    assert normalization_ok == len(automata)
+    assert certificates_ok == len(automata)
+
+
+def test_persistent_cycle_absorption(benchmark):
+    """The core step of Prop 5.1's recurrence construction on an automaton
+    that genuinely needs it (its Streett pair hides a persistent cycle)."""
+
+    def build_and_normalize():
+        aut = DetAutomaton(AB, [[1, 0], [1, 0]], 0, Acceptance.streett([({1}, {0})]))
+        assert is_recurrence(aut)
+        normal = to_recurrence_automaton(aut)
+        return aut, normal
+
+    aut, normal = benchmark(build_and_normalize)
+    assert is_recurrence_shaped(normal)
+    assert normal.equivalent_to(aut)

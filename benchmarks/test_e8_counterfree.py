@@ -1,0 +1,41 @@
+"""E8 — counter-freedom (Prop 5.4, [Zuc86], [MP71]).
+
+The boundary of temporal expressibility: formula-derived (tester-based)
+automata are counter-free; modular-counting automata are flagged with a
+concrete (state, period) witness.
+"""
+
+from conftest import AB, report
+
+from repro.core import formula_to_automaton
+from repro.finitary import parse_regex
+from repro.logic import parse_formula
+from repro.omega import Acceptance, DetAutomaton
+from repro.omega.counterfree import counting_witness, is_counter_free, transition_monoid
+
+STAR_FREE = ["G p", "F p", "G F p", "F G p", "(G p) | (F q)", "(G F p) | (F G q)",
+             "G (p -> O q)", "F (p & Y q)"]
+
+
+def analyze():
+    free = [(text, is_counter_free(formula_to_automaton(parse_formula(text)))) for text in STAR_FREE]
+    mod2 = DetAutomaton(AB, [[1, 0], [0, 1]], 0, Acceptance.buchi([0]))
+    even_dfa = parse_regex("((a|b)(a|b))*").to_dfa(AB)
+    return free, counting_witness(mod2), counting_witness(even_dfa)
+
+
+def test_counter_freedom(benchmark):
+    free, mod2_witness, even_witness = benchmark(analyze)
+    rows = [f"{text:22s} counter-free: {'yes' if ok else 'NO'}" for text, ok in free]
+    rows.append(f"mod-2 'a' counter:      witness period {mod2_witness[1]}")
+    rows.append(f"even-length language:   witness period {even_witness[1]}")
+    report("E8: counter-freedom (Prop 5.4)", rows)
+    assert all(ok for _t, ok in free)
+    assert mod2_witness is not None and mod2_witness[1] == 2
+    assert even_witness is not None and even_witness[1] == 2
+
+
+def test_monoid_construction(benchmark):
+    dfa = parse_regex("(a|b)*a(a|b)(a|b)", ).to_dfa(AB)
+    monoid = benchmark(transition_monoid, dfa)
+    assert len(monoid) >= len(AB)

@@ -1,0 +1,96 @@
+"""E9 — the safety–liveness classification and its orthogonality to the
+Borel hierarchy (§2, [AS85]).
+
+* decomposition: Π = cl(Π) ∩ L(Π) with cl(Π) safety and L(Π) liveness,
+  on the canonical zoo and a random corpus;
+* liveness = topological density;
+* the aUb worked example;
+* uniform liveness: the correct §4 witness vs the §2 erratum.
+"""
+
+from conftest import AB, report
+
+from repro.core.canonical import (
+    doubled_first_letter,
+    figure_1_zoo,
+    first_letter_stabilizes,
+)
+from repro.finitary import FinitaryLanguage
+from repro.omega import (
+    e_of,
+    equals_intersection,
+    is_liveness,
+    is_safety_closed,
+    is_uniform_liveness,
+    safety_liveness_decomposition,
+)
+
+
+def decompose_zoo():
+    outcomes = []
+    for example in figure_1_zoo():
+        pi_s, pi_l = safety_liveness_decomposition(example.automaton)
+        outcomes.append(
+            (
+                example.name,
+                is_safety_closed(pi_s),
+                is_liveness(pi_l),
+                equals_intersection(example.automaton, [pi_s, pi_l]),
+            )
+        )
+    return outcomes
+
+
+def test_decomposition_theorem(benchmark):
+    outcomes = benchmark(decompose_zoo)
+    rows = [
+        f"{name:26s} Π_S safety: {'✓' if s else '✗'}  Π_L live: {'✓' if l else '✗'}  "
+        f"Π = Π_S∩Π_L: {'✓' if eq else '✗'}"
+        for name, s, l, eq in outcomes
+    ]
+    report("E9: Π = Π_S ∩ Π_L on the canonical zoo", rows)
+    for name, s, l, eq in outcomes:
+        assert s and l and eq, name
+
+
+def test_aUb_worked_example(benchmark):
+    def decompose():
+        automaton = e_of(FinitaryLanguage.from_regex("a*b", AB))  # aUb
+        pi_s, pi_l = safety_liveness_decomposition(automaton)
+        return automaton, pi_s, pi_l
+
+    automaton, pi_s, pi_l = benchmark(decompose)
+    # The safety part is a W b (= a^ω ∪ a*bΣ^ω); the liveness part ⊇ ◇b.
+    from repro.words import LassoWord
+
+    assert pi_s.accepts(LassoWord.from_letters("", "a"))  # a^ω: chance not lost
+    assert not automaton.accepts(LassoWord.from_letters("", "a"))
+    assert is_liveness(pi_l)
+    assert equals_intersection(automaton, [pi_s, pi_l])
+    report(
+        "E9: aUb = (a W b) ∩ ◇b",
+        ["safety part admits a^ω (the 'chance not yet lost' reading)  ✓",
+         "liveness part is dense  ✓", "intersection restores aUb  ✓"],
+    )
+
+
+def test_uniform_liveness(benchmark):
+    def analyze():
+        good = first_letter_stabilizes()
+        erratum = doubled_first_letter()
+        return (
+            is_liveness(good),
+            is_uniform_liveness(good),
+            is_liveness(erratum),
+            is_uniform_liveness(erratum),
+        )
+
+    good_live, good_uniform, erratum_live, erratum_uniform = benchmark(analyze)
+    rows = [
+        f"§4 stabilization property: live={good_live}, uniform={good_uniform} (paper: live, not uniform) ✓",
+        f"§2 doubled-letter example: live={erratum_live}, uniform={erratum_uniform} "
+        "(paper claims not uniform — erratum: σ' = aabb^ω works)",
+    ]
+    report("E9: uniform liveness", rows)
+    assert good_live and not good_uniform
+    assert erratum_live and erratum_uniform

@@ -1,0 +1,58 @@
+"""FIG1 — regenerate Figure 1 (the inclusion diagram) empirically.
+
+One canonical witness per class is classified by the §5.1 decision
+procedures; the resulting membership matrix must reproduce exactly the
+paper's inclusion lattice: each witness belongs to its own class and to
+every class above it, and to no class below or beside it.
+"""
+
+from conftest import report
+
+from repro.core import FIGURE_1_EDGES, TemporalClass
+from repro.core.canonical import figure_1_zoo
+from repro.omega.classify import classify
+
+
+def run_figure_1():
+    zoo = figure_1_zoo()
+    verdicts = {example.expected_class: classify(example.automaton) for example in zoo}
+    matrix = {
+        owner: {cls: verdict.membership[cls] for cls in TemporalClass}
+        for owner, verdict in verdicts.items()
+    }
+    return zoo, matrix
+
+
+def test_figure_1(benchmark):
+    zoo, matrix = benchmark(run_figure_1)
+
+    rows = [f"{'witness class':12s} " + " ".join(f"{c.value[:6]:>6s}" for c in TemporalClass)]
+    for owner in TemporalClass:
+        cells = " ".join("  yes " if matrix[owner][c] else "   .  " for c in TemporalClass)
+        rows.append(f"{owner.value:12s} {cells}")
+    report("Figure 1: membership matrix of the canonical witnesses", rows)
+
+    for owner, memberships in matrix.items():
+        for cls in TemporalClass:
+            expected = cls.includes(owner)
+            assert memberships[cls] == expected, (owner, cls)
+
+    # The derived covering edges coincide with the paper's diagram.
+    derived = []
+    for lower in TemporalClass:
+        for upper in TemporalClass:
+            if not upper.strictly_includes(lower):
+                continue
+            if any(
+                upper.strictly_includes(mid) and mid.strictly_includes(lower)
+                for mid in TemporalClass
+            ):
+                continue
+            derived.append((lower, upper))
+    assert sorted(derived, key=str) == sorted(FIGURE_1_EDGES, key=str)
+
+    # Liveness is orthogonal: non-safety witnesses here are all live, the
+    # safety witness is not (cf. §2's orthogonality discussion).
+    for example in zoo:
+        verdict = classify(example.automaton)
+        assert verdict.is_liveness == example.expected_liveness

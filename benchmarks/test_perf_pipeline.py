@@ -1,0 +1,118 @@
+"""PERF — throughput of the core algorithmic pipeline.
+
+Not a paper artifact: wall-clock baselines for the classification pipeline
+(tester fast path vs GPVW+Safra), Streett emptiness, automaton equivalence,
+and DFA minimization, so regressions are visible.
+"""
+
+import random
+
+from conftest import AB
+
+from repro.core import classify_formula, formula_to_automaton
+from repro.finitary import FinitaryLanguage
+from repro.finitary.dfa import random_dfa
+from repro.logic import parse_formula
+from repro.logic.translate import formula_to_nba
+from repro.omega import r_of
+from repro.omega.emptiness import nonempty_states
+from repro.omega.safra import determinize
+from repro.words import Alphabet
+
+PQ = Alphabet.powerset_of_propositions(["p", "q"])
+
+
+def test_classify_normal_form_fast_path(benchmark):
+    formula = parse_formula("G (p -> O q)")
+    result = benchmark(classify_formula, formula, PQ)
+    assert result.canonical_class.value == "safety"
+
+
+def test_classify_general_pipeline(benchmark):
+    formula = parse_formula("G (p -> F q)")
+    result = benchmark(classify_formula, formula, PQ)
+    assert result.canonical_class.value == "recurrence"
+
+
+def test_gpvw_translation(benchmark):
+    formula = parse_formula("(G F p -> G F q) & G (p -> X !p)")
+    nba = benchmark(formula_to_nba, formula, PQ)
+    assert nba.num_states > 0
+
+
+def test_safra_determinization(benchmark):
+    nba = formula_to_nba(parse_formula("G (p -> F q)"), PQ)
+    dra = benchmark(determinize, nba)
+    assert dra.num_states > 0
+
+
+def test_streett_emptiness(benchmark):
+    rng = random.Random(5)
+    from repro.omega import Acceptance, DetAutomaton
+
+    n = 40
+    rows = [[rng.randrange(n) for _ in AB] for _ in range(n)]
+    pairs = [
+        ([s for s in range(n) if rng.random() < 0.3], [s for s in range(n) if rng.random() < 0.5])
+        for _ in range(3)
+    ]
+    automaton = DetAutomaton(AB, rows, 0, Acceptance.streett(pairs))
+    live = benchmark(nonempty_states, automaton)
+    assert isinstance(live, frozenset)
+
+
+def test_equivalence_check(benchmark):
+    left = r_of(FinitaryLanguage.from_regex(".*b", AB))
+    right = r_of(FinitaryLanguage.from_regex("(a|b)*b", AB))
+    assert benchmark(left.equivalent_to, right)
+
+
+def test_dfa_minimization(benchmark):
+    rng = random.Random(11)
+    dfa = random_dfa(AB, 60, rng)
+    minimal = benchmark(dfa.minimized)
+    assert minimal.equivalent_to(dfa)
+
+
+def test_formula_to_automaton_reactivity_conjunction(benchmark):
+    formula = parse_formula("(G F p | F G q) & (G F q | F G p)")
+    automaton = benchmark(formula_to_automaton, formula, PQ)
+    assert automaton.acceptance.kind.value == "streett"
+    assert len(automaton.acceptance.pairs) == 2
+
+
+def test_brzozowski_derivative_dfa(benchmark):
+    from repro.finitary.derivatives import derivative_dfa
+    from repro.finitary import parse_regex
+
+    regex = parse_regex("(a*b)+a*((a|b)(a|b))*")
+    dfa = benchmark(derivative_dfa, regex, AB)
+    assert dfa.equivalent_to(regex.to_dfa(AB))
+
+
+def test_quotient_reduction(benchmark):
+    from repro.omega.reduce import quotient_reduce
+    from repro.omega.safra import determinize
+
+    nba = formula_to_nba(parse_formula("(G F a) -> (G F b)"), AB)
+    dra = determinize(nba)
+    reduced = benchmark(quotient_reduce, dra)
+    assert reduced.num_states <= dra.num_states
+
+
+def test_omega_regex_compilation(benchmark):
+    from repro.omega.omega_regex import omega_language
+
+    automaton = benchmark(omega_language, ".*b(ab)w | aw", AB)
+    assert automaton.num_states > 0
+
+
+def test_weak_minimization(benchmark):
+    from repro.omega import a_of, e_of
+    from repro.omega.weakmin import minimal_weak_automaton
+
+    automaton = a_of(FinitaryLanguage.from_regex("a+b*", AB)).union(
+        e_of(FinitaryLanguage.from_regex(".*b.*b.*b", AB))
+    )
+    minimal = benchmark(minimal_weak_automaton, automaton)
+    assert minimal.equivalent_to(automaton)

@@ -1,0 +1,13 @@
+"""Ensure ``src/`` is importable even without an editable install.
+
+The offline environment lacks the ``wheel`` package that ``pip install -e .``
+needs; ``python setup.py develop`` works, and this shim makes the test suite
+independent of either.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,45 @@
+"""Dining philosophers: strong vs weak fairness, with the guarded-command DSL.
+
+The safety property (neighbours never eat together) is fairness-independent;
+the liveness property (every hungry philosopher eventually eats) is a
+recurrence-class property whose truth depends on *compassion*: with only
+weak fairness the two neighbours can take turns eating so that philosopher
+0's pickup is enabled infinitely often but never continuously — the model
+checker exhibits the starving schedule.
+
+Run:  python examples/dining_philosophers.py
+"""
+
+from repro import classify_formula, parse_formula
+from repro.systems import check, dining_philosophers
+
+SAFETY = "G !(eating_0 & eating_1)"
+LIVENESS = "G (hungry_0 -> F eating_0)"
+
+
+def main() -> None:
+    print("=== Properties, classified ===")
+    for text in (SAFETY, LIVENESS):
+        report = classify_formula(parse_formula(text))
+        print(f"  {text:34s} -> {report.canonical_class.value}")
+
+    print("\n=== Three philosophers, STRONG fairness on fork pickup ===")
+    strong = dining_philosophers(3, strong=True)
+    print(f"  reachable states: {len(strong.reachable_states())}")
+    print(f"  {SAFETY}: {'holds' if check(strong, parse_formula(SAFETY)) else 'fails'}")
+    print(f"  {LIVENESS}: {'holds' if check(strong, parse_formula(LIVENESS)) else 'fails'}")
+
+    print("\n=== Same table, WEAK fairness only ===")
+    weak = dining_philosophers(3, strong=False)
+    print(f"  {SAFETY}: {'holds' if check(weak, parse_formula(SAFETY)) else 'fails'}")
+    starving = check(weak, parse_formula(LIVENESS))
+    print(f"  {LIVENESS}: {'holds' if starving else 'FAILS'}")
+    if not starving:
+        loop = starving.counterexample_loop
+        print(f"  starving schedule loops through {len(loop)} states, e.g.:")
+        for state in loop[:6]:
+            print(f"    {state}")
+
+
+if __name__ == "__main__":
+    main()

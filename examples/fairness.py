@@ -1,0 +1,44 @@
+"""Weak vs strong fairness and their places in the hierarchy (§4).
+
+The paper expresses weak fairness (justice) as a *recurrence* formula and
+strong fairness (compassion) as a *simple reactivity* formula.  This example
+classifies both, then shows the operational difference on a semaphore-based
+mutual exclusion protocol: with only weak fairness on the acquire
+transitions a process can starve; compassion removes the starvation.
+
+Run:  python examples/fairness.py
+"""
+
+from repro import classify_formula, parse_formula
+from repro.systems import check, semaphore_mutex
+from repro.systems.mutex import ACCESSIBILITY_1, MUTUAL_EXCLUSION
+
+WEAK_FAIRNESS = "G F (!enabled | taken)"
+STRONG_FAIRNESS = "G F enabled -> G F taken"
+
+
+def main() -> None:
+    print("=== The fairness formulas, classified ===")
+    for name, text in (("weak (justice)", WEAK_FAIRNESS), ("strong (compassion)", STRONG_FAIRNESS)):
+        report = classify_formula(parse_formula(text))
+        print(f"  {name:20s} {text:28s} -> {report.canonical_class.value}"
+              f" (Streett index {report.streett_index})")
+
+    print("\n=== Semaphore mutex with STRONG fairness on acquire ===")
+    strong = semaphore_mutex(strong=True)
+    print(f"  {MUTUAL_EXCLUSION}: {'holds' if check(strong, parse_formula(MUTUAL_EXCLUSION)) else 'fails'}")
+    print(f"  {ACCESSIBILITY_1}: {'holds' if check(strong, parse_formula(ACCESSIBILITY_1)) else 'fails'}")
+
+    print("\n=== Same protocol with only WEAK fairness ===")
+    weak = semaphore_mutex(strong=False)
+    print(f"  {MUTUAL_EXCLUSION}: {'holds' if check(weak, parse_formula(MUTUAL_EXCLUSION)) else 'fails'}")
+    starving = check(weak, parse_formula(ACCESSIBILITY_1))
+    print(f"  {ACCESSIBILITY_1}: {'holds' if starving else 'FAILS'}")
+    if not starving:
+        print(f"  {starving.describe()}")
+        print("  (process 1 keeps trying while process 2 monopolizes the semaphore:")
+        print("   every time the semaphore frees up, process 2 reacquires it first)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""A tour of the four views of the hierarchy (§2-§5) on one running example.
+
+The property "infinitely many b's" = ``(a*b)^ω = R(Σ*b) = □◇b``:
+
+* linguistic   — built by the R operator from the finitary Σ*b;
+* topological  — a G_δ set, dense (hence a liveness property), not closed;
+* temporal     — the recurrence normal form □◇b;
+* automata     — a Büchi automaton whose class the §5.1 procedures decide.
+
+The script ends with the empirical Figure 1: the inclusion diagram derived
+by classifying one canonical witness per class.
+
+Run:  python examples/hierarchy_tour.py
+"""
+
+from repro import Alphabet, FinitaryLanguage, LassoWord, classify_formula, parse_formula
+from repro.core.canonical import figure_1_zoo
+from repro.omega import pref_language, r_of, safety_closure
+from repro.omega.classify import classify, is_recurrence_shaped
+from repro.topology import borel_level, g_delta_approximants, is_dense
+
+AB = Alphabet.from_letters("ab")
+
+
+def main() -> None:
+    phi = FinitaryLanguage.from_regex(".*b", AB)
+    automaton = r_of(phi)
+
+    print("=== Linguistic view (§2) ===")
+    print(f"  Φ = Σ*b (finite words ending in b), Π = R(Φ) = (a*b)^ω")
+    print(f"  (ab)^ω ∈ Π: {automaton.accepts(LassoWord.from_letters('', 'ab'))}")
+    print(f"  ba^ω   ∈ Π: {automaton.accepts(LassoWord.from_letters('b', 'a'))}")
+    print(f"  Pref(Π) = Σ⁺: {pref_language(automaton) == FinitaryLanguage.everything(AB)}")
+
+    print("\n=== Topological view (§3) ===")
+    print(f"  Borel level: {borel_level(automaton)}")
+    print(f"  dense (liveness): {is_dense(automaton)}")
+    closure = safety_closure(automaton)
+    print(f"  cl(Π) = Σ^ω: {closure.is_universal()}  (so Π ≠ cl(Π): not safety)")
+    approx = g_delta_approximants(automaton, 3)
+    print(f"  G_δ witness: Π ⊆ G₁ ⊇ G₂ ⊇ G₃ with Gₖ = 'at least k b-prefixes'·Σ^ω:"
+          f" {all(automaton.is_subset_of(g) for g in approx)}")
+
+    print("\n=== Temporal logic view (§4) ===")
+    report = classify_formula(parse_formula("G F b"), AB)
+    print(report.summary())
+
+    print("\n=== Automata view (§5) ===")
+    print(f"  automaton: {automaton!r}")
+    print(f"  recurrence-shaped (Büchi, P = ∅): {is_recurrence_shaped(automaton)}")
+    print(f"  §5.1 verdict: {classify(automaton)!r}")
+
+    print("\n=== Figure 1, derived empirically ===")
+    print(f"  {'witness':24s} {'class':12s} {'memberships (↑ the hierarchy)'}")
+    for example in figure_1_zoo():
+        verdict = classify(example.automaton)
+        held = [c.value for c in type(example.expected_class) if verdict.membership[c]]
+        print(f"  {example.name:24s} {verdict.canonical.value:12s} {', '.join(held)}")
+    print("""
+          reactivity (Δ₃)
+          /            \\
+   recurrence (Π₂)  persistence (Σ₂)
+          \\            /
+          obligation (Δ₂)
+          /            \\
+     safety (Π₁)   guarantee (Σ₁)
+    """)
+
+
+if __name__ == "__main__":
+    main()

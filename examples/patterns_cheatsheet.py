@@ -1,0 +1,42 @@
+"""A specification-pattern cheat sheet, classified by the hierarchy.
+
+The paper's §1 proposes the hierarchy as a *completeness check list* for
+specifiers.  This example renders that check list concretely: the standard
+specification patterns (absence, existence, universality, precedence,
+response, stabilization, fair response) under their usual scopes, each with
+the hierarchy class the library measures for it — so a specifier can see at
+a glance which kinds of requirements their property list covers.
+
+Run:  python examples/patterns_cheatsheet.py
+"""
+
+from repro import classify_formula
+from repro.logic.ast import Prop
+from repro.logic.patterns import catalog
+from repro.words import Alphabet
+
+P, S, Q, R = Prop("p"), Prop("s"), Prop("q"), Prop("r")
+ALPHABET = Alphabet.powerset_of_propositions(["p", "s", "q", "r"])
+
+
+def main() -> None:
+    print(f"{'pattern':14s} {'scope':17s} {'class':12s} {'Borel':5s} meaning")
+    print("─" * 100)
+    for pattern in catalog(P, S, Q, R):
+        report = classify_formula(pattern.formula, ALPHABET)
+        cls = report.canonical_class
+        marker = "" if cls is pattern.expected else "  (!)"
+        print(
+            f"{pattern.name:14s} {pattern.scope.value:17s} "
+            f"{cls.value:12s} {cls.borel_name:5s} {pattern.gloss}{marker}"
+        )
+    print("\nTakeaways:")
+    print("  • scoping with PAST operators keeps requirements low in the hierarchy")
+    print("    (precedence and scoped absence stay safety — cheap to verify & monitor);")
+    print("  • the same informal 'existence' lands in three different classes")
+    print("    depending on its scope — the trade-off §1 asks specifiers to weigh;")
+    print("  • only fair response needs the full reactivity class.")
+
+
+if __name__ == "__main__":
+    main()

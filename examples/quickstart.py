@@ -1,0 +1,37 @@
+"""Quickstart: classify temporal formulas into the safety-progress hierarchy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import classify_formula, parse_formula
+
+FORMULAS = [
+    # the six normal forms
+    "G safe",                       # invariance                  -> safety
+    "F terminated",                 # termination                 -> guarantee
+    "G ready | F started",          # conditional obligation      -> obligation
+    "G F heartbeat",                # infinitely often            -> recurrence
+    "F G stable",                   # eventual stabilization      -> persistence
+    "G F polled | F G idle",        # simple reactivity           -> reactivity
+    # derived shapes the paper discusses
+    "G (request -> F grant)",       # response                    -> recurrence
+    "request -> F grant",           # initial response            -> guarantee
+    "G F enabled -> G F taken",     # strong fairness             -> reactivity
+    "G (alarm -> O fault)",         # precedence (past operator)  -> safety
+]
+
+
+def main() -> None:
+    print("The Manna-Pnueli safety-progress hierarchy, formula by formula\n")
+    for text in FORMULAS:
+        report = classify_formula(parse_formula(text))
+        cls = report.canonical_class
+        print(f"  {text:28s} ->  {cls.value:11s} {cls.borel_name:3s} "
+              f"[{cls.topological_name}]"
+              f"{'  (liveness)' if report.is_liveness else ''}")
+    print("\nDetailed report for the response property:")
+    print(classify_formula(parse_formula("G (request -> F grant)")).summary())
+
+
+if __name__ == "__main__":
+    main()

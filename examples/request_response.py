@@ -1,0 +1,69 @@
+"""The responsiveness spectrum (§4's summary), as a specification design aid.
+
+One informal requirement — "the system responds to requests" — admits five
+formalizations of strictly increasing logical strength *classes*; picking
+the wrong one is exactly the over/under-specification trade-off the paper
+discusses.  The script classifies all five and then demonstrates on lasso
+traces how they disagree.
+
+Run:  python examples/request_response.py
+"""
+
+from repro import Alphabet, classify_formula, parse_formula, satisfies
+from repro.words import LassoWord
+
+CATALOG = [
+    ("initial response", "p -> F q",
+     "if requested initially, respond eventually"),
+    ("one-shot obligation", "F p -> F (q & O p)",
+     "if ever requested, respond after the first request"),
+    ("full response", "G (p -> F q)",
+     "every request is eventually answered"),
+    ("stabilizing response", "p -> F G q",
+     "an initial request leads to permanent q"),
+    ("infinite-demand response", "G F p -> G F q",
+     "infinitely many requests get infinitely many answers"),
+]
+
+ALPHABET = Alphabet.powerset_of_propositions(["p", "q"])
+
+
+def letter(*props: str) -> frozenset:
+    return frozenset(props)
+
+
+TRACES = {
+    # p once, answered once, then silence
+    "p answered once": LassoWord((letter("p"), letter("q")), (letter(),)),
+    # requests forever, answers forever
+    "ping-pong": LassoWord((), (letter("p"), letter("q"))),
+    # requests forever, never answered
+    "starvation": LassoWord((), (letter("p"),)),
+    # one early request, answers only finitely often
+    "fading answers": LassoWord((letter("p"), letter("q"), letter("q")), (letter(),)),
+}
+
+
+def main() -> None:
+    print("=== The five responsiveness formalizations (§4) ===")
+    for name, text, gloss in CATALOG:
+        report = classify_formula(parse_formula(text), ALPHABET)
+        print(f"  {name:26s} {text:22s} -> {report.canonical_class.value:12s} ({gloss})")
+
+    print("\n=== How they judge concrete behaviours ===")
+    header = f"  {'trace':18s}" + "".join(f"{name:>28s}" for name, _t, _g in CATALOG)
+    print(header)
+    for trace_name, word in TRACES.items():
+        cells = []
+        for _name, text, _gloss in CATALOG:
+            verdict = satisfies(word, parse_formula(text))
+            cells.append("yes" if verdict else "NO")
+        print(f"  {trace_name:18s}" + "".join(f"{c:>28s}" for c in cells))
+
+    print("\nReading: 'starvation' violates every flavor; 'fading answers'")
+    print("satisfies the one-shot and initial flavors but not full response;")
+    print("the infinite-demand flavor tolerates finitely many ignored requests.")
+
+
+if __name__ == "__main__":
+    main()

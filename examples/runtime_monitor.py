@@ -1,0 +1,69 @@
+"""Runtime monitoring: what the hierarchy says you can observe at runtime.
+
+§2 reads the classes through "good/bad things detectable in finite time".
+A prefix monitor makes that operational:
+
+* a *safety* property's violations are always caught after finitely many
+  events (the monitor says VIOLATED);
+* a *guarantee* property's successes are always caught finitely
+  (SATISFIED);
+* *recurrence* and *persistence* properties are fundamentally
+  non-monitorable: the verdict stays PENDING forever.
+
+The script replays an event log against monitors for one property of each
+kind and prints the verdict timeline.
+
+Run:  python examples/runtime_monitor.py
+"""
+
+from repro import Alphabet, parse_formula
+from repro.core.monitor import PrefixMonitor, Verdict3
+
+ALPHABET = Alphabet.powerset_of_propositions(["request", "grant", "error"])
+
+PROPERTIES = [
+    ("safety", "G !error"),
+    ("guarantee", "F grant"),
+    ("precedence (safety)", "G (grant -> O request)"),
+    ("response (recurrence)", "G (request -> F grant)"),
+]
+
+# The event log: one set of propositions per step.
+LOG = [
+    set(),
+    {"request"},
+    {"grant"},
+    {"request"},
+    set(),
+    {"error"},
+    {"grant"},
+]
+
+
+def main() -> None:
+    monitors = {
+        name: PrefixMonitor.for_formula(parse_formula(text), ALPHABET)
+        for name, text in PROPERTIES
+    }
+    print(f"{'step':>4s} {'event':>12s}" + "".join(f"{name:>24s}" for name, _t in PROPERTIES))
+    for step, event in enumerate(LOG):
+        symbol = frozenset(event)
+        cells = []
+        for name, _text in PROPERTIES:
+            verdict = monitors[name].step(symbol)
+            cells.append(verdict.value)
+        label = "+".join(sorted(event)) or "-"
+        print(f"{step:>4d} {label:>12s}" + "".join(f"{c:>24s}" for c in cells))
+
+    print("\nWhat the hierarchy predicted:")
+    print("  G !error        -> VIOLATED the moment the error occurred (safety)")
+    print("  F grant         -> SATISFIED at the first grant (guarantee)")
+    print("  precedence      -> SATISFIED once a request occurred: from then on")
+    print("                     no grant can ever be spurious (a clopen residual)")
+    print("  response        -> PENDING forever: recurrence is not monitorable;")
+    print("                     is_monitorable_everywhere() =",
+          monitors["response (recurrence)"].is_monitorable_everywhere())
+
+
+if __name__ == "__main__":
+    main()

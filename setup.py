@@ -1,0 +1,9 @@
+"""Setup shim so that editable installs work on environments without the
+``wheel`` package (offline boxes): ``pip install -e . --no-use-pep517
+--no-build-isolation`` falls back to ``setup.py develop`` through this file.
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

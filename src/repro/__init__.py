@@ -1,0 +1,55 @@
+"""repro — *A Hierarchy of Temporal Properties* (Manna & Pnueli, PODC 1990).
+
+The safety–progress hierarchy as a library: temporal logic with past,
+ω-automata, the four views of the hierarchy (linguistic, topological,
+logical, automata-theoretic), classification decision procedures, and a
+fair-transition-system model checker.
+
+Quickstart::
+
+    >>> from repro import classify_formula, parse_formula
+    >>> report = classify_formula(parse_formula("G (request -> F grant)"))
+    >>> report.canonical_class.value
+    'recurrence'
+"""
+
+from repro.core import (
+    FIGURE_1_EDGES,
+    FormulaReport,
+    TemporalClass,
+    Verdict,
+    classify_formula,
+    default_alphabet,
+    formula_to_automaton,
+)
+from repro.finitary import FinitaryLanguage
+from repro.logic import parse_formula, satisfies
+from repro.omega import DetAutomaton, a_of, e_of, p_of, r_of
+from repro.systems import check, lint_specification
+from repro.words import Alphabet, FiniteWord, LassoWord
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FIGURE_1_EDGES",
+    "FormulaReport",
+    "TemporalClass",
+    "Verdict",
+    "classify_formula",
+    "default_alphabet",
+    "formula_to_automaton",
+    "FinitaryLanguage",
+    "parse_formula",
+    "satisfies",
+    "DetAutomaton",
+    "a_of",
+    "e_of",
+    "p_of",
+    "r_of",
+    "check",
+    "lint_specification",
+    "Alphabet",
+    "FiniteWord",
+    "LassoWord",
+    "__version__",
+]

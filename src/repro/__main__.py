@@ -1,0 +1,107 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Commands
+--------
+
+classify FORMULA [--props p,q]        place a formula in the hierarchy
+lint FORMULA [FORMULA …]              check a specification for coverage gaps
+automaton FORMULA [--dot]             print (or DOT-render) the automaton
+omega EXPRESSION --alphabet ab        classify an ω-regular expression
+zoo                                   print the canonical Figure-1 witnesses
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import classify_formula, formula_to_automaton
+from repro.core.canonical import figure_1_zoo
+from repro.logic import parse_formula
+from repro.omega.classify import classify as classify_automaton
+from repro.omega.omega_regex import omega_language
+from repro.omega.reduce import quotient_reduce
+from repro.omega.render import describe, to_dot
+from repro.systems import lint_specification
+from repro.words import Alphabet
+
+
+def _alphabet_from(props: str | None):
+    if props is None:
+        return None
+    return Alphabet.powerset_of_propositions([p.strip() for p in props.split(",") if p.strip()])
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    report = classify_formula(parse_formula(args.formula), _alphabet_from(args.props))
+    print(report.summary())
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    report = lint_specification(list(args.formulas))
+    print(report.table())
+    return 1 if report.warnings() else 0
+
+
+def cmd_automaton(args: argparse.Namespace) -> int:
+    automaton = formula_to_automaton(parse_formula(args.formula), _alphabet_from(args.props))
+    automaton = quotient_reduce(automaton)
+    print(to_dot(automaton) if args.dot else describe(automaton))
+    return 0
+
+
+def cmd_omega(args: argparse.Namespace) -> int:
+    alphabet = Alphabet.from_letters(args.alphabet)
+    automaton = quotient_reduce(omega_language(args.expression, alphabet))
+    verdict = classify_automaton(automaton)
+    print(f"expression: {args.expression}")
+    print(f"class:      {verdict.canonical.value} ({verdict.canonical.borel_name})")
+    print(f"liveness:   {verdict.is_liveness}")
+    print(describe(automaton))
+    return 0
+
+
+def cmd_zoo(_args: argparse.Namespace) -> int:
+    print(f"{'witness':26s} {'class':12s} {'Borel':5s} source")
+    for example in figure_1_zoo():
+        cls = example.expected_class
+        print(f"{example.name:26s} {cls.value:12s} {cls.borel_name:5s} {example.source}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="The Manna-Pnueli safety-progress hierarchy toolkit."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_classify = sub.add_parser("classify", help="classify a temporal formula")
+    p_classify.add_argument("formula")
+    p_classify.add_argument("--props", help="comma-separated proposition universe")
+    p_classify.set_defaults(func=cmd_classify)
+
+    p_lint = sub.add_parser("lint", help="lint a property-list specification")
+    p_lint.add_argument("formulas", nargs="+")
+    p_lint.set_defaults(func=cmd_lint)
+
+    p_automaton = sub.add_parser("automaton", help="show a formula's automaton")
+    p_automaton.add_argument("formula")
+    p_automaton.add_argument("--props")
+    p_automaton.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    p_automaton.set_defaults(func=cmd_automaton)
+
+    p_omega = sub.add_parser("omega", help="classify an ω-regular expression")
+    p_omega.add_argument("expression")
+    p_omega.add_argument("--alphabet", default="ab", help="letters, e.g. 'abc'")
+    p_omega.set_defaults(func=cmd_omega)
+
+    p_zoo = sub.add_parser("zoo", help="print the canonical Figure-1 witnesses")
+    p_zoo.set_defaults(func=cmd_zoo)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The paper's primary contribution: the hierarchy and its classifiers."""
+
+from repro.core.classes import FIGURE_1_EDGES, TemporalClass, Verdict
+from repro.core.classifier import (
+    FormulaReport,
+    classify_formula,
+    default_alphabet,
+    formula_to_automaton,
+)
+
+__all__ = [
+    "FIGURE_1_EDGES",
+    "TemporalClass",
+    "Verdict",
+    "FormulaReport",
+    "classify_formula",
+    "default_alphabet",
+    "formula_to_automaton",
+]

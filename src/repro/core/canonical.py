@@ -1,0 +1,228 @@
+"""The canonical zoo: every example property the paper exhibits, with its
+expected placement in the hierarchy.
+
+These are the raw material of the FIG1/E3/E4/E10 experiments: strictness of
+every inclusion edge in Figure 1 is demonstrated by classifying these
+languages, and the graded families (``Obl_k``, the parity staircase) witness
+the infinite subhierarchies inside obligation and reactivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classes import TemporalClass
+from repro.finitary.language import FinitaryLanguage
+from repro.omega.acceptance import Acceptance
+from repro.omega.automaton import DetAutomaton
+from repro.omega.linguistic import a_of, e_of, p_of, r_of
+from repro.words.alphabet import Alphabet, Symbol
+
+#: The paper's default abstract alphabet.
+AB = Alphabet.from_letters("ab")
+ABCD = Alphabet.from_letters("abcd")
+
+
+@dataclass(frozen=True)
+class CanonicalProperty:
+    """One named example with its paper-asserted classification."""
+
+    name: str
+    description: str
+    automaton: DetAutomaton
+    expected_class: TemporalClass
+    expected_liveness: bool
+    source: str
+
+
+def _lang(regex: str, alphabet: Alphabet = AB) -> FinitaryLanguage:
+    return FinitaryLanguage.from_regex(regex, alphabet)
+
+
+def safety_example() -> CanonicalProperty:
+    return CanonicalProperty(
+        name="A(a+b*)",
+        description="a^ω + a⁺b^ω — all prefixes stay in a⁺b*",
+        automaton=a_of(_lang("a+b*")),
+        expected_class=TemporalClass.SAFETY,
+        expected_liveness=False,
+        source="§2, the A operator example",
+    )
+
+
+def guarantee_example() -> CanonicalProperty:
+    # E(a+b*) = aΣ^ω is clopen, so the *strict* guarantee witness needs a
+    # non-closed open set: at least two b's.
+    return CanonicalProperty(
+        name="E(Σ*bΣ*b)",
+        description="words containing at least two b's — open, not closed",
+        automaton=e_of(_lang(".*b.*b")),
+        expected_class=TemporalClass.GUARANTEE,
+        expected_liveness=True,
+        source="§2, the E operator",
+    )
+
+
+def recurrence_example() -> CanonicalProperty:
+    return CanonicalProperty(
+        name="R(Σ*b) = (a*b)^ω",
+        description="infinitely many b's — G_δ, not F_σ, not closed/open",
+        automaton=r_of(_lang(".*b")),
+        expected_class=TemporalClass.RECURRENCE,
+        expected_liveness=True,
+        source="§2, the R operator; §3's G_δ example",
+    )
+
+
+def persistence_example() -> CanonicalProperty:
+    return CanonicalProperty(
+        name="P(Σ*b) = Σ*b^ω",
+        description="eventually only b's — F_σ, not G_δ",
+        automaton=p_of(_lang(".*b")),
+        expected_class=TemporalClass.PERSISTENCE,
+        expected_liveness=True,
+        source="§2, the P operator",
+    )
+
+
+def obligation_example() -> CanonicalProperty:
+    """§2's obligation display ``a*b^ω + Σ*·c·Σ^ω``, realized over {a,b} as
+    ``a^ω ∪ (≥ 2 b's)`` — a union of a safety and a guarantee property that
+    is neither."""
+    automaton = a_of(_lang("a+")).union(e_of(_lang(".*b.*b")))
+    return CanonicalProperty(
+        name="A(a⁺) ∪ E(Σ*bΣ*b)",
+        description="a^ω or at least two b's — strictly obligation",
+        automaton=automaton,
+        expected_class=TemporalClass.OBLIGATION,
+        expected_liveness=True,
+        source="§2, the obligation class",
+    )
+
+
+def simple_reactivity_example() -> CanonicalProperty:
+    """``□◇p ∨ ◇□q`` with independent p, q over a four-letter alphabet
+    (letters = valuations: n none, p, q, r both)."""
+    alphabet = Alphabet.from_letters("npqr")
+    p_states = {"p", "r"}
+    q_states = {"q", "r"}
+
+    automaton = DetAutomaton.build(
+        alphabet,
+        "n",
+        lambda _state, symbol: symbol,
+        lambda order: Acceptance.streett(
+            [(
+                [i for i, s in enumerate(order) if s in p_states],
+                [i for i, s in enumerate(order) if s in q_states],
+            )]
+        ),
+    )
+    return CanonicalProperty(
+        name="□◇p ∨ ◇□q",
+        description="infinitely many p's or eventually always q — strictly reactivity",
+        automaton=automaton,
+        expected_class=TemporalClass.REACTIVITY,
+        expected_liveness=True,
+        source="§4, simple reactivity",
+    )
+
+
+def figure_1_zoo() -> list[CanonicalProperty]:
+    """One strict witness per class — exactly Figure 1's six boxes."""
+    return [
+        safety_example(),
+        guarantee_example(),
+        obligation_example(),
+        recurrence_example(),
+        persistence_example(),
+        simple_reactivity_example(),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Graded families
+# ---------------------------------------------------------------------------
+
+
+def obligation_chain_family(k: int) -> DetAutomaton:
+    """The canonical strict ``Obl_k`` witness: words over {a, c} whose number
+    of c's is odd and smaller than 2k (the level-k set of the difference
+    hierarchy over open sets).  States count c's, saturating at 2k."""
+    top = 2 * k
+
+    def successor(count: int, symbol: Symbol) -> int:
+        return min(count + 1, top) if symbol == "c" else count
+
+    return DetAutomaton.build_cobuchi(
+        Alphabet.from_letters("ac"), 0, successor, lambda c: c % 2 == 1 and c < top
+    )
+
+
+def paper_obligation_family(k: int) -> DetAutomaton:
+    """The paper's printed family ``[(Π + a*)d]^{k-1}·Π`` with
+    ``Π = a^ω + (a+b)*cΣ^ω`` over {a,b,c,d}.
+
+    NOTE (erratum, see EXPERIMENTS.md): because closed sets are closed under
+    finite union, this language decomposes as (one closed set) ∪ (one open
+    set) for *every* k, so it sits in ``Obl₁`` rather than strictly in
+    ``Obl_k``; the experiments compute its degree as 1.
+    """
+
+    def successor(state: tuple[int, str], symbol: Symbol) -> tuple[int, str]:
+        block, mode = state
+        if mode in ("done", "sink"):
+            return state
+        if mode == "clean":
+            if symbol == "a":
+                return block, "clean"
+            if symbol == "b":
+                return block, "dirty"
+            if symbol == "c":
+                return block, "done"
+            return (block + 1, "clean") if block + 1 < k else (block, "sink")
+        if symbol == "c":
+            return block, "done"
+        if symbol == "d":
+            return block, "sink"
+        return block, "dirty"
+
+    return DetAutomaton.build_buchi(
+        ABCD, (0, "clean"), successor, lambda s: s[1] in ("clean", "done")
+    )
+
+
+def parity_staircase(n: int) -> DetAutomaton:
+    """Letters ``1..2n``; accept iff the largest letter seen infinitely often
+    is even — Wagner/Streett index exactly ``n`` (the strict reactivity
+    subhierarchy of §4)."""
+    letters = [str(i) for i in range(1, 2 * n + 1)]
+    alphabet = Alphabet(letters)
+    rows = [[int(letter) - 1 for letter in letters] for _ in letters]
+    pairs = []
+    for odd in range(1, 2 * n, 2):
+        recurrent = [i for i in range(2 * n) if i + 1 > odd]
+        persistent = [i for i in range(2 * n) if i + 1 < odd]
+        pairs.append((recurrent, persistent))
+    return DetAutomaton(alphabet, rows, 0, Acceptance.streett(pairs))
+
+
+def first_letter_stabilizes() -> DetAutomaton:
+    """§4's liveness-but-not-uniform-liveness property: the first letter
+    eventually repeats forever ((p → ◇□q) ∧ (¬p → ◇□¬q) in spirit)."""
+
+    def successor(state, symbol: Symbol):
+        if state == "init":
+            return (symbol, True)
+        first, _matching = state
+        return (first, symbol == first)
+
+    return DetAutomaton.build_cobuchi(
+        AB, "init", successor, lambda s: s != "init" and s[1]
+    )
+
+
+def doubled_first_letter() -> DetAutomaton:
+    """§2's (erroneous) uniform-liveness counterexample
+    ``aΣ*aaΣ^ω + bΣ*bbΣ^ω`` — actually uniformly live via σ' = aabb^ω."""
+    return e_of(_lang("a.*aa|b.*bb"))

@@ -1,0 +1,123 @@
+"""Prefix monitoring — the operational meaning of the lower hierarchy.
+
+§2 reads the classes through "good/bad things detectable in finite time":
+a safety violation is witnessed by a finite prefix, a guarantee success is
+witnessed by a finite prefix, and a clopen property always reaches a final
+verdict.  :class:`PrefixMonitor` turns any deterministic ω-automaton into
+an online monitor with the classic three-valued verdict:
+
+* ``VIOLATED``  — no infinite extension of the prefix satisfies Π
+  (the residual language is empty);
+* ``SATISFIED`` — every extension satisfies Π (the residual is Σ^ω);
+* ``PENDING``   — both continuations remain possible.
+
+The hierarchy predicts the monitor's power, and the test suite verifies it:
+
+* safety Π:     every violating word has a finite VIOLATED witness;
+* guarantee Π:  every satisfying word has a finite SATISFIED witness;
+* clopen Π:     every word reaches a final verdict;
+* recurrence/persistence Π may stay PENDING forever (non-monitorable tail).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.logic.ast import Formula
+from repro.omega.automaton import DetAutomaton
+from repro.omega.emptiness import nonempty_states
+from repro.words.alphabet import Alphabet, Symbol
+
+
+class Verdict3(Enum):
+    VIOLATED = "violated"
+    SATISFIED = "satisfied"
+    PENDING = "pending"
+
+
+class PrefixMonitor:
+    """An online three-valued monitor for one ω-regular property.
+
+    Feed symbols with :meth:`step`; read :attr:`verdict` anytime.  Once the
+    verdict leaves ``PENDING`` it is final (the two decided regions are
+    successor-closed), and further symbols keep returning it.
+    """
+
+    def __init__(self, automaton: DetAutomaton) -> None:
+        self.automaton = automaton
+        self._live = nonempty_states(automaton)
+        self._colive = nonempty_states(automaton.complement())
+        self._state = automaton.initial
+        self._history: list[Symbol] = []
+
+    @classmethod
+    def for_formula(cls, formula: Formula, alphabet: Alphabet | None = None) -> PrefixMonitor:
+        from repro.core.classifier import formula_to_automaton
+
+        return cls(formula_to_automaton(formula, alphabet))
+
+    # ---------------------------------------------------------------- online
+
+    @property
+    def verdict(self) -> Verdict3:
+        dead = self._state not in self._live
+        codead = self._state not in self._colive
+        if dead:
+            return Verdict3.VIOLATED
+        if codead:
+            return Verdict3.SATISFIED
+        return Verdict3.PENDING
+
+    def step(self, symbol: Symbol) -> Verdict3:
+        self._state = self.automaton.step(self._state, symbol)
+        self._history.append(symbol)
+        return self.verdict
+
+    def feed(self, symbols) -> Verdict3:
+        for symbol in symbols:
+            self.step(symbol)
+        return self.verdict
+
+    def reset(self) -> None:
+        self._state = self.automaton.initial
+        self._history.clear()
+
+    @property
+    def position(self) -> int:
+        return len(self._history)
+
+    # ------------------------------------------------------------- analysis
+
+    def is_monitorable_everywhere(self) -> bool:
+        """Can every PENDING state still reach a verdict?  (Classic
+        monitorability: no reachable 'ugly' state.)"""
+        pending = [
+            state
+            for state in self.automaton.reachable
+            if state in self._live and state in self._colive
+        ]
+        decided = frozenset(self.automaton.states) - frozenset(
+            s for s in self.automaton.states if s in self._live and s in self._colive
+        )
+        from repro.omega.graph import can_reach
+
+        reach_decided = can_reach(self.automaton.num_states, decided, self.automaton.successors)
+        return all(state in reach_decided for state in pending)
+
+    def always_decides(self) -> bool:
+        """Does *every* infinite word reach a final verdict?  True exactly
+        for clopen properties: the pending region must be transient."""
+        from repro.omega.graph import is_nontrivial_component, restricted_sccs
+
+        pending = frozenset(
+            state
+            for state in self.automaton.reachable
+            if state in self._live and state in self._colive
+        )
+        for scc in restricted_sccs(pending, self.automaton.successors):
+            internal = lambda s, inside=frozenset(scc): [
+                t for t in self.automaton.successors(s) if t in inside
+            ]
+            if is_nontrivial_component(scc, internal):
+                return False
+        return True

@@ -1,0 +1,41 @@
+"""Exception types shared across the library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AlphabetError(ReproError):
+    """A symbol or word does not belong to the expected alphabet."""
+
+
+class ParseError(ReproError):
+    """A regular expression or temporal formula failed to parse."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class AutomatonError(ReproError):
+    """An automaton is structurally malformed for the requested operation."""
+
+
+class DeterminismError(AutomatonError):
+    """An operation requiring a deterministic automaton received one that is not."""
+
+
+class UnsupportedFragmentError(ReproError):
+    """A formula lies outside the fragment a translation supports.
+
+    The only such fragment in this library: future operators nested inside
+    past operators (the paper's normal forms never need them).
+    """
+
+
+class ClassificationError(ReproError):
+    """A classification query could not be answered."""

@@ -1,0 +1,26 @@
+"""Finitary properties: regular languages of finite words.
+
+The paper builds every infinitary property from *finitary* ones — sets
+``Φ ⊆ Σ⁺`` of non-empty finite words.  This package provides the machinery:
+DFAs/NFAs, regular expressions, and the finitary operators ``A_f``, ``E_f``,
+``Pref`` and ``minex`` as automaton constructions.
+"""
+
+from repro.finitary.dfa import DFA
+from repro.finitary.nfa import NFA
+from repro.finitary.regex import Regex, parse_regex, regex_to_nfa
+from repro.finitary.language import FinitaryLanguage
+from repro.finitary.operators import af, ef, minex, prefix_extendable
+
+__all__ = [
+    "DFA",
+    "NFA",
+    "Regex",
+    "parse_regex",
+    "regex_to_nfa",
+    "FinitaryLanguage",
+    "af",
+    "ef",
+    "minex",
+    "prefix_extendable",
+]

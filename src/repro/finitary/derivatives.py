@@ -1,0 +1,165 @@
+"""Brzozowski derivatives: a second, independent regex → DFA pipeline.
+
+``derivative(r, a)`` denotes ``{w : aw ∈ L(r)}``; iterating over canonical
+derivative terms yields a DFA directly, with no NFA in between.  The test
+suite cross-validates this construction against the Thompson/subset route,
+so a bug in either pipeline is caught by the other.
+
+Canonicalization ("similarity") keeps the derivative space finite: unions
+are flattened, sorted and deduplicated; ∅ and ε identities are applied;
+nested stars collapse.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.finitary.dfa import DFA
+from repro.finitary.regex import (
+    AnySym,
+    Concat,
+    EmptySet,
+    Epsilon,
+    Lit,
+    Option,
+    Plus,
+    Regex,
+    Star,
+    Union,
+)
+from repro.words.alphabet import Alphabet, Symbol
+
+EMPTY = EmptySet()
+EPSILON = Epsilon()
+
+
+# ---------------------------------------------------------- smart constructors
+
+
+def union(parts: tuple[Regex, ...]) -> Regex:
+    flattened: list[Regex] = []
+    for part in parts:
+        for piece in part.parts if isinstance(part, Union) else (part,):
+            if isinstance(piece, EmptySet):
+                continue
+            if piece not in flattened:
+                flattened.append(piece)
+    if not flattened:
+        return EMPTY
+    if len(flattened) == 1:
+        return flattened[0]
+    flattened.sort(key=repr)
+    return Union(tuple(flattened))
+
+
+def concat(parts: tuple[Regex, ...]) -> Regex:
+    flattened: list[Regex] = []
+    for part in parts:
+        if isinstance(part, EmptySet):
+            return EMPTY
+        if isinstance(part, Epsilon):
+            continue
+        for piece in part.parts if isinstance(part, Concat) else (part,):
+            flattened.append(piece)
+    if not flattened:
+        return EPSILON
+    if len(flattened) == 1:
+        return flattened[0]
+    return Concat(tuple(flattened))
+
+
+def star(inner: Regex) -> Regex:
+    if isinstance(inner, (EmptySet, Epsilon)):
+        return EPSILON
+    if isinstance(inner, Star):
+        return inner
+    if isinstance(inner, Plus):
+        return Star(inner.inner)
+    return Star(inner)
+
+
+# ------------------------------------------------------------------ semantics
+
+
+@lru_cache(maxsize=None)
+def nullable(regex: Regex) -> bool:
+    """Does the language contain the empty word?"""
+    if isinstance(regex, (Epsilon, Star, Option)):
+        return True
+    if isinstance(regex, (EmptySet, Lit, AnySym)):
+        return False
+    if isinstance(regex, Plus):
+        return nullable(regex.inner)
+    if isinstance(regex, Concat):
+        return all(nullable(part) for part in regex.parts)
+    if isinstance(regex, Union):
+        return any(nullable(part) for part in regex.parts)
+    raise TypeError(f"unknown regex node {regex!r}")
+
+
+def derivative(regex: Regex, symbol: Symbol) -> Regex:
+    """The Brzozowski derivative ``a⁻¹·L``, canonicalized."""
+    if isinstance(regex, (EmptySet, Epsilon)):
+        return EMPTY
+    if isinstance(regex, Lit):
+        return EPSILON if regex.symbol == symbol else EMPTY
+    if isinstance(regex, AnySym):
+        return EPSILON
+    if isinstance(regex, Union):
+        return union(tuple(derivative(part, symbol) for part in regex.parts))
+    if isinstance(regex, Concat):
+        head, tail = regex.parts[0], regex.parts[1:]
+        rest = concat(tail) if tail else EPSILON
+        first = concat((derivative(head, symbol), rest))
+        if nullable(head):
+            return union((first, derivative(rest, symbol)))
+        return first
+    if isinstance(regex, Star):
+        return concat((derivative(regex.inner, symbol), star(regex.inner)))
+    if isinstance(regex, Plus):
+        return concat((derivative(regex.inner, symbol), star(regex.inner)))
+    if isinstance(regex, Option):
+        return derivative(regex.inner, symbol)
+    raise TypeError(f"unknown regex node {regex!r}")
+
+
+def word_derivative(regex: Regex, word) -> Regex:
+    current = regex
+    for symbol in word:
+        current = derivative(current, symbol)
+    return current
+
+
+def matches(regex: Regex, word) -> bool:
+    """Membership by derivation — no automaton at all."""
+    return nullable(word_derivative(regex, word))
+
+
+def derivative_dfa(regex: Regex, alphabet: Alphabet) -> DFA:
+    """The deterministic automaton of canonical derivative terms.
+
+    Finite by Brzozowski's theorem (derivatives modulo similarity); states
+    are the distinct canonical terms, accepting iff nullable.
+    """
+    return DFA.build(
+        alphabet,
+        _canonical(regex),
+        lambda term, symbol: derivative(term, symbol),
+        nullable,
+    )
+
+
+def _canonical(regex: Regex) -> Regex:
+    """Push the input through the smart constructors once."""
+    if isinstance(regex, Union):
+        return union(tuple(_canonical(part) for part in regex.parts))
+    if isinstance(regex, Concat):
+        return concat(tuple(_canonical(part) for part in regex.parts))
+    if isinstance(regex, Star):
+        return star(_canonical(regex.inner))
+    if isinstance(regex, Plus):
+        inner = _canonical(regex.inner)
+        return concat((inner, star(inner)))
+    if isinstance(regex, Option):
+        return union((_canonical(regex.inner), EPSILON))
+    return regex

@@ -1,0 +1,147 @@
+"""Finitary properties ``Φ ⊆ Σ⁺`` with set algebra relative to ``Σ⁺``.
+
+The paper's finitary properties never contain the empty word, and their
+complement is taken with respect to ``Σ⁺``.  :class:`FinitaryLanguage`
+enforces both invariants on top of a minimized complete DFA, so the
+linguistic operators and closure laws can be stated exactly as in §2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.finitary.dfa import DFA
+from repro.finitary.regex import parse_regex
+from repro.words.alphabet import Alphabet, Symbol
+from repro.words.finite import FiniteWord
+
+
+def _reject_empty_word(dfa: DFA) -> DFA:
+    """Same language minus the empty word (fresh initial state if needed)."""
+    if dfa.initial not in dfa.accepting:
+        return dfa
+
+    def successor(state: int | str, symbol: Symbol) -> int:
+        concrete = dfa.initial if state == "fresh-initial" else state
+        return dfa.step(concrete, symbol)
+
+    def accepting(state: int | str) -> bool:
+        return state != "fresh-initial" and state in dfa.accepting
+
+    return DFA.build(dfa.alphabet, "fresh-initial", successor, accepting)
+
+
+class FinitaryLanguage:
+    """A regular language of non-empty finite words, canonically minimized."""
+
+    __slots__ = ("dfa",)
+
+    def __init__(self, dfa: DFA) -> None:
+        self.dfa = _reject_empty_word(dfa).minimized()
+
+    # ----------------------------------------------------------- constructors
+
+    @classmethod
+    def from_regex(cls, text: str, alphabet: Alphabet) -> FinitaryLanguage:
+        """Parse and compile; the empty word is silently dropped if denoted."""
+        return cls(parse_regex(text).to_dfa(alphabet))
+
+    @classmethod
+    def from_words(cls, alphabet: Alphabet, words: Iterable[FiniteWord]) -> FinitaryLanguage:
+        result = DFA.empty_language(alphabet)
+        for word in words:
+            result = result.union(DFA.from_word(alphabet, word))
+        return cls(result)
+
+    @classmethod
+    def everything(cls, alphabet: Alphabet) -> FinitaryLanguage:
+        """``Σ⁺``."""
+        return cls.from_regex(".+", alphabet)
+
+    @classmethod
+    def nothing(cls, alphabet: Alphabet) -> FinitaryLanguage:
+        return cls(DFA.empty_language(alphabet))
+
+    # ------------------------------------------------------------- membership
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return self.dfa.alphabet
+
+    def __contains__(self, word: FiniteWord) -> bool:
+        return len(word) > 0 and self.dfa.accepts(word)
+
+    def words(self, max_length: int) -> Iterator[FiniteWord]:
+        return self.dfa.accepted_words(max_length)
+
+    def is_empty(self) -> bool:
+        return self.dfa.is_empty()
+
+    def is_everything(self) -> bool:
+        """True when the language is all of ``Σ⁺``."""
+        return self.complement().is_empty()
+
+    # -------------------------------------------------------------- algebra
+
+    def union(self, other: FinitaryLanguage) -> FinitaryLanguage:
+        return FinitaryLanguage(self.dfa.union(other.dfa))
+
+    def intersection(self, other: FinitaryLanguage) -> FinitaryLanguage:
+        return FinitaryLanguage(self.dfa.intersection(other.dfa))
+
+    def difference(self, other: FinitaryLanguage) -> FinitaryLanguage:
+        return FinitaryLanguage(self.dfa.difference(other.dfa))
+
+    def complement(self) -> FinitaryLanguage:
+        """``Σ⁺ − Φ`` (the constructor re-rejects the empty word)."""
+        return FinitaryLanguage(self.dfa.complement())
+
+    def __or__(self, other: FinitaryLanguage) -> FinitaryLanguage:
+        return self.union(other)
+
+    def __and__(self, other: FinitaryLanguage) -> FinitaryLanguage:
+        return self.intersection(other)
+
+    def __sub__(self, other: FinitaryLanguage) -> FinitaryLanguage:
+        return self.difference(other)
+
+    def __invert__(self) -> FinitaryLanguage:
+        return self.complement()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FinitaryLanguage):
+            return NotImplemented
+        return self.dfa.equivalent_to(other.dfa)
+
+    def __hash__(self) -> int:  # languages are compared, not hashed, in anger
+        return hash((self.alphabet, self.dfa.num_states, self.dfa.accepting))
+
+    def __le__(self, other: FinitaryLanguage) -> bool:
+        return self.difference(other).is_empty()
+
+    def __lt__(self, other: FinitaryLanguage) -> bool:
+        return self <= other and self != other
+
+    def __repr__(self) -> str:
+        sample = self.dfa.shortest_accepted()
+        return f"FinitaryLanguage(states={self.dfa.num_states}, shortest={sample!r})"
+
+    # ------------------------------------------------- paper's §2 operators
+
+    def af(self) -> FinitaryLanguage:
+        """``A_f(Φ)``: finite words all of whose non-empty prefixes are in Φ."""
+        from repro.finitary.operators import af
+
+        return af(self)
+
+    def ef(self) -> FinitaryLanguage:
+        """``E_f(Φ) = Φ·Σ*``: finite words with some prefix in Φ."""
+        from repro.finitary.operators import ef
+
+        return ef(self)
+
+    def minex(self, other: FinitaryLanguage) -> FinitaryLanguage:
+        """``minex(Φ, other)``: minimal proper ``other``-extensions of Φ-words."""
+        from repro.finitary.operators import minex
+
+        return minex(self, other)

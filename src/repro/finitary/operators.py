@@ -1,0 +1,95 @@
+"""The paper's finitary operators as DFA constructions (§2).
+
+* ``A_f(Φ)`` — words all of whose non-empty prefixes belong to Φ;
+* ``E_f(Φ) = Φ·Σ*`` — words with at least one prefix in Φ;
+* ``minex(Φ₁, Φ₂)`` — minimal proper Φ₂-extensions of Φ₁-words, the key to
+  the closure of the recurrence class under intersection:
+  ``R(Φ₁) ∩ R(Φ₂) = R(minex(Φ₁, Φ₂))``;
+* ``prefix_extendable`` — the states from which acceptance is reachable,
+  used to compute prefix languages.
+"""
+
+from __future__ import annotations
+
+from repro.finitary.dfa import DFA
+from repro.finitary.language import FinitaryLanguage
+from repro.words.alphabet import Symbol
+
+
+def af(phi: FinitaryLanguage) -> FinitaryLanguage:
+    """``A_f(Φ)``.
+
+    Simulate Φ's DFA but fall into a permanent trap the first time a proper
+    or full prefix leaves Φ; a word is accepted iff the run never trapped
+    and ends accepting — i.e. iff every non-empty prefix is in Φ.
+    """
+    dfa = phi.dfa
+    trap = "af-trap"
+
+    def successor(state: int | str, symbol: Symbol) -> int | str:
+        if state == trap:
+            return trap
+        target = dfa.step(state, symbol)
+        return target if target in dfa.accepting else trap
+
+    return FinitaryLanguage(
+        DFA.build(dfa.alphabet, dfa.initial, successor, lambda s: s != trap and s in dfa.accepting)
+    )
+
+
+def ef(phi: FinitaryLanguage) -> FinitaryLanguage:
+    """``E_f(Φ) = Φ·Σ*``: latch acceptance the first time Φ is entered."""
+    dfa = phi.dfa
+    sink = "ef-sink"
+
+    def successor(state: int | str, symbol: Symbol) -> int | str:
+        if state == sink:
+            return sink
+        target = dfa.step(state, symbol)
+        return sink if target in dfa.accepting else target
+
+    return FinitaryLanguage(DFA.build(dfa.alphabet, dfa.initial, successor, lambda s: s == sink))
+
+
+def minex(phi1: FinitaryLanguage, phi2: FinitaryLanguage) -> FinitaryLanguage:
+    """``minex(Φ₁, Φ₂)`` (§2, closure of the recurrence class).
+
+    ``σ ∈ minex(Φ₁, Φ₂)`` iff ``σ ∈ Φ₂`` and some proper prefix ``σ₁ ∈ Φ₁``
+    has no Φ₂-word strictly between ``σ₁`` and ``σ``.
+
+    The product DFA tracks, besides both component states, two booleans:
+
+    * ``fresh``  — after reading ``t`` symbols: some prefix ``σ₁ ⪯`` the
+      current word lies in Φ₁ with no Φ₂-prefix strictly after it;
+    * ``armed`` — the value ``fresh`` had one symbol ago, which is exactly
+      the acceptance condition once the final symbol lands in Φ₂.
+    """
+    d1, d2 = phi1.dfa, phi2.dfa
+    if not d1.alphabet.is_compatible_with(d2.alphabet):
+        raise ValueError("minex of languages over different alphabets")
+
+    State = tuple[int, int, bool, bool]
+    initial: State = (d1.initial, d2.initial, False, False)
+
+    def successor(state: State, symbol: Symbol) -> State:
+        q1, q2, fresh, _armed = state
+        n1, n2 = d1.step(q1, symbol), d2.step(q2, symbol)
+        new_fresh = (n1 in d1.accepting) or (fresh and n2 not in d2.accepting)
+        return (n1, n2, new_fresh, fresh)
+
+    def accepting(state: State) -> bool:
+        _q1, q2, _fresh, armed = state
+        return q2 in d2.accepting and armed
+
+    return FinitaryLanguage(DFA.build(d1.alphabet, initial, successor, accepting))
+
+
+def prefix_extendable(dfa: DFA) -> DFA:
+    """Same structure, accepting exactly at states that can still reach acceptance.
+
+    Applied to a DFA for Φ this recognizes ``Pref(E_f(Φ))``-style prefix
+    languages; applied to the transition core of a deterministic ω-automaton
+    (with the residual-nonempty states as targets) it yields ``Pref(Π)``.
+    """
+    live = dfa.coreachable_states()
+    return dfa.map_accepting(lambda state: state in live)

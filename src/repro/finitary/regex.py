@@ -1,0 +1,245 @@
+"""Regular expressions: AST, parser, and Thompson construction.
+
+Syntax (ASCII rendition of the paper's notation):
+
+* single-character symbols: ``a``, ``b``, …  (must belong to the alphabet)
+* ``.``  — any symbol (the paper's ``Σ``)
+* juxtaposition — concatenation
+* ``|``  — union (the paper writes ``+`` between words; here ``+`` is postfix)
+* ``*`` / ``+`` / ``?`` — postfix star, plus, option
+* ``()`` — grouping, ``0`` — the empty language, ``1`` — the empty word
+
+So the paper's ``a⁺b*`` is written ``a+b*`` and its ``a + b`` is ``a|b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.finitary.dfa import DFA
+from repro.finitary.nfa import NFA
+from repro.words.alphabet import Alphabet, Symbol
+
+
+class Regex:
+    """Base class of regular-expression AST nodes."""
+
+    __slots__ = ()
+
+    def __or__(self, other: Regex) -> Regex:
+        return Union((self, other))
+
+    def __add__(self, other: Regex) -> Regex:
+        return Concat((self, other))
+
+    def star(self) -> Regex:
+        return Star(self)
+
+    def plus(self) -> Regex:
+        return Plus(self)
+
+    def optional(self) -> Regex:
+        return Option(self)
+
+    def to_nfa(self, alphabet: Alphabet) -> NFA:
+        return regex_to_nfa(self, alphabet)
+
+    def to_dfa(self, alphabet: Alphabet) -> DFA:
+        return regex_to_nfa(self, alphabet).determinize().minimized()
+
+
+@dataclass(frozen=True, slots=True)
+class EmptySet(Regex):
+    def __repr__(self) -> str:
+        return "0"
+
+
+@dataclass(frozen=True, slots=True)
+class Epsilon(Regex):
+    def __repr__(self) -> str:
+        return "1"
+
+
+@dataclass(frozen=True, slots=True)
+class Lit(Regex):
+    symbol: Symbol
+
+    def __repr__(self) -> str:
+        return str(self.symbol)
+
+
+@dataclass(frozen=True, slots=True)
+class AnySym(Regex):
+    def __repr__(self) -> str:
+        return "."
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(Regex):
+    parts: tuple[Regex, ...]
+
+    def __repr__(self) -> str:
+        return "".join(_wrap(p, for_concat=True) for p in self.parts)
+
+
+@dataclass(frozen=True, slots=True)
+class Union(Regex):
+    parts: tuple[Regex, ...]
+
+    def __repr__(self) -> str:
+        return "|".join(repr(p) for p in self.parts)
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Regex):
+    inner: Regex
+
+    def __repr__(self) -> str:
+        return f"{_wrap(self.inner)}*"
+
+
+@dataclass(frozen=True, slots=True)
+class Plus(Regex):
+    inner: Regex
+
+    def __repr__(self) -> str:
+        return f"{_wrap(self.inner)}+"
+
+
+@dataclass(frozen=True, slots=True)
+class Option(Regex):
+    inner: Regex
+
+    def __repr__(self) -> str:
+        return f"{_wrap(self.inner)}?"
+
+
+def _wrap(node: Regex, *, for_concat: bool = False) -> str:
+    needs = isinstance(node, Union) or (for_concat and isinstance(node, Concat))
+    if isinstance(node, (Concat, Union)) and not for_concat:
+        needs = True
+    return f"({node!r})" if needs else repr(node)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.text[self.pos] if self.pos < len(self.text) else None
+
+    def take(self) -> str:
+        char = self.text[self.pos]
+        self.pos += 1
+        return char
+
+    def parse(self) -> Regex:
+        node = self.union()
+        if self.pos != len(self.text):
+            raise ParseError(f"unexpected {self.peek()!r}", self.pos)
+        return node
+
+    def union(self) -> Regex:
+        parts = [self.concat()]
+        while self.peek() == "|":
+            self.take()
+            parts.append(self.concat())
+        return parts[0] if len(parts) == 1 else Union(tuple(parts))
+
+    def concat(self) -> Regex:
+        parts: list[Regex] = []
+        while (char := self.peek()) is not None and char not in ")|":
+            parts.append(self.postfix())
+        if not parts:
+            return Epsilon()
+        return parts[0] if len(parts) == 1 else Concat(tuple(parts))
+
+    def postfix(self) -> Regex:
+        node = self.atom()
+        while (char := self.peek()) in ("*", "+", "?"):
+            self.take()
+            node = {"*": Star, "+": Plus, "?": Option}[char](node)
+        return node
+
+    def atom(self) -> Regex:
+        char = self.peek()
+        if char is None:
+            raise ParseError("unexpected end of expression", self.pos)
+        if char == "(":
+            self.take()
+            node = self.union()
+            if self.peek() != ")":
+                raise ParseError("expected ')'", self.pos)
+            self.take()
+            return node
+        if char in "*+?)":
+            raise ParseError(f"misplaced {char!r}", self.pos)
+        self.take()
+        if char == ".":
+            return AnySym()
+        if char == "0":
+            return EmptySet()
+        if char == "1":
+            return Epsilon()
+        return Lit(char)
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse the ASCII regular-expression syntax described in the module docstring."""
+    return _Parser(text.replace(" ", "")).parse()
+
+
+def regex_to_nfa(regex: Regex, alphabet: Alphabet) -> NFA:
+    """Thompson's construction: one fresh (start, end) state pair per node."""
+    transitions: dict[tuple[int, Symbol], set[int]] = {}
+    epsilon: dict[int, set[int]] = {}
+    counter = 0
+
+    def fresh() -> int:
+        nonlocal counter
+        counter += 1
+        return counter - 1
+
+    def eps(src: int, dst: int) -> None:
+        epsilon.setdefault(src, set()).add(dst)
+
+    def compile_node(node: Regex) -> tuple[int, int]:
+        start, end = fresh(), fresh()
+        if isinstance(node, EmptySet):
+            pass
+        elif isinstance(node, Epsilon):
+            eps(start, end)
+        elif isinstance(node, Lit):
+            alphabet.require(node.symbol)
+            transitions.setdefault((start, node.symbol), set()).add(end)
+        elif isinstance(node, AnySym):
+            for symbol in alphabet:
+                transitions.setdefault((start, symbol), set()).add(end)
+        elif isinstance(node, Concat):
+            previous = start
+            for part in node.parts:
+                sub_start, sub_end = compile_node(part)
+                eps(previous, sub_start)
+                previous = sub_end
+            eps(previous, end)
+        elif isinstance(node, Union):
+            for part in node.parts:
+                sub_start, sub_end = compile_node(part)
+                eps(start, sub_start)
+                eps(sub_end, end)
+        elif isinstance(node, (Star, Plus, Option)):
+            sub_start, sub_end = compile_node(node.inner)
+            eps(start, sub_start)
+            eps(sub_end, end)
+            if isinstance(node, (Star, Plus)):
+                eps(sub_end, sub_start)
+            if isinstance(node, (Star, Option)):
+                eps(start, end)
+        else:  # pragma: no cover - exhaustive over the AST
+            raise TypeError(f"unknown regex node {node!r}")
+        return start, end
+
+    start, end = compile_node(regex)
+    return NFA(alphabet, counter, transitions, [start], [end], epsilon)

@@ -1,0 +1,277 @@
+"""Abstract syntax of linear temporal logic with past (§4).
+
+Future operators: ``X`` (next), ``U`` (until), ``W`` (unless / weak until),
+``R`` (release), ``F`` (eventually), ``G`` (henceforth).
+Past operators: ``Y`` (previous), ``Z`` (weak previous), ``S`` (since),
+``O`` (once), ``H`` (historically).
+
+Nodes are immutable and hashable; helper constructors build the derived
+operators the paper lists (entailment, weak since, ``first``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Formula:
+    """Base class for all temporal formulae."""
+
+    __slots__ = ()
+
+    # Convenience operator overloading for building formulae in code.
+    def __and__(self, other: Formula) -> Formula:
+        return And((self, other))
+
+    def __or__(self, other: Formula) -> Formula:
+        return Or((self, other))
+
+    def __invert__(self) -> Formula:
+        return Not(self)
+
+    def implies(self, other: Formula) -> Formula:
+        return Or((Not(self), other))
+
+    # ------------------------------------------------------------- structure
+
+    def children(self) -> tuple[Formula, ...]:
+        if isinstance(self, (Prop, TrueConst, FalseConst)):
+            return ()
+        if isinstance(self, (And, Or)):
+            return self.operands
+        if isinstance(self, (Not, Next, Eventually, Always, Previous, WeakPrevious, Once, Historically)):
+            return (self.operand,)
+        if isinstance(self, (Until, Unless, Release, Since)):
+            return (self.left, self.right)
+        raise TypeError(f"unknown formula node {type(self).__name__}")
+
+    def subformulas(self) -> list[Formula]:
+        """All distinct subformulas, children before parents."""
+        seen: dict[Formula, None] = {}
+
+        def walk(node: Formula) -> None:
+            if node in seen:
+                return
+            for child in node.children():
+                walk(child)
+            seen[node] = None
+
+        walk(self)
+        return list(seen)
+
+    def propositions(self) -> frozenset[str]:
+        return frozenset(n.name for n in self.subformulas() if isinstance(n, Prop))
+
+    # ------------------------------------------------------ fragment queries
+
+    def is_state_formula(self) -> bool:
+        """No temporal operators at all (an assertion)."""
+        return all(
+            isinstance(n, (Prop, TrueConst, FalseConst, Not, And, Or)) for n in self.subformulas()
+        )
+
+    def is_past_formula(self) -> bool:
+        """No future operators (state formulae count as past formulae)."""
+        return not any(
+            isinstance(n, (Next, Until, Unless, Release, Eventually, Always))
+            for n in self.subformulas()
+        )
+
+    def is_future_formula(self) -> bool:
+        """No past operators."""
+        return not any(
+            isinstance(n, (Previous, WeakPrevious, Since, Once, Historically))
+            for n in self.subformulas()
+        )
+
+    def has_future_inside_past(self) -> bool:
+        """Does a past operator govern a future operator?  (Unsupported by
+        the translators; the paper's normal forms never need it.)"""
+        past_nodes = (Previous, WeakPrevious, Since, Once, Historically)
+        for node in self.subformulas():
+            if isinstance(node, past_nodes):
+                if not node.is_past_formula():
+                    return True
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class Prop(Formula):
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class TrueConst(Formula):
+    def __repr__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True, slots=True)
+class FalseConst(Formula):
+    def __repr__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Formula):
+    operand: Formula
+
+    def __repr__(self) -> str:
+        return f"!{_wrap(self.operand)}"
+
+
+@dataclass(frozen=True, slots=True)
+class And(Formula):
+    operands: tuple[Formula, ...]
+
+    def __repr__(self) -> str:
+        return " & ".join(_wrap(op) for op in self.operands)
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Formula):
+    operands: tuple[Formula, ...]
+
+    def __repr__(self) -> str:
+        return " | ".join(_wrap(op) for op in self.operands)
+
+
+# ------------------------------------------------------------------- future
+
+
+@dataclass(frozen=True, slots=True)
+class Next(Formula):
+    operand: Formula
+
+    def __repr__(self) -> str:
+        return f"X {_wrap(self.operand)}"
+
+
+@dataclass(frozen=True, slots=True)
+class Until(Formula):
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} U {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Unless(Formula):
+    """Weak until: ``p W q = □p ∨ (p U q)`` (the paper's *unless*)."""
+
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} W {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Release(Formula):
+    """``p R q`` — the dual of until: q holds up to and including the first p."""
+
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} R {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Eventually(Formula):
+    operand: Formula
+
+    def __repr__(self) -> str:
+        return f"F {_wrap(self.operand)}"
+
+
+@dataclass(frozen=True, slots=True)
+class Always(Formula):
+    operand: Formula
+
+    def __repr__(self) -> str:
+        return f"G {_wrap(self.operand)}"
+
+
+# --------------------------------------------------------------------- past
+
+
+@dataclass(frozen=True, slots=True)
+class Previous(Formula):
+    """``⊖p``: there is a previous position and p held there."""
+
+    operand: Formula
+
+    def __repr__(self) -> str:
+        return f"Y {_wrap(self.operand)}"
+
+
+@dataclass(frozen=True, slots=True)
+class WeakPrevious(Formula):
+    """``~⊖p``: if there is a previous position then p held there."""
+
+    operand: Formula
+
+    def __repr__(self) -> str:
+        return f"Z {_wrap(self.operand)}"
+
+
+@dataclass(frozen=True, slots=True)
+class Since(Formula):
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} S {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Once(Formula):
+    operand: Formula
+
+    def __repr__(self) -> str:
+        return f"O {_wrap(self.operand)}"
+
+
+@dataclass(frozen=True, slots=True)
+class Historically(Formula):
+    operand: Formula
+
+    def __repr__(self) -> str:
+        return f"H {_wrap(self.operand)}"
+
+
+def _wrap(node: Formula) -> str:
+    if isinstance(node, (Prop, TrueConst, FalseConst, Not, Next, Eventually, Always,
+                         Previous, WeakPrevious, Once, Historically)):
+        return repr(node)
+    return f"({node!r})"
+
+
+# -------------------------------------------------------- derived operators
+
+TRUE = TrueConst()
+FALSE = FalseConst()
+
+
+def prop(name: str) -> Prop:
+    return Prop(name)
+
+
+def weak_since(left: Formula, right: Formula) -> Formula:
+    """``p S̃ q = ■p ∨ (p S q)`` — the paper's weak since."""
+    return Or((Historically(left), Since(left, right)))
+
+
+def first() -> Formula:
+    """``¬⊖true`` — holds exactly at the initial position."""
+    return Not(Previous(TRUE))
+
+
+def entails(left: Formula, right: Formula) -> Formula:
+    """``p ⇒ q  ≡  □(p → q)`` — the paper's entailment."""
+    return Always(left.implies(right))

@@ -1,0 +1,256 @@
+"""Syntactic classification of formulae (§4).
+
+Two layers:
+
+* **Normal forms** — exact recognizers for the paper's canonical shapes
+  ``□p``, ``◇p``, ``⋀(□pᵢ ∨ ◇qᵢ)``, ``□◇p``, ``◇□p``, ``⋀(□◇pᵢ ∨ ◇□qᵢ)``
+  with pure-past bodies, including the conjunct counts that grade the
+  obligation and reactivity subhierarchies.
+* **Syntactic fragments** — a sound, compositional grammar assigning every
+  formula the set of classes it *syntactically* guarantees (the standard
+  future-fragment rules: safety is closed under ∧,∨,X,W,R,G; guarantee
+  under ∧,∨,X,U,F; recurrence additionally under G, W, R and □◇ of
+  guarantee; persistence dually under F, U and ◇□ of safety; pure-past
+  subformulae belong to every class).  Membership is sound but not
+  complete — the semantic classifier (``repro.core``) is authoritative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classes import TemporalClass
+from repro.logic.ast import (
+    Always,
+    And,
+    Eventually,
+    FalseConst,
+    Formula,
+    Next,
+    Not,
+    Or,
+    Prop,
+    Release,
+    TrueConst,
+    Unless,
+    Until,
+)
+
+# ---------------------------------------------------------------------------
+# Normal forms
+# ---------------------------------------------------------------------------
+
+
+def is_safety_formula(formula: Formula) -> bool:
+    """``□p`` with p a past formula."""
+    return isinstance(formula, Always) and formula.operand.is_past_formula()
+
+
+def is_guarantee_formula(formula: Formula) -> bool:
+    """``◇p`` with p a past formula."""
+    return isinstance(formula, Eventually) and formula.operand.is_past_formula()
+
+
+def is_simple_obligation_formula(formula: Formula) -> bool:
+    """``□p ∨ ◇q`` (either disjunct may be missing)."""
+    if is_safety_formula(formula) or is_guarantee_formula(formula):
+        return True
+    if not isinstance(formula, Or):
+        return False
+    return all(is_safety_formula(op) or is_guarantee_formula(op) for op in formula.operands)
+
+
+def obligation_form_degree(formula: Formula) -> int | None:
+    """``n`` when the formula is literally ``⋀ᵢ₌₁ⁿ (□pᵢ ∨ ◇qᵢ)``, else None."""
+    conjuncts = formula.operands if isinstance(formula, And) else (formula,)
+    if all(is_simple_obligation_formula(c) for c in conjuncts):
+        return len(conjuncts)
+    return None
+
+
+def is_obligation_formula(formula: Formula) -> bool:
+    return obligation_form_degree(formula) is not None
+
+
+def is_recurrence_formula(formula: Formula) -> bool:
+    """``□◇p`` with p a past formula."""
+    return (
+        isinstance(formula, Always)
+        and isinstance(formula.operand, Eventually)
+        and formula.operand.operand.is_past_formula()
+    )
+
+
+def is_persistence_formula(formula: Formula) -> bool:
+    """``◇□p`` with p a past formula."""
+    return (
+        isinstance(formula, Eventually)
+        and isinstance(formula.operand, Always)
+        and formula.operand.operand.is_past_formula()
+    )
+
+
+def is_simple_reactivity_formula(formula: Formula) -> bool:
+    """``□◇p ∨ ◇□q`` (either disjunct may be missing)."""
+    if is_recurrence_formula(formula) or is_persistence_formula(formula):
+        return True
+    if not isinstance(formula, Or):
+        return False
+    return all(
+        is_recurrence_formula(op) or is_persistence_formula(op) for op in formula.operands
+    )
+
+
+def reactivity_form_degree(formula: Formula) -> int | None:
+    """``n`` when the formula is literally ``⋀ᵢ₌₁ⁿ (□◇pᵢ ∨ ◇□qᵢ)``, else None."""
+    conjuncts = formula.operands if isinstance(formula, And) else (formula,)
+    if all(is_simple_reactivity_formula(c) for c in conjuncts):
+        return len(conjuncts)
+    return None
+
+
+def is_reactivity_formula(formula: Formula) -> bool:
+    return reactivity_form_degree(formula) is not None
+
+
+def normal_form_class(formula: Formula) -> TemporalClass | None:
+    """The lowest class whose *normal form* the formula literally matches."""
+    if is_safety_formula(formula):
+        return TemporalClass.SAFETY
+    if is_guarantee_formula(formula):
+        return TemporalClass.GUARANTEE
+    if is_obligation_formula(formula):
+        return TemporalClass.OBLIGATION
+    if is_recurrence_formula(formula):
+        return TemporalClass.RECURRENCE
+    if is_persistence_formula(formula):
+        return TemporalClass.PERSISTENCE
+    if is_reactivity_formula(formula):
+        return TemporalClass.REACTIVITY
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Syntactic fragments
+# ---------------------------------------------------------------------------
+
+_S = TemporalClass.SAFETY
+_G = TemporalClass.GUARANTEE
+_O = TemporalClass.OBLIGATION
+_R = TemporalClass.RECURRENCE
+_P = TemporalClass.PERSISTENCE
+_X = TemporalClass.REACTIVITY
+
+_ALL = frozenset(TemporalClass)
+
+
+def _up(classes: frozenset[TemporalClass]) -> frozenset[TemporalClass]:
+    """Upward closure in the Figure-1 lattice, with reactivity as baseline."""
+    result = {_X}
+    for held in classes:
+        for candidate in TemporalClass:
+            if candidate.includes(held):
+                result.add(candidate)
+    return frozenset(result)
+
+
+def syntactic_classes(formula: Formula) -> frozenset[TemporalClass]:
+    """The set of classes the formula syntactically belongs to (sound)."""
+    if formula.is_past_formula():
+        return _ALL
+
+    def combine_positive(parts: list[frozenset[TemporalClass]]) -> frozenset[TemporalClass]:
+        # every class is closed under finite ∧ and ∨
+        shared = _ALL
+        for part in parts:
+            shared &= part
+        return _up(shared)
+
+    if isinstance(formula, (And, Or)):
+        return combine_positive([syntactic_classes(op) for op in formula.operands])
+    if isinstance(formula, Not):
+        inner = syntactic_classes(formula.operand)
+        return _up(frozenset(c.dual() for c in inner))
+    if isinstance(formula, Next):
+        return syntactic_classes(formula.operand)
+    if isinstance(formula, Eventually):
+        inner = syntactic_classes(formula.operand)
+        result = set()
+        if _G in inner:
+            result.add(_G)
+        if _P in inner:
+            result.add(_P)
+        return _up(frozenset(result))
+    if isinstance(formula, Always):
+        inner = syntactic_classes(formula.operand)
+        result = set()
+        if _S in inner:
+            result.add(_S)
+        if _R in inner:
+            result.add(_R)
+        return _up(frozenset(result))
+    if isinstance(formula, Until):
+        left, right = syntactic_classes(formula.left), syntactic_classes(formula.right)
+        result = set()
+        if _G in left and _G in right:
+            result.add(_G)
+        if _P in left and _P in right:
+            result.add(_P)
+        return _up(frozenset(result))
+    if isinstance(formula, (Unless, Release)):
+        left, right = syntactic_classes(formula.left), syntactic_classes(formula.right)
+        result = set()
+        if _S in left and _S in right:
+            result.add(_S)
+        if _R in left and _R in right:
+            result.add(_R)
+        return _up(frozenset(result))
+    if isinstance(formula, (Prop, TrueConst, FalseConst)):
+        return _ALL
+    # A past operator with future inside: no syntactic guarantee beyond ω-regularity.
+    return _up(frozenset())
+
+
+def syntactic_class(formula: Formula) -> TemporalClass:
+    """The canonical lowest syntactic class (safety before guarantee, then up)."""
+    held = syntactic_classes(formula)
+    for candidate in (
+        TemporalClass.SAFETY,
+        TemporalClass.GUARANTEE,
+        TemporalClass.OBLIGATION,
+        TemporalClass.RECURRENCE,
+        TemporalClass.PERSISTENCE,
+        TemporalClass.REACTIVITY,
+    ):
+        if candidate in held:
+            return candidate
+    raise AssertionError("reactivity is always present")
+
+
+@dataclass(frozen=True, slots=True)
+class SyntacticVerdict:
+    """Bundle of the two syntactic layers for one formula."""
+
+    normal_form: TemporalClass | None
+    fragment_classes: frozenset[TemporalClass]
+
+    @property
+    def fragment_class(self) -> TemporalClass:
+        for candidate in (
+            TemporalClass.SAFETY,
+            TemporalClass.GUARANTEE,
+            TemporalClass.OBLIGATION,
+            TemporalClass.RECURRENCE,
+            TemporalClass.PERSISTENCE,
+            TemporalClass.REACTIVITY,
+        ):
+            if candidate in self.fragment_classes:
+                return candidate
+        raise AssertionError("reactivity is always present")
+
+
+def analyze_syntax(formula: Formula) -> SyntacticVerdict:
+    return SyntacticVerdict(
+        normal_form=normal_form_class(formula),
+        fragment_classes=syntactic_classes(formula),
+    )

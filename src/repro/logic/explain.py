@@ -1,0 +1,135 @@
+"""Witness explanations: *why* a formula holds or fails on a word.
+
+Built on the full evaluation table, :func:`explain` produces a recursive
+explanation tree whose leaves point at concrete positions — the witness of
+an ◇/U, the counterexample of a □, the failing operand of an ∧.  The tree
+renders as an indented report, the natural companion of a model-checking
+counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.logic.ast import (
+    Always,
+    And,
+    Eventually,
+    FalseConst,
+    Formula,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueConst,
+    Unless,
+    Until,
+)
+from repro.logic.semantics import EvaluationTable, evaluation_table
+from repro.words.lasso import LassoWord
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """One node of the explanation tree."""
+
+    formula: Formula
+    position: int
+    holds: bool
+    reason: str
+    children: tuple["Explanation", ...] = field(default=())
+
+    def render(self, indent: int = 0) -> str:
+        mark = "✓" if self.holds else "✗"
+        lines = [f"{'  ' * indent}{mark} @{self.position}  {self.formula!r} — {self.reason}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+def explain(formula: Formula, lasso: LassoWord, position: int = 0, *, depth: int = 4) -> Explanation:
+    """An explanation of ``(σ, position) ⊨ φ`` (or its failure)."""
+    table = evaluation_table(formula, lasso)
+    return _explain(table, formula, table.fold(position), depth)
+
+
+def _scan_positions(table: EvaluationTable, start: int) -> list[int]:
+    """The folded positions reachable from ``start`` (start, …, then cycle)."""
+    positions = []
+    current = start
+    seen = set()
+    while current not in seen:
+        seen.add(current)
+        positions.append(current)
+        current = table.successor(current)
+    return positions
+
+
+def _explain(table: EvaluationTable, formula: Formula, position: int, depth: int) -> Explanation:
+    value = table.value(formula, position)
+    if depth == 0 or formula.is_past_formula():
+        reason = "holds here" if value else "fails here"
+        if formula.is_past_formula() and not formula.is_state_formula():
+            reason += " (past-determined by the prefix)"
+        return Explanation(formula, position, value, reason)
+
+    def sub(node: Formula, at: int) -> Explanation:
+        return _explain(table, node, at, depth - 1)
+
+    if isinstance(formula, Not):
+        child = sub(formula.operand, position)
+        return Explanation(formula, position, value, "negation", (child,))
+    if isinstance(formula, And):
+        if value:
+            return Explanation(formula, position, True, "all conjuncts hold",
+                               tuple(sub(op, position) for op in formula.operands))
+        failing = next(op for op in formula.operands if not table.value(op, position))
+        return Explanation(formula, position, False, "a conjunct fails", (sub(failing, position),))
+    if isinstance(formula, Or):
+        if value:
+            witness = next(op for op in formula.operands if table.value(op, position))
+            return Explanation(formula, position, True, "a disjunct holds", (sub(witness, position),))
+        return Explanation(formula, position, False, "every disjunct fails",
+                           tuple(sub(op, position) for op in formula.operands))
+    if isinstance(formula, Next):
+        target = table.successor(position)
+        return Explanation(formula, position, value, f"looks at position {target}",
+                           (sub(formula.operand, target),))
+    if isinstance(formula, (Eventually, Until)):
+        operand = formula.operand if isinstance(formula, Eventually) else formula.right
+        if value:
+            witness = next(
+                j for j in _scan_positions(table, position) if table.value(operand, j)
+            )
+            reason = f"witness at position {witness}"
+            children = [sub(operand, witness)]
+            if isinstance(formula, Until):
+                reason += f" (left operand holds on the way)"
+            return Explanation(formula, position, True, reason, tuple(children))
+        if isinstance(formula, Until):
+            # failure: either the left breaks before any right, or no right.
+            for j in _scan_positions(table, position):
+                if table.value(formula.right, j):
+                    break
+                if not table.value(formula.left, j):
+                    return Explanation(formula, position, False,
+                                       f"left operand breaks at {j} before any witness",
+                                       (sub(formula.left, j),))
+            return Explanation(formula, position, False, "no witness ever", ())
+        return Explanation(formula, position, False, "no witness ever (incl. the loop)", ())
+    if isinstance(formula, (Always, Unless, Release)):
+        operand = formula.operand if isinstance(formula, Always) else formula.right
+        if isinstance(formula, Always):
+            if value:
+                return Explanation(formula, position, True, "holds at every position onward", ())
+            violation = next(
+                j for j in _scan_positions(table, position) if not table.value(operand, j)
+            )
+            return Explanation(formula, position, False,
+                               f"violated at position {violation}", (sub(operand, violation),))
+        # weak forms: report the overall verdict with the governing operand.
+        reason = "holds (weak obligation met)" if value else "fails"
+        return Explanation(formula, position, value, reason, (sub(operand, position),))
+    if isinstance(formula, (TrueConst, FalseConst)):
+        return Explanation(formula, position, value, "constant", ())
+    return Explanation(formula, position, value, "holds here" if value else "fails here", ())

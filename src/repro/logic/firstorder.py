@@ -1,0 +1,98 @@
+"""The first-order view of the four operators (§2, "Expression by a First
+Order Language").
+
+The paper characterizes ``O(Φ)`` for ``O ∈ {A, E, R, P}`` by first-order
+formulas over the prefix order with one unary predicate::
+
+    χ_A(σ):  ∀σ′ ≺ σ . Φ(σ′)
+    χ_E(σ):  ∃σ′ ≺ σ . Φ(σ′)
+    χ_R(σ):  ∀σ′ ≺ σ . ∃σ″ (σ′ ≺ σ″ ≺ σ) . Φ(σ″)
+    χ_P(σ):  ∃σ′ ≺ σ . ∀σ″ (σ′ ≺ σ″ ≺ σ) . Φ(σ″)
+
+On an ultimately-periodic word the predicate profile ``k ↦ [σ[0..k] ∈ Φ]``
+is itself ultimately periodic (it is computed by Φ's DFA), so the
+quantifiers are decided exactly from the profile's transient part and one
+cycle.  :func:`satisfies_chi` evaluates the four formulas; the test suite
+verifies the paper's equivalence ``σ ∈ O(Φ) ⟺ ⊨ χ_O^Φ(σ)`` against the
+automaton constructions of :mod:`repro.omega.linguistic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.finitary.language import FinitaryLanguage
+from repro.words.lasso import LassoWord
+
+
+@dataclass(frozen=True, slots=True)
+class PrefixProfile:
+    """The ultimately periodic membership sequence of σ's prefixes in Φ.
+
+    ``transient[i]`` is the verdict for the prefix of length ``i+1`` for
+    ``i < len(transient)``; afterwards the verdicts repeat ``cycle``.
+    """
+
+    transient: tuple[bool, ...]
+    cycle: tuple[bool, ...]
+
+    def value(self, index: int) -> bool:
+        """Verdict for the prefix of length ``index + 1``."""
+        if index < len(self.transient):
+            return self.transient[index]
+        return self.cycle[(index - len(self.transient)) % len(self.cycle)]
+
+    def always(self) -> bool:
+        return all(self.transient) and all(self.cycle)
+
+    def eventually(self) -> bool:
+        return any(self.transient) or any(self.cycle)
+
+    def infinitely_often(self) -> bool:
+        return any(self.cycle)
+
+    def almost_always(self) -> bool:
+        return all(self.cycle)
+
+
+def prefix_profile(phi: FinitaryLanguage, lasso: LassoWord) -> PrefixProfile:
+    """Run Φ's DFA over the lasso until the (loop offset, state) pair repeats."""
+    dfa = phi.dfa
+    state = dfa.initial
+    flags: list[bool] = []
+    seen: dict[tuple[int, int], int] = {}
+    position = 0
+    stem, loop = len(lasso.stem), len(lasso.loop)
+    while True:
+        if position >= stem:
+            key = ((position - stem) % loop, state)
+            if key in seen:
+                start = seen[key]
+                return PrefixProfile(tuple(flags[:start]), tuple(flags[start:]))
+            seen[key] = position
+        state = dfa.step(state, lasso[position])
+        flags.append(state in dfa.accepting)
+        position += 1
+
+
+def satisfies_chi(operator: str, phi: FinitaryLanguage, lasso: LassoWord) -> bool:
+    """Evaluate ``χ_O^Φ(σ)`` for ``O ∈ {'A','E','R','P'}``.
+
+    The two-quantifier formulas reduce exactly on the profile:
+
+    * ``χ_R``: every prefix has a later Φ-prefix ⟺ Φ-prefixes recur in the
+      cycle (a transient witness can only serve finitely many σ′);
+    * ``χ_P``: some prefix is followed only by Φ-prefixes ⟺ the whole cycle
+      (hence everything beyond some point) lies in Φ.
+    """
+    profile = prefix_profile(phi, lasso)
+    table = {
+        "A": profile.always,
+        "E": profile.eventually,
+        "R": profile.infinitely_often,
+        "P": profile.almost_always,
+    }
+    try:
+        return table[operator.upper()]()
+    except KeyError:
+        raise ValueError(f"unknown operator {operator!r}; expected A, E, R or P") from None

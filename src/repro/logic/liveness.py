@@ -1,0 +1,125 @@
+"""The syntactic characterization of liveness (§4).
+
+A *liveness formula* is ``◇(⋁ᵢ (pᵢ ∧ ◇qᵢ))`` where each ``pᵢ`` is a past
+formula, each ``qᵢ`` is a *satisfiable* future formula, and ``□(⋁ᵢ pᵢ)`` is
+valid.  The paper's theorem: a specifiable property is a liveness property
+iff it is specifiable by a liveness formula.  The two semantic side
+conditions are discharged by the library's own automata (satisfiability =
+non-emptiness; validity of ``□p`` for past p = ``esat(p) = Σ⁺``).
+
+The alternative characterization ``◇(⋀ᵢ (pᵢ → ◇qᵢ))`` with pairwise
+disjoint ``pᵢ`` is recognized as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.finitary.language import FinitaryLanguage
+from repro.logic.ast import And, Eventually, Formula, Not, Or
+from repro.logic.semantics import esat_language
+from repro.words.alphabet import Alphabet
+
+
+@dataclass(frozen=True, slots=True)
+class LivenessShape:
+    """The decomposed pairs ``(pᵢ, qᵢ)`` of a liveness normal form."""
+
+    pairs: tuple[tuple[Formula, Formula], ...]
+
+
+def _split_pair(disjunct: Formula) -> tuple[Formula, Formula] | None:
+    """Match ``p ∧ ◇q`` (in either operand order)."""
+    if not isinstance(disjunct, And) or len(disjunct.operands) != 2:
+        return None
+    for first, second in (disjunct.operands, tuple(reversed(disjunct.operands))):
+        if (
+            first.is_past_formula()
+            and isinstance(second, Eventually)
+            and second.operand.is_future_formula()
+        ):
+            return first, second.operand
+    return None
+
+
+def liveness_shape(formula: Formula) -> LivenessShape | None:
+    """The purely syntactic part: ``◇(⋁ᵢ (pᵢ ∧ ◇qᵢ))`` or ``None``."""
+    if not isinstance(formula, Eventually):
+        return None
+    body = formula.operand
+    disjuncts = body.operands if isinstance(body, Or) else (body,)
+    pairs = []
+    for disjunct in disjuncts:
+        pair = _split_pair(disjunct)
+        if pair is None:
+            return None
+        pairs.append(pair)
+    return LivenessShape(tuple(pairs))
+
+
+def is_liveness_formula(formula: Formula, alphabet: Alphabet | None = None) -> bool:
+    """Shape plus the two semantic side conditions of §4."""
+    shape = liveness_shape(formula)
+    if shape is None:
+        return False
+    from repro.core.classifier import default_alphabet, formula_to_automaton
+
+    alphabet = alphabet or default_alphabet(formula)
+    # each qᵢ satisfiable
+    for _past, future in shape.pairs:
+        if formula_to_automaton(future, alphabet).is_empty():
+            return False
+    # □(⋁ pᵢ) valid ⟺ every non-empty finite word end-satisfies ⋁ pᵢ
+    disjunction: Formula = (
+        shape.pairs[0][0]
+        if len(shape.pairs) == 1
+        else Or(tuple(past for past, _future in shape.pairs))
+    )
+    return esat_language(disjunction, alphabet) == FinitaryLanguage.everything(alphabet)
+
+
+def alternative_liveness_shape(formula: Formula) -> LivenessShape | None:
+    """The alternative form ``◇(⋀ᵢ (pᵢ → ◇qᵢ))`` (pᵢ → ◇qᵢ ≡ ¬pᵢ ∨ ◇qᵢ)."""
+    if not isinstance(formula, Eventually):
+        return None
+    body = formula.operand
+    conjuncts = body.operands if isinstance(body, And) else (body,)
+    pairs = []
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, Or) or len(conjunct.operands) != 2:
+            return None
+        matched = None
+        for first, second in (conjunct.operands, tuple(reversed(conjunct.operands))):
+            if (
+                isinstance(first, Not)
+                and first.operand.is_past_formula()
+                and isinstance(second, Eventually)
+                and second.operand.is_future_formula()
+            ):
+                matched = (first.operand, second.operand)
+        if matched is None:
+            return None
+        pairs.append(matched)
+    return LivenessShape(tuple(pairs))
+
+
+def is_alternative_liveness_formula(
+    formula: Formula, alphabet: Alphabet | None = None
+) -> bool:
+    """Shape plus §4's side conditions: each ``qᵢ`` satisfiable and the
+    ``pᵢ`` pairwise disjoint (``□¬(pᵢ ∧ pⱼ)`` valid for i ≠ j)."""
+    shape = alternative_liveness_shape(formula)
+    if shape is None:
+        return False
+    from repro.core.classifier import default_alphabet, formula_to_automaton
+
+    alphabet = alphabet or default_alphabet(formula)
+    for _past, future in shape.pairs:
+        if formula_to_automaton(future, alphabet).is_empty():
+            return False
+    for i, (past_i, _qi) in enumerate(shape.pairs):
+        for past_j, _qj in shape.pairs[i + 1 :]:
+            overlap = esat_language(And((past_i, past_j)), alphabet)
+            if not overlap.is_empty():
+                return False
+    return True

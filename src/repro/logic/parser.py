@@ -1,0 +1,173 @@
+"""Parser for LTL+Past formulae.
+
+Grammar (loosest binding first)::
+
+    formula  := iff
+    iff      := implies ('<->' implies)*
+    implies  := or ('->' implies)?            # right associative
+    or       := and ('|' and)*
+    and      := binary ('&' binary)*
+    binary   := unary (('U'|'W'|'R'|'S') binary)?   # right associative
+    unary    := ('!'|'X'|'F'|'G'|'Y'|'Z'|'O'|'H')* atom
+    atom     := 'true' | 'false' | identifier | '(' formula ')'
+
+Identifiers are lowercase (``[a-z_][a-zA-Z0-9_]*``); the single capital
+letters are operators: ``X`` next, ``F`` eventually, ``G`` always, ``U``
+until, ``W`` unless, ``R`` release, ``Y`` previous, ``Z`` weak previous,
+``S`` since, ``O`` once, ``H`` historically.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.logic.ast import (
+    FALSE,
+    TRUE,
+    Always,
+    And,
+    Eventually,
+    Formula,
+    Historically,
+    Next,
+    Not,
+    Once,
+    Or,
+    Previous,
+    Prop,
+    Release,
+    Since,
+    Unless,
+    Until,
+    WeakPrevious,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<arrow2><->)|(?P<arrow>->)|(?P<punct>[()&|!])"
+    r"|(?P<op>[XFGUWRSYZOH])(?![a-zA-Z0-9_])"
+    r"|(?P<ident>[a-z_][a-zA-Z0-9_]*))"
+)
+
+_UNARY = {
+    "!": Not,
+    "X": Next,
+    "F": Eventually,
+    "G": Always,
+    "Y": Previous,
+    "Z": WeakPrevious,
+    "O": Once,
+    "H": Historically,
+}
+
+_BINARY = {"U": Until, "W": Unless, "R": Release, "S": Since}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remaining = text[position:].lstrip()
+            if not remaining:
+                break
+            raise ParseError(f"unexpected character {remaining[0]!r}", position)
+        token = match.group(match.lastgroup)
+        tokens.append(token)
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        if self.peek() != token:
+            raise ParseError(f"expected {token!r}, found {self.peek()!r}", self.pos)
+        self.take()
+
+    def parse(self) -> Formula:
+        node = self.iff()
+        if self.pos != len(self.tokens):
+            raise ParseError(f"unexpected trailing {self.peek()!r}", self.pos)
+        return node
+
+    def iff(self) -> Formula:
+        node = self.implies()
+        while self.peek() == "<->":
+            self.take()
+            other = self.implies()
+            node = And((node.implies(other), other.implies(node)))
+        return node
+
+    def implies(self) -> Formula:
+        node = self.disjunction()
+        if self.peek() == "->":
+            self.take()
+            return node.implies(self.implies())
+        return node
+
+    def disjunction(self) -> Formula:
+        parts = [self.conjunction()]
+        while self.peek() == "|":
+            self.take()
+            parts.append(self.conjunction())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def conjunction(self) -> Formula:
+        parts = [self.binary()]
+        while self.peek() == "&":
+            self.take()
+            parts.append(self.binary())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def binary(self) -> Formula:
+        node = self.unary()
+        token = self.peek()
+        if token in _BINARY:
+            self.take()
+            return _BINARY[token](node, self.binary())
+        return node
+
+    def unary(self) -> Formula:
+        token = self.peek()
+        if token in _UNARY:
+            self.take()
+            return _UNARY[token](self.unary())
+        return self.atom()
+
+    def atom(self) -> Formula:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of formula", self.pos)
+        if token == "(":
+            self.take()
+            node = self.iff()
+            self.expect(")")
+            return node
+        if token == "true":
+            self.take()
+            return TRUE
+        if token == "false":
+            self.take()
+            return FALSE
+        if re.fullmatch(r"[a-z_][a-zA-Z0-9_]*", token):
+            self.take()
+            return Prop(token)
+        raise ParseError(f"unexpected token {token!r}", self.pos)
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse the LTL+Past syntax described in the module docstring."""
+    return _Parser(_tokenize(text)).parse()

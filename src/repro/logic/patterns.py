@@ -1,0 +1,192 @@
+"""Specification patterns, placed in the hierarchy.
+
+The property-specification patterns of Dwyer, Avrunin & Corbett (absence,
+existence, universality, precedence, response) under the common scopes
+(globally, before r, after q, after q until r) — the practical vocabulary
+that the paper's check-list methodology (§1) calls for.  Each pattern
+builder returns an LTL+Past formula, and :func:`expected_class` records the
+hierarchy class the pattern lands in, which the test suite verifies against
+the semantic classifier.
+
+The past operators keep several scoped patterns in *lower* classes than
+their pure-future renderings — e.g. globally-scoped precedence is a safety
+property when written with ◆ (`□(s → ◆p)`) — exactly the pay-off of the
+paper's past-augmented logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.classes import TemporalClass
+from repro.logic.ast import (
+    Always,
+    And,
+    Eventually,
+    Formula,
+    Not,
+    Once,
+    Or,
+    Since,
+    Unless,
+)
+
+
+class Scope(Enum):
+    GLOBALLY = "globally"
+    BEFORE_R = "before r"
+    AFTER_Q = "after q"
+    AFTER_Q_UNTIL_R = "after q until r"
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A named pattern instance: formula plus its expected class."""
+
+    name: str
+    scope: Scope
+    formula: Formula
+    expected: TemporalClass
+    gloss: str
+
+
+def absence(p: Formula, *, scope: Scope = Scope.GLOBALLY, q: Formula | None = None,
+            r: Formula | None = None) -> Pattern:
+    """``p`` never holds (within the scope)."""
+    if scope is Scope.GLOBALLY:
+        formula: Formula = Always(Not(p))
+        expected = TemporalClass.SAFETY
+        gloss = "p never occurs"
+    elif scope is Scope.BEFORE_R:
+        # no p strictly before the first r: □(p → ◆r) in past form keeps it
+        # safety: at any p-position, r must already have happened.
+        formula = Always(p.implies(Once(r)))
+        expected = TemporalClass.SAFETY
+        gloss = "no p before the first r"
+    elif scope is Scope.AFTER_Q:
+        formula = Always(Or((Not(Once(q)), Not(p))))
+        expected = TemporalClass.SAFETY
+        gloss = "no p after the first q"
+    else:  # AFTER_Q_UNTIL_R
+        # inside an open q…r window, no p: the window is open at a position
+        # iff ¬r since q.
+        window = Since(Not(r), And((q, Not(r))))
+        formula = Always(window.implies(Not(p)))
+        expected = TemporalClass.SAFETY
+        gloss = "no p inside any q…r window"
+    return Pattern("absence", scope, formula, expected, gloss)
+
+
+def universality(p: Formula, *, scope: Scope = Scope.GLOBALLY, q: Formula | None = None,
+                 r: Formula | None = None) -> Pattern:
+    """``p`` holds everywhere (within the scope)."""
+    inner = absence(Not(p), scope=scope, q=q, r=r)
+    return Pattern("universality", scope, inner.formula, TemporalClass.SAFETY,
+                   "p holds throughout the scope")
+
+
+def existence(p: Formula, *, scope: Scope = Scope.GLOBALLY, q: Formula | None = None,
+              r: Formula | None = None) -> Pattern:
+    """``p`` holds somewhere (within the scope)."""
+    if scope is Scope.GLOBALLY:
+        return Pattern("existence", scope, Eventually(p), TemporalClass.GUARANTEE,
+                       "p eventually occurs")
+    if scope is Scope.BEFORE_R:
+        # At the first r-position (r now, never before), ◆p must hold: a
+        # past-bodied invariance — safety, vacuous when r never occurs.
+        from repro.logic.ast import Previous
+
+        first_r = And((r, Not(Previous(Once(r)))))
+        formula = Always(first_r.implies(Once(p)))
+        return Pattern("existence", scope, formula, TemporalClass.SAFETY,
+                       "some p at or before the first r (vacuous if r never comes)")
+    if scope is Scope.AFTER_Q:
+        formula = Always(q.implies(Eventually(p)))
+        return Pattern("existence", scope, formula, TemporalClass.RECURRENCE,
+                       "after any q, some p follows")
+    # AFTER_Q_UNTIL_R: every q-opened window sees a p before it closes —
+    # response-like; rendered with until.
+    formula = Always(q.implies(Or((Eventually(p), Always(Not(r))))))
+    return Pattern("existence", scope, formula, TemporalClass.RECURRENCE,
+                   "every q…(r) window contains a p unless it never closes")
+
+
+def response(p: Formula, s: Formula, *, scope: Scope = Scope.GLOBALLY,
+             q: Formula | None = None, r: Formula | None = None) -> Pattern:
+    """Every stimulus ``p`` is followed by a response ``s``."""
+    if scope is Scope.GLOBALLY:
+        formula: Formula = Always(p.implies(Eventually(s)))
+        gloss = "every p is eventually answered by s"
+    elif scope is Scope.AFTER_Q:
+        formula = Always(And((Once(q), p)).implies(Eventually(s)))
+        gloss = "after the first q, every p is answered"
+    elif scope is Scope.BEFORE_R:
+        # Answered before the scope closes: while no r yet, s must arrive
+        # before (or with) the first r — the weak until keeps this SAFETY
+        # (the "chance is never lost" reading of §2's aUb discussion).
+        formula = Always(p.implies(Unless(Not(r), s)))
+        return Pattern("response", scope, formula, TemporalClass.SAFETY,
+                       "every p answered before the scope closes")
+    else:
+        window = Since(Not(r), And((q, Not(r))))
+        formula = Always(And((window, p)).implies(Or((Eventually(s), Always(Not(r))))))
+        gloss = "every in-window p is answered unless the window never closes"
+    return Pattern("response", scope, formula, TemporalClass.RECURRENCE, gloss)
+
+
+def precedence(p: Formula, s: Formula, *, scope: Scope = Scope.GLOBALLY,
+               q: Formula | None = None) -> Pattern:
+    """``s`` may only occur after an enabling ``p`` (causality, §4's example)."""
+    if scope is Scope.GLOBALLY:
+        formula: Formula = Always(s.implies(Once(p)))
+        gloss = "s never occurs without a prior p"
+    else:  # AFTER_Q
+        formula = Always(And((Once(q), s)).implies(Once(p)))
+        gloss = "after q, s requires a prior p"
+    return Pattern("precedence", scope, formula, TemporalClass.SAFETY, gloss)
+
+
+def stabilization(p: Formula) -> Pattern:
+    """``p`` eventually holds forever (§4's persistence usage)."""
+    return Pattern("stabilization", Scope.GLOBALLY, Eventually(Always(p)),
+                   TemporalClass.PERSISTENCE, "p eventually stabilizes")
+
+
+def recurrence_pattern(p: Formula) -> Pattern:
+    """``p`` holds infinitely often."""
+    return Pattern("recurrence", Scope.GLOBALLY, Always(Eventually(p)),
+                   TemporalClass.RECURRENCE, "p recurs forever")
+
+
+def fair_response(p: Formula, s: Formula) -> Pattern:
+    """Infinitely many stimuli get infinitely many responses (§4)."""
+    return Pattern("fair response", Scope.GLOBALLY,
+                   Always(Eventually(p)).implies(Always(Eventually(s))),
+                   TemporalClass.REACTIVITY,
+                   "infinitely many p's are answered by infinitely many s's")
+
+
+def catalog(p: Formula, s: Formula, q: Formula, r: Formula) -> list[Pattern]:
+    """One instance of every supported pattern/scope combination."""
+    return [
+        absence(p),
+        absence(p, scope=Scope.BEFORE_R, r=r),
+        absence(p, scope=Scope.AFTER_Q, q=q),
+        absence(p, scope=Scope.AFTER_Q_UNTIL_R, q=q, r=r),
+        universality(p),
+        universality(p, scope=Scope.AFTER_Q, q=q),
+        existence(p),
+        existence(p, scope=Scope.BEFORE_R, r=r),
+        existence(p, scope=Scope.AFTER_Q, q=q),
+        existence(p, scope=Scope.AFTER_Q_UNTIL_R, q=q, r=r),
+        response(p, s),
+        response(p, s, scope=Scope.BEFORE_R, r=r),
+        response(p, s, scope=Scope.AFTER_Q, q=q),
+        response(p, s, scope=Scope.AFTER_Q_UNTIL_R, q=q, r=r),
+        precedence(p, s),
+        precedence(p, s, scope=Scope.AFTER_Q, q=q),
+        stabilization(p),
+        recurrence_pattern(p),
+        fair_response(p, s),
+    ]

@@ -1,0 +1,169 @@
+"""Negation normal form and basic simplification of LTL+Past formulae."""
+
+from __future__ import annotations
+
+from repro.logic.ast import (
+    FALSE,
+    TRUE,
+    Always,
+    And,
+    Eventually,
+    FalseConst,
+    Formula,
+    Historically,
+    Next,
+    Not,
+    Once,
+    Or,
+    Previous,
+    Prop,
+    Release,
+    Since,
+    TrueConst,
+    Unless,
+    Until,
+    WeakPrevious,
+)
+
+
+def negate(formula: Formula) -> Formula:
+    """``¬formula`` pushed one level (used by :func:`nnf`)."""
+    if isinstance(formula, TrueConst):
+        return FALSE
+    if isinstance(formula, FalseConst):
+        return TRUE
+    if isinstance(formula, Not):
+        return formula.operand
+    return Not(formula)
+
+
+def nnf(formula: Formula) -> Formula:
+    """Negation normal form: negations apply only to propositions.
+
+    Dualities used (all standard; past duals via the *trigger* identity
+    ``¬(p S q) = H¬q ∨ (¬q S (¬p ∧ ¬q))``):
+
+    * ``¬Xp = X¬p`` (ω-words have a next position everywhere),
+    * ``¬(pUq) = ¬q W (¬p ∧ ¬q)``, ``¬(pWq) = ¬q U (¬p ∧ ¬q)``,
+    * ``¬(pRq) = ¬p U ¬q``, ``¬Fp = G¬p``, ``¬Gp = F¬p``,
+    * ``¬Yp = Z¬p``, ``¬Zp = Y¬p``, ``¬Op = H¬p``, ``¬Hp = O¬p``.
+    """
+    return _nnf(formula, negated=False)
+
+
+def _nnf(formula: Formula, *, negated: bool) -> Formula:
+    if isinstance(formula, Not):
+        return _nnf(formula.operand, negated=not negated)
+    if isinstance(formula, TrueConst):
+        return FALSE if negated else TRUE
+    if isinstance(formula, FalseConst):
+        return TRUE if negated else FALSE
+    if isinstance(formula, Prop):
+        return Not(formula) if negated else formula
+    if isinstance(formula, And):
+        parts = tuple(_nnf(op, negated=negated) for op in formula.operands)
+        return Or(parts) if negated else And(parts)
+    if isinstance(formula, Or):
+        parts = tuple(_nnf(op, negated=negated) for op in formula.operands)
+        return And(parts) if negated else Or(parts)
+    if isinstance(formula, Next):
+        return Next(_nnf(formula.operand, negated=negated))
+    if isinstance(formula, Eventually):
+        inner = _nnf(formula.operand, negated=negated)
+        return Always(inner) if negated else Eventually(inner)
+    if isinstance(formula, Always):
+        inner = _nnf(formula.operand, negated=negated)
+        return Eventually(inner) if negated else Always(inner)
+    if isinstance(formula, Until):
+        left = _nnf(formula.left, negated=negated)
+        right = _nnf(formula.right, negated=negated)
+        if negated:
+            return Unless(right, And((left, right)))
+        return Until(left, right)
+    if isinstance(formula, Unless):
+        left = _nnf(formula.left, negated=negated)
+        right = _nnf(formula.right, negated=negated)
+        if negated:
+            return Until(right, And((left, right)))
+        return Unless(left, right)
+    if isinstance(formula, Release):
+        left = _nnf(formula.left, negated=negated)
+        right = _nnf(formula.right, negated=negated)
+        if negated:
+            return Until(left, right)
+        return Release(left, right)
+    if isinstance(formula, Previous):
+        inner = _nnf(formula.operand, negated=negated)
+        return WeakPrevious(inner) if negated else Previous(inner)
+    if isinstance(formula, WeakPrevious):
+        inner = _nnf(formula.operand, negated=negated)
+        return Previous(inner) if negated else WeakPrevious(inner)
+    if isinstance(formula, Once):
+        inner = _nnf(formula.operand, negated=negated)
+        return Historically(inner) if negated else Once(inner)
+    if isinstance(formula, Historically):
+        inner = _nnf(formula.operand, negated=negated)
+        return Once(inner) if negated else Historically(inner)
+    if isinstance(formula, Since):
+        left = _nnf(formula.left, negated=negated)
+        right = _nnf(formula.right, negated=negated)
+        if negated:
+            # trigger identity: ¬(p S q) = H ¬q ∨ (¬q S (¬p ∧ ¬q))
+            return Or((Historically(right), Since(right, And((left, right)))))
+        return Since(left, right)
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+def simplify(formula: Formula) -> Formula:
+    """Cheap constant folding, flattening and deduplication (not semantic
+    minimization — just enough to keep tableaux small and output readable)."""
+    if isinstance(formula, (Prop, TrueConst, FalseConst)):
+        return formula
+    if isinstance(formula, Not):
+        inner = simplify(formula.operand)
+        if isinstance(inner, TrueConst):
+            return FALSE
+        if isinstance(inner, FalseConst):
+            return TRUE
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+    if isinstance(formula, (And, Or)):
+        is_and = isinstance(formula, And)
+        absorbing, neutral = (FalseConst, TrueConst) if is_and else (TrueConst, FalseConst)
+        flattened: list[Formula] = []
+        for operand in formula.operands:
+            part = simplify(operand)
+            if isinstance(part, absorbing):
+                return FALSE if is_and else TRUE
+            if isinstance(part, neutral):
+                continue
+            nested = part.operands if isinstance(part, type(formula)) else (part,)
+            for piece in nested:
+                if piece not in flattened:
+                    flattened.append(piece)
+        if not flattened:
+            return TRUE if is_and else FALSE
+        if len(flattened) == 1:
+            return flattened[0]
+        return And(tuple(flattened)) if is_and else Or(tuple(flattened))
+    if isinstance(formula, (Next, Eventually, Always, Previous, WeakPrevious, Once, Historically)):
+        inner = simplify(formula.operand)
+        if isinstance(formula, (Eventually, Always)) and isinstance(inner, (TrueConst, FalseConst)):
+            return inner
+        if isinstance(formula, (Eventually, Always)) and type(formula) is type(inner):
+            return inner  # FF = F, GG = G
+        return type(formula)(inner)
+    if isinstance(formula, (Until, Unless, Release, Since)):
+        left, right = simplify(formula.left), simplify(formula.right)
+        if isinstance(formula, Until):
+            if isinstance(right, TrueConst):
+                return TRUE
+            if isinstance(right, FalseConst):
+                return FALSE
+            if isinstance(left, TrueConst):
+                return simplify(Eventually(right))
+        if isinstance(formula, Unless) and isinstance(left, TrueConst):
+            return TRUE
+        return type(formula)(left, right)
+    raise TypeError(f"unknown formula node {type(formula).__name__}")

@@ -1,0 +1,71 @@
+"""ω-automata: the automata view of the hierarchy (§5).
+
+Deterministic predicate automata with Streett/Rabin acceptance, the
+linguistic operators ``A/E/R/P``, emptiness and inclusion checking, the
+Landweber–Wagner classification procedures, Safra determinization, and
+counter-freedom.
+"""
+
+from repro.omega.acceptance import Acceptance, Kind, Pair
+from repro.omega.automaton import DetAutomaton
+from repro.omega.closure import (
+    is_liveness,
+    is_safety_closed,
+    is_uniform_liveness,
+    liveness_extension,
+    pref_language,
+    safety_closure,
+    safety_liveness_decomposition,
+)
+from repro.omega.emptiness import (
+    accepting_cycle_states,
+    difference_example,
+    equals_intersection,
+    equals_union,
+    intersection_example,
+    intersection_is_empty,
+    is_empty,
+    nonempty_states,
+    product_example,
+    product_is_empty,
+)
+from repro.omega.linguistic import a_of, apply_operator, e_of, p_of, r_of
+from repro.omega.omega_regex import omega_language, parse_omega_regex
+from repro.omega.reduce import quotient_reduce
+from repro.omega.render import describe, to_dot
+from repro.omega.weakmin import minimal_weak_automaton
+
+__all__ = [
+    "Acceptance",
+    "Kind",
+    "Pair",
+    "DetAutomaton",
+    "a_of",
+    "e_of",
+    "r_of",
+    "p_of",
+    "apply_operator",
+    "omega_language",
+    "parse_omega_regex",
+    "quotient_reduce",
+    "describe",
+    "to_dot",
+    "minimal_weak_automaton",
+    "accepting_cycle_states",
+    "difference_example",
+    "equals_intersection",
+    "equals_union",
+    "intersection_example",
+    "intersection_is_empty",
+    "is_empty",
+    "nonempty_states",
+    "product_example",
+    "product_is_empty",
+    "is_liveness",
+    "is_safety_closed",
+    "is_uniform_liveness",
+    "liveness_extension",
+    "pref_language",
+    "safety_closure",
+    "safety_liveness_decomposition",
+]

@@ -1,0 +1,138 @@
+"""Acceptance conditions for deterministic ω-automata.
+
+The paper's automata carry a Streett list ``L = (R₁,P₁)…(Rₖ,Pₖ)``: a run is
+accepting iff for each ``i`` either ``inf(r) ∩ Rᵢ ≠ ∅`` or ``inf(r) ⊆ Pᵢ``.
+The dual (complement) condition is Rabin acceptance: some pair ``(Eᵢ,Fᵢ)``
+has ``inf(r) ∩ Eᵢ ≠ ∅`` and ``inf(r) ∩ Fᵢ = ∅``.  Büchi and co-Büchi are the
+one-pair special cases.  Both kinds live here so complementation is a pair
+transformation instead of a state-space construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import AutomatonError
+
+
+class Kind(Enum):
+    STREETT = "streett"
+    RABIN = "rabin"
+
+
+@dataclass(frozen=True, slots=True)
+class Pair:
+    """One acceptance pair.
+
+    Streett reading: ``(R, P)`` — recurrent set, persistent set.
+    Rabin reading: ``(E, F)`` — must-meet set, must-avoid set.
+    """
+
+    left: frozenset[int]
+    right: frozenset[int]
+
+    @classmethod
+    def of(cls, left: Iterable[int], right: Iterable[int]) -> Pair:
+        return cls(frozenset(left), frozenset(right))
+
+
+@dataclass(frozen=True, slots=True)
+class Acceptance:
+    """A list of pairs interpreted as Streett (conjunction) or Rabin (disjunction)."""
+
+    kind: Kind
+    pairs: tuple[Pair, ...]
+
+    # ------------------------------------------------------------- factories
+
+    @classmethod
+    def streett(cls, pairs: Iterable[tuple[Iterable[int], Iterable[int]]]) -> Acceptance:
+        return cls(Kind.STREETT, tuple(Pair.of(left, right) for left, right in pairs))
+
+    @classmethod
+    def rabin(cls, pairs: Iterable[tuple[Iterable[int], Iterable[int]]]) -> Acceptance:
+        return cls(Kind.RABIN, tuple(Pair.of(left, right) for left, right in pairs))
+
+    @classmethod
+    def buchi(cls, accepting: Iterable[int]) -> Acceptance:
+        """``inf ∩ F ≠ ∅`` as the Streett pair ``(F, ∅)``."""
+        return cls.streett([(accepting, ())])
+
+    @classmethod
+    def cobuchi(cls, persistent: Iterable[int]) -> Acceptance:
+        """``inf ⊆ P`` as the Streett pair ``(∅, P)``."""
+        return cls.streett([((), persistent)])
+
+    # ------------------------------------------------------------- semantics
+
+    def accepts_infinity_set(self, inf: frozenset[int]) -> bool:
+        if self.kind is Kind.STREETT:
+            return all(inf & pair.left or inf <= pair.right for pair in self.pairs)
+        return any(inf & pair.left and not inf & pair.right for pair in self.pairs)
+
+    # ---------------------------------------------------------------- algebra
+
+    def dual(self, num_states: int) -> Acceptance:
+        """The acceptance of the complement automaton (same transition core)."""
+        everything = frozenset(range(num_states))
+        if self.kind is Kind.STREETT:
+            # ¬[inf∩R≠∅ ∨ inf⊆P] = inf∩(Q−P)≠∅ ∧ inf∩R=∅
+            return Acceptance(
+                Kind.RABIN, tuple(Pair(everything - p.right, p.left) for p in self.pairs)
+            )
+        # ¬[inf∩E≠∅ ∧ inf∩F=∅] = inf∩F≠∅ ∨ inf⊆(Q−E)
+        return Acceptance(
+            Kind.STREETT, tuple(Pair(p.right, everything - p.left) for p in self.pairs)
+        )
+
+    def as_streett_pairs(self, num_states: int) -> tuple[Pair, ...] | None:
+        """Streett-pair presentation, or ``None`` when it would need new states.
+
+        Streett acceptance is returned as-is; a *single* Rabin pair ``(E,F)``
+        becomes ``(E,∅) ∧ (∅, Q−F)``.  Multi-pair Rabin (a disjunction) has
+        no same-structure Streett presentation in general.
+        """
+        if self.kind is Kind.STREETT:
+            return self.pairs
+        if len(self.pairs) == 1:
+            (pair,) = self.pairs
+            everything = frozenset(range(num_states))
+            return (Pair(pair.left, frozenset()), Pair(frozenset(), everything - pair.right))
+        return None
+
+    def as_rabin_pairs(self, num_states: int) -> tuple[Pair, ...] | None:
+        """Rabin-pair presentation, or ``None`` when it would need new states.
+
+        Rabin acceptance is returned as-is; a *single* Streett pair ``(R,P)``
+        becomes the disjunction ``(R,∅) ∨ (Q, Q−P)``.
+        """
+        if self.kind is Kind.RABIN:
+            return self.pairs
+        if len(self.pairs) == 0:
+            # Empty Streett conjunction accepts everything: Rabin (Q, ∅).
+            everything = frozenset(range(num_states))
+            return (Pair(everything, frozenset()),)
+        if len(self.pairs) == 1:
+            (pair,) = self.pairs
+            everything = frozenset(range(num_states))
+            return (Pair(pair.left, frozenset()), Pair(everything, everything - pair.right))
+        return None
+
+    def lift(self, mapper: Callable[[frozenset[int]], frozenset[int]]) -> Acceptance:
+        """Transform every pair's state sets (used when embedding into products)."""
+        return Acceptance(self.kind, tuple(Pair(mapper(p.left), mapper(p.right)) for p in self.pairs))
+
+    def restricted_to(self, states: frozenset[int]) -> Acceptance:
+        return self.lift(lambda s: s & states)
+
+    def validate(self, num_states: int) -> None:
+        for pair in self.pairs:
+            for state_set in (pair.left, pair.right):
+                if any(not 0 <= s < num_states for s in state_set):
+                    raise AutomatonError("acceptance set mentions an out-of-range state")
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"({sorted(p.left)},{sorted(p.right)})" for p in self.pairs)
+        return f"{self.kind.value}[{pairs}]"

@@ -1,0 +1,73 @@
+"""Counter-freedom (McNaughton–Papert) — the bridge from automata back to
+temporal logic (Prop 5.4, [Zuc86]).
+
+An automaton *counts* if some finite word σ and state q satisfy
+``δ(q, σⁿ) = q`` for some ``n > 1`` while ``δ(q, σ) ≠ q``.  Equivalently,
+some element of the transition monoid has a functional cycle of length > 1.
+A property specifiable by a deterministic automaton is expressible in
+temporal logic iff some counter-free automaton recognizes it; the
+formula-derived automata in this library are counter-free by construction,
+which the test suite verifies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.finitary.dfa import DFA
+from repro.omega.automaton import DetAutomaton
+
+_MONOID_LIMIT = 250_000
+
+
+def transition_monoid(automaton: DetAutomaton | DFA) -> set[tuple[int, ...]]:
+    """All state transformations induced by non-empty words (the transition
+    semigroup), generated breadth-first from the single-symbol maps."""
+    n = automaton.num_states
+    generators = [
+        tuple(automaton.step(q, symbol) for q in range(n)) for symbol in automaton.alphabet
+    ]
+    seen: set[tuple[int, ...]] = set(generators)
+    queue: deque[tuple[int, ...]] = deque(generators)
+    while queue:
+        current = queue.popleft()
+        for generator in generators:
+            composed = tuple(generator[current[q]] for q in range(n))
+            if composed not in seen:
+                if len(seen) >= _MONOID_LIMIT:
+                    raise MemoryError("transition monoid exceeds the exploration limit")
+                seen.add(composed)
+                queue.append(composed)
+    return seen
+
+
+def _long_cycle(transformation: tuple[int, ...]) -> tuple[int, int] | None:
+    """A (state, period>1) on a functional cycle of the transformation, if any."""
+    for start in range(len(transformation)):
+        positions = {start: 0}
+        current, step = start, 0
+        while True:
+            current = transformation[current]
+            step += 1
+            if current in positions:
+                period = step - positions[current]
+                if period > 1:
+                    return current, period
+                break
+            positions[current] = step
+    return None
+
+
+def is_counter_free(automaton: DetAutomaton | DFA) -> bool:
+    """True iff no word can cycle states with period > 1 (no modular counting)."""
+    return all(_long_cycle(t) is None for t in transition_monoid(automaton))
+
+
+def counting_witness(automaton: DetAutomaton | DFA) -> tuple[int, int] | None:
+    """A ``(state, period)`` witnessing counting, or ``None`` if counter-free:
+    some word σ satisfies ``δ(state, σ^period) = state`` with period > 1."""
+    for transformation in transition_monoid(automaton):
+        witness = _long_cycle(transformation)
+        if witness is not None:
+            return witness
+    return None

@@ -1,0 +1,241 @@
+"""HOA (Hanoi Omega-Automata) format export and import.
+
+The `HOA v1 format <http://adl.github.io/hoaf/>`_ is the interchange format
+of the ω-automata ecosystem (Spot, Owl, Rabinizer…).  This module writes
+deterministic automata with state-based Streett/Rabin acceptance and reads
+back the same fragment, so results of this library can be cross-checked
+against external tools and vice versa.
+
+Alphabet encodings:
+
+* a powerset alphabet ``2^{p,q}`` maps each proposition to one HOA AP and
+  each symbol to the full conjunction cube ``[0&!1]``;
+* an abstract letter alphabet ``{a,b,c}`` maps each *letter* to one AP with
+  an exactly-one convention, encoded the same way.
+
+The importer accepts the exporter's fragment: explicit labels, deterministic
+transitions, state-based acceptance with ``Buchi``, ``co-Buchi``,
+``Rabin k`` or ``Streett k`` acceptance.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.omega.acceptance import Acceptance, Kind, Pair
+from repro.omega.automaton import DetAutomaton
+from repro.words.alphabet import Alphabet, Symbol
+
+
+def _ap_names(alphabet: Alphabet) -> tuple[list[str], bool]:
+    """The HOA atomic propositions and whether the alphabet is a powerset."""
+    symbols = list(alphabet)
+    if all(isinstance(symbol, frozenset) for symbol in symbols):
+        propositions = sorted({name for symbol in symbols for name in symbol})
+        return propositions, True
+    return [str(symbol) for symbol in symbols], False
+
+
+def _cube(symbol: Symbol, propositions: list[str], powerset: bool) -> str:
+    if powerset:
+        members = symbol
+    else:
+        members = {str(symbol)}
+    literals = []
+    for index, name in enumerate(propositions):
+        literals.append(str(index) if name in members else f"!{index}")
+    return "&".join(literals) if literals else "t"
+
+
+def _acceptance_header(acceptance: Acceptance) -> tuple[str, str, int]:
+    """(acc-name line, Acceptance line, number of acceptance sets)."""
+    pairs = acceptance.pairs
+    k = len(pairs)
+    if acceptance.kind is Kind.STREETT:
+        if k == 1 and not pairs[0].right:
+            return "Buchi", "1 Inf(0)", 1
+        if k == 1 and not pairs[0].left:
+            return "co-Buchi", "1 Fin(0)", 1
+        terms = [f"(Fin({2 * i})|Inf({2 * i + 1}))" for i in range(k)]
+        return f"Streett {k}", f"{2 * k} " + "&".join(terms), 2 * k
+    terms = [f"(Fin({2 * i})&Inf({2 * i + 1}))" for i in range(k)]
+    return f"Rabin {k}", f"{2 * k} " + "|".join(terms), 2 * k
+
+
+def _state_sets(automaton: DetAutomaton) -> dict[int, list[int]]:
+    """HOA acceptance-set memberships per state."""
+    memberships: dict[int, list[int]] = {state: [] for state in automaton.states}
+    acceptance = automaton.acceptance
+    pairs = acceptance.pairs
+    everything = frozenset(automaton.states)
+    if acceptance.kind is Kind.STREETT and len(pairs) == 1 and not pairs[0].right:
+        for state in pairs[0].left:
+            memberships[state].append(0)
+        return memberships
+    if acceptance.kind is Kind.STREETT and len(pairs) == 1 and not pairs[0].left:
+        for state in everything - pairs[0].right:
+            memberships[state].append(0)
+        return memberships
+    for index, pair in enumerate(pairs):
+        if acceptance.kind is Kind.STREETT:
+            fin_set, inf_set = everything - pair.right, pair.left
+        else:
+            fin_set, inf_set = pair.right, pair.left
+        for state in fin_set:
+            memberships[state].append(2 * index)
+        for state in inf_set:
+            memberships[state].append(2 * index + 1)
+    return memberships
+
+
+def to_hoa(automaton: DetAutomaton, *, name: str = "repro") -> str:
+    """Serialize a deterministic automaton to HOA v1."""
+    propositions, powerset = _ap_names(automaton.alphabet)
+    acc_name, acc_formula, _count = _acceptance_header(automaton.acceptance)
+    memberships = _state_sets(automaton)
+    lines = [
+        "HOA: v1",
+        f'name: "{name}"',
+        f"States: {automaton.num_states}",
+        f"Start: {automaton.initial}",
+        f"AP: {len(propositions)} " + " ".join(f'"{p}"' for p in propositions),
+        f"acc-name: {acc_name}",
+        f"Acceptance: {acc_formula}",
+        "properties: deterministic state-acc explicit-labels",
+        "--BODY--",
+    ]
+    for state in automaton.states:
+        sets = memberships[state]
+        suffix = f" {{{' '.join(map(str, sets))}}}" if sets else ""
+        lines.append(f"State: {state}{suffix}")
+        for symbol in automaton.alphabet:
+            cube = _cube(symbol, propositions, powerset)
+            lines.append(f"  [{cube}] {automaton.step(state, symbol)}")
+    lines.append("--END--")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Import
+# ---------------------------------------------------------------------------
+
+_HEADER_RE = re.compile(r"^(\S+):\s*(.*)$")
+
+
+def _parse_label(cube: str, propositions: list[str]) -> frozenset[str]:
+    present: set[str] = set()
+    if cube.strip() == "t":
+        return frozenset()
+    for literal in cube.split("&"):
+        literal = literal.strip()
+        negated = literal.startswith("!")
+        index = int(literal[1:] if negated else literal)
+        if not negated:
+            present.add(propositions[index])
+    return frozenset(present)
+
+
+def from_hoa(text: str, *, alphabet: Alphabet | None = None) -> DetAutomaton:
+    """Parse the deterministic state-based-acceptance HOA fragment.
+
+    When ``alphabet`` is omitted, a powerset alphabet over the declared APs
+    is assumed; pass the original letter alphabet to invert the exactly-one
+    encoding.
+    """
+    headers: dict[str, str] = {}
+    body_lines: list[str] = []
+    in_body = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line == "--BODY--":
+            in_body = True
+            continue
+        if line == "--END--":
+            break
+        if in_body:
+            body_lines.append(line)
+        else:
+            match = _HEADER_RE.match(line)
+            if match:
+                headers[match.group(1)] = match.group(2).strip()
+
+    if headers.get("HOA") != "v1":
+        raise ParseError("expected an 'HOA: v1' header")
+    try:
+        num_states = int(headers["States"])
+        initial = int(headers["Start"])
+    except (KeyError, ValueError) as error:
+        raise ParseError(f"missing or malformed States/Start header: {error}") from None
+    ap_parts = headers.get("AP", "0").split()
+    propositions = [part.strip('"') for part in ap_parts[1:]]
+
+    acc_name = headers.get("acc-name", "")
+    if alphabet is None:
+        alphabet = Alphabet.powerset_of_propositions(propositions)
+        powerset = True
+    else:
+        _names, powerset = _ap_names(alphabet)
+
+    # Transitions and state acceptance-set memberships.
+    transitions: dict[tuple[int, Symbol], int] = {}
+    state_sets: dict[int, set[int]] = {state: set() for state in range(num_states)}
+    current: int | None = None
+    state_re = re.compile(r"^State:\s*(\d+)(?:\s*\{([\d\s]*)\})?")
+    edge_re = re.compile(r"^\[([^\]]*)\]\s*(\d+)")
+    for line in body_lines:
+        state_match = state_re.match(line)
+        if state_match:
+            current = int(state_match.group(1))
+            if state_match.group(2):
+                state_sets[current] = {int(x) for x in state_match.group(2).split()}
+            continue
+        edge_match = edge_re.match(line)
+        if edge_match and current is not None:
+            label = _parse_label(edge_match.group(1), propositions)
+            for symbol in alphabet:
+                symbol_set = symbol if powerset else frozenset({str(symbol)})
+                if symbol_set == label:
+                    key = (current, symbol)
+                    if key in transitions:
+                        raise ParseError(f"nondeterministic edge at state {current}")
+                    transitions[key] = int(edge_match.group(2))
+
+    rows = []
+    for state in range(num_states):
+        row = []
+        for symbol in alphabet:
+            if (state, symbol) not in transitions:
+                raise ParseError(f"state {state} lacks a transition on {symbol!r}")
+            row.append(transitions[(state, symbol)])
+        rows.append(row)
+
+    acceptance = _acceptance_from(acc_name, state_sets, num_states)
+    return DetAutomaton(alphabet, rows, initial, acceptance)
+
+
+def _acceptance_from(
+    acc_name: str, state_sets: dict[int, set[int]], num_states: int
+) -> Acceptance:
+    def members(set_index: int) -> frozenset[int]:
+        return frozenset(s for s in range(num_states) if set_index in state_sets[s])
+
+    everything = frozenset(range(num_states))
+    if acc_name == "Buchi":
+        return Acceptance.buchi(members(0))
+    if acc_name == "co-Buchi":
+        return Acceptance.cobuchi(everything - members(0))
+    match = re.match(r"^(Streett|Rabin)\s+(\d+)$", acc_name)
+    if not match:
+        raise ParseError(f"unsupported acc-name {acc_name!r}")
+    kind, count = match.group(1), int(match.group(2))
+    pairs = []
+    for index in range(count):
+        fin_set, inf_set = members(2 * index), members(2 * index + 1)
+        if kind == "Streett":
+            pairs.append(Pair(inf_set, everything - fin_set))
+        else:
+            pairs.append(Pair(inf_set, fin_set))
+    return Acceptance(Kind.STREETT if kind == "Streett" else Kind.RABIN, tuple(pairs))

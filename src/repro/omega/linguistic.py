@@ -1,0 +1,76 @@
+"""The linguistic view (§2): building infinitary properties from finitary ones.
+
+The four operators take a finitary property ``Φ ⊆ Σ⁺`` (a
+:class:`~repro.finitary.language.FinitaryLanguage`) to a deterministic
+ω-automaton over the same alphabet:
+
+* ``A(Φ)`` — every non-empty prefix lies in Φ          (safety / closed),
+* ``E(Φ)`` — some prefix lies in Φ                     (guarantee / open),
+* ``R(Φ)`` — infinitely many prefixes lie in Φ         (recurrence / G_δ),
+* ``P(Φ)`` — all but finitely many prefixes lie in Φ   (persistence / F_σ).
+
+Because Φ's DFA is deterministic and complete, "the prefix of length *k* is
+in Φ" is equivalent to "the run sits in an accepting DFA state after *k*
+steps", which turns the four operators into the four classic acceptance
+disciplines on (almost) the same transition core.
+"""
+
+from __future__ import annotations
+
+from repro.finitary.language import FinitaryLanguage
+from repro.omega.automaton import DetAutomaton
+from repro.words.alphabet import Symbol
+
+_TRAP = "linguistic-trap"
+_SINK = "linguistic-sink"
+
+
+def a_of(phi: FinitaryLanguage) -> DetAutomaton:
+    """``A(Φ)``: redirect any step that exits Φ into a rejecting trap;
+    accept iff the trap is never entered (a safety automaton)."""
+    dfa = phi.dfa
+
+    def successor(state: int | str, symbol: Symbol) -> int | str:
+        if state == _TRAP:
+            return _TRAP
+        target = dfa.step(state, symbol)
+        return target if target in dfa.accepting else _TRAP
+
+    return DetAutomaton.build_cobuchi(dfa.alphabet, dfa.initial, successor, lambda s: s != _TRAP)
+
+
+def e_of(phi: FinitaryLanguage) -> DetAutomaton:
+    """``E(Φ) = Φ·Σ^ω``: latch into an accepting sink on the first Φ-prefix
+    (a guarantee automaton)."""
+    dfa = phi.dfa
+
+    def successor(state: int | str, symbol: Symbol) -> int | str:
+        if state == _SINK:
+            return _SINK
+        target = dfa.step(state, symbol)
+        return _SINK if target in dfa.accepting else target
+
+    return DetAutomaton.build_buchi(dfa.alphabet, dfa.initial, successor, lambda s: s == _SINK)
+
+
+def r_of(phi: FinitaryLanguage) -> DetAutomaton:
+    """``R(Φ)``: Büchi acceptance on Φ's own DFA — the run revisits accepting
+    DFA states exactly as often as prefixes fall in Φ (a recurrence automaton)."""
+    dfa = phi.dfa
+    return DetAutomaton.build_buchi(dfa.alphabet, dfa.initial, dfa.step, lambda s: s in dfa.accepting)
+
+
+def p_of(phi: FinitaryLanguage) -> DetAutomaton:
+    """``P(Φ)``: co-Büchi acceptance on Φ's own DFA — eventually the run stays
+    inside the accepting DFA states (a persistence automaton)."""
+    dfa = phi.dfa
+    return DetAutomaton.build_cobuchi(dfa.alphabet, dfa.initial, dfa.step, lambda s: s in dfa.accepting)
+
+
+def apply_operator(name: str, phi: FinitaryLanguage) -> DetAutomaton:
+    """Dispatch ``name ∈ {'A','E','R','P'}`` — convenient for table-driven tests."""
+    table = {"A": a_of, "E": e_of, "R": r_of, "P": p_of}
+    try:
+        return table[name.upper()](phi)
+    except KeyError:
+        raise ValueError(f"unknown linguistic operator {name!r}; expected A, E, R or P") from None

@@ -1,0 +1,180 @@
+"""ω-regular expressions — the notation the paper writes its examples in.
+
+Syntax: finitary regular expressions (see :mod:`repro.finitary.regex`)
+extended with the postfix ``w`` (the paper's ``^ω``), combined as
+
+    omega  :=  term ('|' term)*
+    term   :=  [finitary-regex] atom 'w'
+
+so ``aw | a+bw`` denotes ``a^ω + a⁺b^ω``, ``(a*b)w`` denotes ``(a*b)^ω``
+and ``a+b*.w`` denotes ``a⁺b*·Σ^ω``.  Compilation goes through an NBA
+(segment-guessing construction for ``Φ^ω``, handoff construction for
+``U·Π``) and Safra when a deterministic automaton is requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.finitary.regex import Concat, Regex, _Parser
+from repro.omega.automaton import DetAutomaton
+from repro.omega.buchi import NBA
+from repro.words.alphabet import Alphabet, Symbol
+
+
+@dataclass(frozen=True, slots=True)
+class OmegaTerm:
+    """``prefix · loop^ω`` (prefix may be None for a pure ω-iteration)."""
+
+    prefix: Regex | None
+    loop: Regex
+
+    def __repr__(self) -> str:
+        prefix = repr(self.prefix) if self.prefix is not None else ""
+        return f"{prefix}({self.loop!r})w"
+
+
+@dataclass(frozen=True, slots=True)
+class OmegaRegex:
+    """A union of ω-terms."""
+
+    terms: tuple[OmegaTerm, ...]
+
+    def __repr__(self) -> str:
+        return " | ".join(repr(term) for term in self.terms)
+
+
+class _OmegaParser(_Parser):
+    """Reuses the finitary machinery but allows a postfix ``w``."""
+
+    def parse_omega(self) -> OmegaRegex:
+        terms = [self.omega_term()]
+        while self.peek() == "|":
+            self.take()
+            terms.append(self.omega_term())
+        if self.pos != len(self.text):
+            raise ParseError(f"unexpected {self.peek()!r}", self.pos)
+        return OmegaRegex(tuple(terms))
+
+    def omega_term(self) -> OmegaTerm:
+        parts: list[Regex] = []
+        loop: Regex | None = None
+        while (char := self.peek()) is not None and char not in ")|":
+            node = self.postfix()
+            if self.peek() == "w":
+                self.take()
+                loop = node
+                break
+            parts.append(node)
+        if loop is None:
+            raise ParseError("an ω-term needs a trailing '<atom>w' loop", self.pos)
+        if (char := self.peek()) is not None and char not in "|":
+            raise ParseError(f"nothing may follow the ω-loop, found {char!r}", self.pos)
+        if not parts:
+            return OmegaTerm(None, loop)
+        prefix = parts[0] if len(parts) == 1 else Concat(tuple(parts))
+        return OmegaTerm(prefix, loop)
+
+
+def parse_omega_regex(text: str) -> OmegaRegex:
+    return _OmegaParser(text.replace(" ", "")).parse_omega()
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+
+def _loop_nba(loop: Regex, alphabet: Alphabet) -> NBA:
+    """``Φ^ω`` by segment guessing on Φ's DFA: after any symbol landing in an
+    accepting DFA state, the run may declare the segment finished and
+    restart from the DFA's initial state; Büchi acceptance on the restarts."""
+    dfa = loop.to_dfa(alphabet)
+    # State encoding: 0..n-1 plain DFA states, n..2n-1 "just restarted"
+    # copies (flagged for Büchi), with identical outgoing behaviour.
+    n = dfa.num_states
+    transitions: dict[tuple[int, Symbol], set[int]] = {}
+
+    def add(source: int, symbol: Symbol, target: int) -> None:
+        transitions.setdefault((source, symbol), set()).add(target)
+
+    for flagged_offset in (0, n):
+        for state in range(n):
+            source = state + flagged_offset
+            base = state
+            for symbol in alphabet:
+                target = dfa.step(base, symbol)
+                add(source, symbol, target)
+                if target in dfa.accepting:
+                    # segment complete: next symbol starts from the initial
+                    add(source, symbol, dfa.initial + n)
+    initials = [dfa.initial + n]  # "restarted" marks segment starts
+    accepting = list(range(n, 2 * n))
+    return NBA(alphabet, 2 * n, {k: frozenset(v) for k, v in transitions.items()}, initials, accepting)
+
+
+def _term_nba(term: OmegaTerm, alphabet: Alphabet) -> NBA:
+    loop_nba = _loop_nba(term.loop, alphabet)
+    if term.prefix is None:
+        return loop_nba
+    prefix_dfa = term.prefix.to_dfa(alphabet)
+    offset = prefix_dfa.num_states
+    transitions: dict[tuple[int, Symbol], set[int]] = {}
+    for state in range(prefix_dfa.num_states):
+        for symbol in alphabet:
+            target = prefix_dfa.step(state, symbol)
+            transitions.setdefault((state, symbol), set()).add(target)
+            if state in prefix_dfa.accepting:
+                # the finitary prefix ended here: hand the symbol to the loop
+                for loop_initial in loop_nba.initials:
+                    for loop_target in loop_nba.successors(loop_initial, symbol):
+                        transitions.setdefault((state, symbol), set()).add(loop_target + offset)
+    for (state, symbol), targets in loop_nba.transitions.items():
+        transitions.setdefault((state + offset, symbol), set()).update(t + offset for t in targets)
+    initials = [prefix_dfa.initial]
+    if prefix_dfa.initial in prefix_dfa.accepting:  # ε ∈ prefix
+        initials += [i + offset for i in loop_nba.initials]
+    accepting = [s + offset for s in loop_nba.accepting]
+    return NBA(
+        alphabet,
+        prefix_dfa.num_states + loop_nba.num_states,
+        {k: frozenset(v) for k, v in transitions.items()},
+        initials,
+        accepting,
+    )
+
+
+def omega_regex_to_nba(expression: OmegaRegex, alphabet: Alphabet) -> NBA:
+    """Disjoint union of the per-term NBAs."""
+    parts = [_term_nba(term, alphabet) for term in expression.terms]
+    transitions: dict[tuple[int, Symbol], set[int]] = {}
+    initials: list[int] = []
+    accepting: list[int] = []
+    offset = 0
+    for part in parts:
+        for (state, symbol), targets in part.transitions.items():
+            transitions[(state + offset, symbol)] = {t + offset for t in targets}
+        initials += [i + offset for i in part.initials]
+        accepting += [f + offset for f in part.accepting]
+        offset += part.num_states
+    return NBA(
+        alphabet, offset, {k: frozenset(v) for k, v in transitions.items()}, initials, accepting
+    )
+
+
+def omega_language(text: str, alphabet: Alphabet) -> DetAutomaton:
+    """Parse an ω-regular expression and determinize it (Safra)."""
+    from repro.omega.safra import determinize
+
+    nba = omega_regex_to_nba(parse_omega_regex(text), alphabet)
+    return determinize(nba).trim()
+
+
+__all__ = [
+    "OmegaRegex",
+    "OmegaTerm",
+    "parse_omega_regex",
+    "omega_regex_to_nba",
+    "omega_language",
+]

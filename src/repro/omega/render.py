@@ -1,0 +1,75 @@
+"""Human-readable renderings of automata: text tables and Graphviz DOT."""
+
+from __future__ import annotations
+
+from repro.finitary.dfa import DFA
+from repro.omega.acceptance import Kind
+from repro.omega.automaton import DetAutomaton
+
+
+def _symbol_groups(automaton: DetAutomaton | DFA, state: int) -> dict[int, list[str]]:
+    """Targets grouped with the symbols that reach them (labels compressed)."""
+    groups: dict[int, list[str]] = {}
+    for symbol in automaton.alphabet:
+        target = automaton.step(state, symbol)
+        if isinstance(symbol, frozenset):
+            label = "{" + ",".join(sorted(symbol)) + "}"
+        else:
+            label = str(symbol)
+        groups.setdefault(target, []).append(label)
+    return groups
+
+
+def describe(automaton: DetAutomaton) -> str:
+    """A compact textual table of the automaton."""
+    lines = [
+        f"{automaton.acceptance.kind.value} automaton, "
+        f"{automaton.num_states} states, initial {automaton.initial}"
+    ]
+    for index, pair in enumerate(automaton.acceptance.pairs):
+        left_name, right_name = ("R", "P") if automaton.acceptance.kind is Kind.STREETT else ("E", "F")
+        lines.append(
+            f"  pair {index}: {left_name}={sorted(pair.left)} {right_name}={sorted(pair.right)}"
+        )
+    for state in automaton.states:
+        edges = ", ".join(
+            f"{'|'.join(labels)}→{target}" for target, labels in _symbol_groups(automaton, state).items()
+        )
+        lines.append(f"  {state}: {edges}")
+    return "\n".join(lines)
+
+
+def to_dot(automaton: DetAutomaton | DFA, *, name: str = "automaton") -> str:
+    """Graphviz DOT source.
+
+    ω-automata annotate states with their acceptance-pair memberships
+    (``R0``/``P0`` or ``E0``/``F0``); DFAs use double circles for accepting
+    states.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=LR;", '  __init [shape=point, label=""];']
+    if isinstance(automaton, DetAutomaton):
+        left_name, right_name = (
+            ("R", "P") if automaton.acceptance.kind is Kind.STREETT else ("E", "F")
+        )
+        for state in automaton.states:
+            tags = []
+            for index, pair in enumerate(automaton.acceptance.pairs):
+                if state in pair.left:
+                    tags.append(f"{left_name}{index}")
+                if state in pair.right:
+                    tags.append(f"{right_name}{index}")
+            label = str(state) + (f"\\n{','.join(tags)}" if tags else "")
+            lines.append(f'  q{state} [shape=circle, label="{label}"];')
+        initial = automaton.initial
+    else:
+        for state in automaton.states:
+            shape = "doublecircle" if state in automaton.accepting else "circle"
+            lines.append(f'  q{state} [shape={shape}, label="{state}"];')
+        initial = automaton.initial
+    lines.append(f"  __init -> q{initial};")
+    for state in automaton.states:
+        for target, labels in _symbol_groups(automaton, state).items():
+            label = "|".join(labels).replace('"', "'")
+            lines.append(f'  q{state} -> q{target} [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Reactive systems: fair transition systems, model checking, specification
+analysis — the verification side of the paper (§1, §4's examples)."""
+
+from repro.systems.fts import FairTransitionSystem, Fairness, Transition
+from repro.systems.modelcheck import CheckResult, check
+from repro.systems.mutex import peterson, semaphore_mutex, trivial_mutex
+from repro.systems.compose import interleave, prefixed
+from repro.systems.program import ProgramBuilder, bounded_buffer, dining_philosophers
+from repro.systems.proofrules import ProofResult, invariance_rule, response_rule
+from repro.systems.speclint import SpecificationReport, lint_specification
+
+__all__ = [
+    "FairTransitionSystem",
+    "Fairness",
+    "Transition",
+    "CheckResult",
+    "check",
+    "peterson",
+    "semaphore_mutex",
+    "trivial_mutex",
+    "ProgramBuilder",
+    "bounded_buffer",
+    "dining_philosophers",
+    "interleave",
+    "prefixed",
+    "ProofResult",
+    "invariance_rule",
+    "response_rule",
+    "SpecificationReport",
+    "lint_specification",
+]

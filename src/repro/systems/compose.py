@@ -1,0 +1,85 @@
+"""Parallel (interleaving) composition of fair transition systems.
+
+The paper's reactive-systems setting treats a concurrent program as one
+fair transition system whose transitions interleave those of its
+components (§1: each component is studied through its interaction).  This
+module builds that composition mechanically: product states, component
+transitions lifted to act on their side only, fairness preserved.
+
+Proposition names of the two components must be disjoint (rename with
+:func:`prefixed` if needed); the composite label is the union.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.systems.fts import FairTransitionSystem, State, Transition
+
+
+def _lift(transition: Transition, side: int) -> Transition:
+    def guard(state: tuple[State, State]) -> bool:
+        return transition.guard(state[side])
+
+    def apply(state: tuple[State, State]):
+        for changed in transition.apply(state[side]):
+            if side == 0:
+                yield (changed, state[1])
+            else:
+                yield (state[0], changed)
+
+    return Transition(transition.name, guard, apply, transition.fairness)
+
+
+def interleave(
+    left: FairTransitionSystem, right: FairTransitionSystem, *, name: str | None = None
+) -> FairTransitionSystem:
+    """The asynchronous product ``left ∥ right``."""
+    shared = left.propositions & right.propositions
+    if shared:
+        raise ReproError(
+            f"components share propositions {sorted(shared)}; rename with prefixed()"
+        )
+    duplicate_names = {t.name for t in left.transitions} & {t.name for t in right.transitions}
+    if duplicate_names:
+        raise ReproError(
+            f"components share transition names {sorted(duplicate_names)}; "
+            "rename with prefixed()"
+        )
+
+    transitions = [_lift(t, 0) for t in left.transitions] + [
+        _lift(t, 1) for t in right.transitions
+    ]
+
+    def labeling(state: tuple[State, State]) -> frozenset[str]:
+        return left.label(state[0]) | right.label(state[1])
+
+    return FairTransitionSystem(
+        name=name or f"{left.name}||{right.name}",
+        initial_states=[
+            (l, r) for l in left.initial_states for r in right.initial_states
+        ],
+        transitions=transitions,
+        labeling=labeling,
+        propositions=left.propositions | right.propositions,
+    )
+
+
+def prefixed(system: FairTransitionSystem, prefix: str) -> FairTransitionSystem:
+    """Rename every proposition and transition with ``prefix_`` — the
+    standard preparation for composing two copies of the same component."""
+    mapping = {prop: f"{prefix}_{prop}" for prop in system.propositions}
+    transitions = [
+        Transition(f"{prefix}_{t.name}", t.guard, t.apply, t.fairness)
+        for t in system.transitions
+    ]
+
+    def labeling(state: State) -> frozenset[str]:
+        return frozenset(mapping[prop] for prop in system.label(state))
+
+    return FairTransitionSystem(
+        name=f"{prefix}:{system.name}",
+        initial_states=list(system.initial_states),
+        transitions=transitions,
+        labeling=labeling,
+        propositions=frozenset(mapping.values()),
+    )

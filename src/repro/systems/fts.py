@@ -1,0 +1,122 @@
+"""Fair transition systems (the computational model of [MP83], §4).
+
+A system is a set of guarded transitions over hashable states, with per-
+transition *weak* (justice) or *strong* (compassion) fairness.  Computations
+are infinite state sequences; a dedicated *idling* transition keeps
+terminated or blocked states productive, exactly as the paper extends
+finite computations by duplicate states.
+
+The observable behaviour of a state is its set of propositions (the
+``labeling``); a computation's word over ``2^AP`` is what temporal formulas
+are evaluated on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Hashable, Iterable
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import ReproError
+from repro.words.alphabet import Alphabet
+
+State = Hashable
+
+
+class Fairness(Enum):
+    NONE = "none"
+    WEAK = "weak"  # justice: not forever enabled-but-never-taken
+    STRONG = "strong"  # compassion: enabled infinitely often ⇒ taken infinitely often
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A guarded transition ``τ``: enabled states and their successors."""
+
+    name: str
+    guard: Callable[[State], bool]
+    apply: Callable[[State], Iterable[State]]
+    fairness: Fairness = Fairness.NONE
+
+    def enabled(self, state: State) -> bool:
+        return self.guard(state)
+
+    def successors(self, state: State) -> list[State]:
+        if not self.guard(state):
+            return []
+        return list(self.apply(state))
+
+
+IDLE = "idle"
+
+
+@dataclass
+class FairTransitionSystem:
+    """``⟨V, Θ, T, J, C⟩`` in the paper's notation, states kept abstract."""
+
+    name: str
+    initial_states: list[State]
+    transitions: list[Transition]
+    labeling: Callable[[State], frozenset[str]]
+    propositions: frozenset[str]
+    include_idling: bool = True
+    _graph: dict[State, list[tuple[str, State]]] | None = field(default=None, repr=False)
+
+    def alphabet(self) -> Alphabet:
+        return Alphabet.powerset_of_propositions(self.propositions)
+
+    def label(self, state: State) -> frozenset[str]:
+        label = frozenset(self.labeling(state))
+        if not label <= self.propositions:
+            raise ReproError(f"state {state!r} labelled outside declared propositions")
+        return label
+
+    # ------------------------------------------------------------ exploration
+
+    def state_graph(self) -> dict[State, list[tuple[str, State]]]:
+        """Reachable states and their outgoing ``(transition name, target)``
+        edges; the idling self-loop is added where requested (always on
+        states with no enabled transition, so every path extends forever)."""
+        if self._graph is not None:
+            return self._graph
+        graph: dict[State, list[tuple[str, State]]] = {}
+        queue: deque[State] = deque(self.initial_states)
+        seen = set(self.initial_states)
+        while queue:
+            state = queue.popleft()
+            edges: list[tuple[str, State]] = []
+            for transition in self.transitions:
+                for target in transition.successors(state):
+                    edges.append((transition.name, target))
+                    if target not in seen:
+                        seen.add(target)
+                        queue.append(target)
+            if self.include_idling or not edges:
+                edges.append((IDLE, state))
+            graph[state] = edges
+        self._graph = graph
+        return graph
+
+    def reachable_states(self) -> list[State]:
+        return list(self.state_graph())
+
+    def transition_named(self, name: str) -> Transition:
+        for transition in self.transitions:
+            if transition.name == name:
+                return transition
+        raise KeyError(name)
+
+    def enabled_transitions(self, state: State) -> list[Transition]:
+        return [t for t in self.transitions if t.enabled(state)]
+
+    def deadlock_states(self) -> list[State]:
+        """Reachable states with no enabled (non-idling) transition."""
+        return [
+            state
+            for state in self.state_graph()
+            if not any(t.enabled(state) for t in self.transitions)
+        ]
+
+    def __hash__(self) -> int:
+        return id(self)

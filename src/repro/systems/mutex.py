@@ -1,0 +1,191 @@
+"""Mutual exclusion programs as fair transition systems (§1's running story).
+
+Three systems, one narrative:
+
+* :func:`trivial_mutex` — nobody ever enters the critical section.  It
+  satisfies the safety half of the specification (``□¬(C₁ ∧ C₂)``) and
+  violates accessibility — the paper's example of *underspecification*.
+* :func:`peterson` — Peterson's algorithm.  Under weak fairness it satisfies
+  both the safety and the accessibility (recurrence) properties.
+* :func:`semaphore_mutex` — a semaphore-based protocol whose accessibility
+  needs *strong* fairness on the semaphore acquisition (the paper's
+  motivating example for compassion/simple reactivity).
+
+States are tuples; propositions follow the paper: ``in_n1/in_t1/in_c1`` for
+process 1's non-critical, trying, and critical locations, likewise for 2.
+"""
+
+from __future__ import annotations
+
+from repro.systems.fts import Fairness, FairTransitionSystem, Transition
+
+_PROPS = frozenset(
+    {"in_n1", "in_t1", "in_c1", "in_n2", "in_t2", "in_c2"}
+)
+
+
+def _location_label(loc1: str, loc2: str) -> frozenset[str]:
+    return frozenset({f"in_{loc1}1", f"in_{loc2}2"})
+
+
+def trivial_mutex() -> FairTransitionSystem:
+    """Both processes loop between non-critical and trying, never entering.
+
+    The entry transitions simply do not exist; the system trivially keeps
+    mutual exclusion while starving everyone.
+    """
+
+    def request(process: int) -> Transition:
+        def guard(state) -> bool:
+            return state[process] == "n"
+
+        def apply(state):
+            updated = list(state)
+            updated[process] = "t"
+            yield tuple(updated)
+
+        return Transition(f"request{process + 1}", guard, apply, Fairness.WEAK)
+
+    return FairTransitionSystem(
+        name="trivial-mutex",
+        initial_states=[("n", "n")],
+        transitions=[request(0), request(1)],
+        labeling=lambda state: _location_label(state[0], state[1]),
+        propositions=_PROPS,
+    )
+
+
+def peterson() -> FairTransitionSystem:
+    """Peterson's algorithm.
+
+    State: ``(loc1, loc2, flag1, flag2, turn)``; locations ``n`` (non-
+    critical), ``w`` (setting flag & yielding turn), ``t`` (busy wait),
+    ``c`` (critical).  All transitions carry weak fairness except the
+    *request* steps (a process may stay non-critical forever).
+    """
+
+    def make(process: int) -> list[Transition]:
+        other = 1 - process
+        suffix = str(process + 1)
+
+        def at(state, loc: str) -> bool:
+            return state[process] == loc
+
+        def move(state, loc: str, **updates):
+            values = {
+                "loc1": state[0],
+                "loc2": state[1],
+                "flag1": state[2],
+                "flag2": state[3],
+                "turn": state[4],
+            }
+            values[f"loc{process + 1}"] = loc
+            values.update(updates)
+            return (values["loc1"], values["loc2"], values["flag1"], values["flag2"], values["turn"])
+
+        def request_guard(state):
+            return at(state, "n")
+
+        def request_apply(state):
+            yield move(state, "w")
+
+        def claim_guard(state):
+            return at(state, "w")
+
+        def claim_apply(state):
+            yield move(state, "t", **{f"flag{process + 1}": True, "turn": other})
+
+        def enter_guard(state):
+            other_flag = state[2 + other]
+            return at(state, "t") and (not other_flag or state[4] == process)
+
+        def enter_apply(state):
+            yield move(state, "c")
+
+        def exit_guard(state):
+            return at(state, "c")
+
+        def exit_apply(state):
+            yield move(state, "n", **{f"flag{process + 1}": False})
+
+        return [
+            Transition(f"request{suffix}", request_guard, request_apply, Fairness.NONE),
+            Transition(f"claim{suffix}", claim_guard, claim_apply, Fairness.WEAK),
+            Transition(f"enter{suffix}", enter_guard, enter_apply, Fairness.WEAK),
+            Transition(f"exit{suffix}", exit_guard, exit_apply, Fairness.WEAK),
+        ]
+
+    def labeling(state) -> frozenset[str]:
+        loc_props = []
+        for index, loc in enumerate(state[:2]):
+            name = {"n": "n", "w": "t", "t": "t", "c": "c"}[loc]
+            loc_props.append(f"in_{name}{index + 1}")
+        return frozenset(loc_props)
+
+    return FairTransitionSystem(
+        name="peterson",
+        initial_states=[("n", "n", False, False, 0)],
+        transitions=make(0) + make(1),
+        labeling=labeling,
+        propositions=_PROPS,
+    )
+
+
+def semaphore_mutex(*, strong: bool = True) -> FairTransitionSystem:
+    """Mutual exclusion through one binary semaphore.
+
+    The acquisition transitions compete for the semaphore; with only weak
+    fairness a process can starve (the scheduler may always serve the other
+    request at the exact moments the semaphore is free), so accessibility
+    requires *compassion*.  Pass ``strong=False`` to reproduce the
+    starvation counterexample.
+    """
+    fairness = Fairness.STRONG if strong else Fairness.WEAK
+
+    def make(process: int) -> list[Transition]:
+        suffix = str(process + 1)
+
+        def at(state, loc: str) -> bool:
+            return state[process] == loc
+
+        def move(state, loc: str, semaphore=None):
+            updated = list(state)
+            updated[process] = loc
+            if semaphore is not None:
+                updated[2] = semaphore
+            return tuple(updated)
+
+        return [
+            Transition(
+                f"request{suffix}",
+                lambda state, at=at: at(state, "n"),
+                lambda state, move=move: iter([move(state, "t")]),
+                Fairness.NONE,
+            ),
+            Transition(
+                f"acquire{suffix}",
+                lambda state, at=at: at(state, "t") and state[2],
+                lambda state, move=move: iter([move(state, "c", semaphore=False)]),
+                fairness,
+            ),
+            Transition(
+                f"release{suffix}",
+                lambda state, at=at: at(state, "c"),
+                lambda state, move=move: iter([move(state, "n", semaphore=True)]),
+                Fairness.WEAK,
+            ),
+        ]
+
+    return FairTransitionSystem(
+        name="semaphore-mutex" + ("" if strong else "-weak"),
+        initial_states=[("n", "n", True)],
+        transitions=make(0) + make(1),
+        labeling=lambda state: _location_label(state[0], state[1]),
+        propositions=_PROPS,
+    )
+
+
+#: The paper's two-part mutual exclusion specification.
+MUTUAL_EXCLUSION = "G !(in_c1 & in_c2)"
+ACCESSIBILITY_1 = "G (in_t1 -> F in_c1)"
+ACCESSIBILITY_2 = "G (in_t2 -> F in_c2)"

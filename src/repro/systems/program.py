@@ -1,0 +1,172 @@
+"""A small guarded-command builder for fair transition systems.
+
+States become named-variable environments instead of bare tuples; guards
+and updates are written against dict views.  Example::
+
+    system = (
+        ProgramBuilder("counter")
+        .declare("x", 0)
+        .rule("tick", guard=lambda s: s["x"] < 3, update=lambda s: {"x": s["x"] + 1},
+              fairness=Fairness.WEAK)
+        .observe("done", lambda s: s["x"] == 3)
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Mapping
+
+from repro.errors import ReproError
+from repro.systems.fts import Fairness, FairTransitionSystem, Transition
+
+Env = Mapping[str, Hashable]
+
+
+class ProgramBuilder:
+    """Accumulates variable declarations, rules and observations."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._variables: list[str] = []
+        self._initial: dict[str, Hashable] = {}
+        self._rules: list[Transition] = []
+        self._observations: list[tuple[str, Callable[[Env], bool]]] = []
+
+    # ------------------------------------------------------------- building
+
+    def declare(self, variable: str, initial: Hashable) -> "ProgramBuilder":
+        if variable in self._initial:
+            raise ReproError(f"variable {variable!r} declared twice")
+        self._variables.append(variable)
+        self._initial[variable] = initial
+        return self
+
+    def rule(
+        self,
+        name: str,
+        *,
+        guard: Callable[[Env], bool],
+        update: Callable[[Env], Mapping[str, Hashable]],
+        fairness: Fairness = Fairness.NONE,
+    ) -> "ProgramBuilder":
+        variables = tuple(self._variables)
+
+        def to_env(state: tuple) -> dict[str, Hashable]:
+            return dict(zip(variables, state))
+
+        def transition_guard(state: tuple) -> bool:
+            return guard(to_env(state))
+
+        def transition_apply(state: tuple) -> Iterable[tuple]:
+            env = to_env(state)
+            changes = update(env)
+            unknown = set(changes) - set(variables)
+            if unknown:
+                raise ReproError(f"rule {name!r} updates undeclared variables {unknown}")
+            env.update(changes)
+            yield tuple(env[v] for v in variables)
+
+        self._rules.append(Transition(name, transition_guard, transition_apply, fairness))
+        return self
+
+    def observe(self, proposition: str, predicate: Callable[[Env], bool]) -> "ProgramBuilder":
+        self._observations.append((proposition, predicate))
+        return self
+
+    def build(self) -> FairTransitionSystem:
+        if not self._variables:
+            raise ReproError("a program needs at least one variable")
+        variables = tuple(self._variables)
+        observations = tuple(self._observations)
+
+        def labeling(state: tuple) -> frozenset[str]:
+            env = dict(zip(variables, state))
+            return frozenset(prop for prop, predicate in observations if predicate(env))
+
+        return FairTransitionSystem(
+            name=self.name,
+            initial_states=[tuple(self._initial[v] for v in variables)],
+            transitions=list(self._rules),
+            labeling=labeling,
+            propositions=frozenset(prop for prop, _p in observations),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Classic systems built with the builder
+# ---------------------------------------------------------------------------
+
+
+def dining_philosophers(count: int = 3, *, strong: bool = True) -> FairTransitionSystem:
+    """``count`` philosophers, atomic both-fork pickup.
+
+    With *strong* fairness on each pickup, every hungry philosopher
+    eventually eats; with only weak fairness neighbours can conspire so that
+    the pickup is never continuously enabled — the classic starvation.
+    Propositions: ``hungry_i`` and ``eating_i``.
+    """
+    builder = ProgramBuilder(f"philosophers-{count}")
+    for index in range(count):
+        builder.declare(f"state_{index}", "think")
+
+    def neighbours(index: int) -> tuple[int, int]:
+        return (index - 1) % count, (index + 1) % count
+
+    pickup_fairness = Fairness.STRONG if strong else Fairness.WEAK
+    for index in range(count):
+        left, right = neighbours(index)
+
+        builder.rule(
+            f"hunger_{index}",
+            guard=lambda env, i=index: env[f"state_{i}"] == "think",
+            update=lambda env, i=index: {f"state_{i}": "hungry"},
+        )
+        builder.rule(
+            f"pickup_{index}",
+            guard=lambda env, i=index, l=left, r=right: (
+                env[f"state_{i}"] == "hungry"
+                and env[f"state_{l}"] != "eating"
+                and env[f"state_{r}"] != "eating"
+            ),
+            update=lambda env, i=index: {f"state_{i}": "eating"},
+            fairness=pickup_fairness,
+        )
+        builder.rule(
+            f"putdown_{index}",
+            guard=lambda env, i=index: env[f"state_{i}"] == "eating",
+            update=lambda env, i=index: {f"state_{i}": "think"},
+            fairness=Fairness.WEAK,
+        )
+        builder.observe(f"hungry_{index}", lambda env, i=index: env[f"state_{i}"] == "hungry")
+        builder.observe(f"eating_{index}", lambda env, i=index: env[f"state_{i}"] == "eating")
+    return builder.build()
+
+
+def bounded_buffer(capacity: int = 2) -> FairTransitionSystem:
+    """A producer/consumer pair around a bounded buffer.
+
+    Propositions ``empty`` and ``full``.  Under weak fairness the buffer
+    always drains after filling (``□(full → ◇¬full)``, a recurrence
+    property) but need never become empty (``□◇empty`` fails) — a compact
+    showcase of the recurrence/persistence distinction on a real system.
+    """
+    return (
+        ProgramBuilder(f"bounded-buffer-{capacity}")
+        .declare("count", 0)
+        .rule(
+            "produce",
+            guard=lambda env: env["count"] < capacity,
+            update=lambda env: {"count": env["count"] + 1},
+            fairness=Fairness.WEAK,
+        )
+        .rule(
+            "consume",
+            guard=lambda env: env["count"] > 0,
+            update=lambda env: {"count": env["count"] - 1},
+            fairness=Fairness.WEAK,
+        )
+        .observe("empty", lambda env: env["count"] == 0)
+        .observe("full", lambda env: env["count"] == capacity)
+        .build()
+    )

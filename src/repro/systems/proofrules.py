@@ -1,0 +1,212 @@
+"""Deductive proof rules — the verification methodology the paper attaches
+to the hierarchy (§1: safety by *computational induction*, liveness by
+*well-founded induction*; see also [MP84, OL82]).
+
+Unlike the model checker (which explores computations), these rules check
+*local premises* — per-state and per-transition conditions — and certify
+the temporal conclusion by the soundness of the rule.  The finite state
+graph makes premise checking effective, but the shape of the argument is
+exactly the paper's:
+
+* **INV** (invariance, for safety ``□χ``): exhibit an inductive assertion
+  ``φ`` with  (1) initial states satisfy φ,  (2) every transition preserves
+  φ,  (3) φ implies χ.  The induction over positions is implicit.
+* **RESP** (response, for recurrence ``□(p → ◇q)``): exhibit a ranking
+  function ``δ`` into a well-founded order with  (1) every pending state
+  (p seen, q not yet) has every successor ranked no higher,  (2) each
+  pending state has some *helpful* weakly-fair transition whose every
+  successor strictly decreases the rank or reaches q,  (3) the helpful
+  transition stays enabled while pending at the same rank.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.systems.fts import Fairness, FairTransitionSystem, State
+
+Assertion = Callable[[State], bool]
+Ranking = Callable[[State], int]
+
+
+@dataclass(frozen=True)
+class ProofResult:
+    """Premise-by-premise outcome; ``certified`` iff all premises hold."""
+
+    rule: str
+    conclusion: str
+    premises: dict[str, bool] = field(hash=False)
+    failures: tuple[str, ...] = ()
+
+    @property
+    def certified(self) -> bool:
+        return all(self.premises.values())
+
+    def __bool__(self) -> bool:
+        return self.certified
+
+    def describe(self) -> str:
+        lines = [f"{self.rule}: {self.conclusion} — {'CERTIFIED' if self else 'NOT certified'}"]
+        for name, verdict in self.premises.items():
+            lines.append(f"  premise {name}: {'✓' if verdict else '✗'}")
+        for failure in self.failures[:5]:
+            lines.append(f"  counterexample: {failure}")
+        return "\n".join(lines)
+
+
+def invariance_rule(
+    system: FairTransitionSystem,
+    invariant: Assertion,
+    goal: Assertion | None = None,
+    *,
+    name: str = "χ",
+    universe=None,
+) -> ProofResult:
+    """The INV rule: certify ``□goal`` from an inductive ``invariant``.
+
+    When ``goal`` is omitted the invariant itself is the goal.  Premises are
+    checked over ``universe`` when given — the textbook setting, where
+    inductiveness must hold on *all* states, making invariant strengthening
+    necessary — and over the reachable graph otherwise.  The temporal
+    conclusion follows by the implicit induction of §1; no computation is
+    unrolled.
+    """
+    goal = goal or invariant
+    failures: list[str] = []
+
+    initially = all(invariant(state) for state in system.initial_states)
+    if not initially:
+        failures.append("an initial state violates the invariant")
+
+    preserved = True
+    if universe is None:
+        step_space = [
+            (state, edges) for state, edges in system.state_graph().items()
+        ]
+    else:
+        step_space = [
+            (
+                state,
+                [
+                    (t.name, target)
+                    for t in system.transitions
+                    for target in t.successors(state)
+                ],
+            )
+            for state in universe
+        ]
+    for state, edges in step_space:
+        if not invariant(state):
+            continue
+        for transition_name, target in edges:
+            if not invariant(target):
+                preserved = False
+                failures.append(f"{transition_name}: {state!r} → {target!r} leaves the invariant")
+
+    implies_goal = True
+    goal_space = list(universe) if universe is not None else list(system.state_graph())
+    for state in goal_space:
+        if invariant(state) and not goal(state):
+            implies_goal = False
+            failures.append(f"{state!r} satisfies the invariant but not the goal")
+
+    return ProofResult(
+        rule="INV",
+        conclusion=f"□{name}",
+        premises={
+            "initial states satisfy φ": initially,
+            "every transition preserves φ": preserved,
+            "φ → goal": implies_goal,
+        },
+        failures=tuple(failures),
+    )
+
+
+def response_rule(
+    system: FairTransitionSystem,
+    trigger: Assertion,
+    goal: Assertion,
+    ranking: Ranking,
+    helpful: Callable[[State], str],
+    *,
+    name: str = "p → ◇q",
+) -> ProofResult:
+    """The RESP rule: certify ``□(trigger → ◇goal)`` from a ranking.
+
+    ``helpful`` names, for each pending state, a weakly fair transition
+    whose execution makes progress.  Premises (checked on the reachable
+    graph; "pending" = reachable state satisfying ``trigger ∧ ¬goal`` or
+    reachable from one without passing ``goal``):
+
+    N1  every step from a pending state reaches ``goal`` or keeps the rank
+        from increasing;
+    N2  the helpful transition's every successor reaches ``goal`` or
+        strictly decreases the rank;
+    N3  the helpful transition is enabled at every pending state and is
+        declared weakly fair.
+    """
+    graph = system.state_graph()
+
+    # Pending region: forward closure of trigger∧¬goal states avoiding goal.
+    pending: set[State] = set()
+    frontier = [s for s in graph if trigger(s) and not goal(s)]
+    pending.update(frontier)
+    while frontier:
+        state = frontier.pop()
+        for _t, target in graph[state]:
+            if not goal(target) and target not in pending:
+                pending.add(target)
+                frontier.append(target)
+
+    failures: list[str] = []
+    never_increases = True
+    for state in pending:
+        for transition_name, target in graph[state]:
+            if goal(target):
+                continue
+            if ranking(target) > ranking(state):
+                never_increases = False
+                failures.append(
+                    f"N1 {transition_name}: δ({state!r})={ranking(state)} "
+                    f"rises to δ({target!r})={ranking(target)}"
+                )
+
+    helpful_decreases = True
+    helpful_enabled = True
+    helpful_fair = True
+    for state in pending:
+        transition_name = helpful(state)
+        try:
+            transition = system.transition_named(transition_name)
+        except KeyError:
+            helpful_enabled = False
+            failures.append(f"N3 unknown helpful transition {transition_name!r} at {state!r}")
+            continue
+        if transition.fairness is Fairness.NONE:
+            helpful_fair = False
+            failures.append(f"N3 helpful transition {transition_name!r} carries no fairness")
+        if not transition.enabled(state):
+            helpful_enabled = False
+            failures.append(f"N3 helpful {transition_name!r} disabled at {state!r}")
+            continue
+        for target in transition.successors(state):
+            if goal(target):
+                continue
+            if ranking(target) >= ranking(state):
+                helpful_decreases = False
+                failures.append(
+                    f"N2 helpful {transition_name!r} at {state!r} does not decrease δ"
+                )
+
+    return ProofResult(
+        rule="RESP",
+        conclusion=f"□({name})",
+        premises={
+            "N1 rank never increases while pending": never_increases,
+            "N2 helpful step decreases the rank": helpful_decreases,
+            "N3 helpful transition enabled when pending": helpful_enabled,
+            "N3 helpful transition is fair": helpful_fair,
+        },
+        failures=tuple(failures),
+    )

@@ -1,0 +1,88 @@
+"""Specification linting: the paper's completeness check list (§1).
+
+A property-list specification is classified property by property; the
+report shows which hierarchy classes are covered and raises the paper's
+warning when a specification is *safety-only* (the mutual-exclusion
+underspecification trap: a do-nothing implementation satisfies it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classes import TemporalClass
+from repro.core.classifier import FormulaReport, classify_formula
+from repro.logic.ast import Formula
+from repro.logic.parser import parse_formula
+from repro.words.alphabet import Alphabet
+
+
+@dataclass(frozen=True)
+class SpecificationReport:
+    """Per-property classes plus coverage diagnostics."""
+
+    reports: tuple[FormulaReport, ...]
+
+    @property
+    def classes_used(self) -> frozenset[TemporalClass]:
+        return frozenset(report.canonical_class for report in self.reports)
+
+    @property
+    def has_progress_requirement(self) -> bool:
+        """Does any property go beyond the safety class?"""
+        return any(report.canonical_class is not TemporalClass.SAFETY for report in self.reports)
+
+    @property
+    def has_liveness_requirement(self) -> bool:
+        return any(report.is_liveness for report in self.reports)
+
+    def warnings(self) -> list[str]:
+        notes: list[str] = []
+        if not self.reports:
+            notes.append("the specification is empty")
+            return notes
+        if not self.has_progress_requirement:
+            notes.append(
+                "safety-only specification: a system that never does anything "
+                "satisfies it (the paper's mutual-exclusion underspecification)"
+            )
+        if not self.has_liveness_requirement:
+            notes.append(
+                "no liveness property: every requirement constrains only finite "
+                "behaviour; consider an accessibility/response property"
+            )
+        return notes
+
+    def table(self) -> str:
+        rows = [f"{'property':40s}  {'class':12s}  {'Borel':4s}  live"]
+        for report in self.reports:
+            rows.append(
+                f"{str(report.formula)[:40]:40s}  "
+                f"{report.canonical_class.value:12s}  "
+                f"{report.canonical_class.borel_name:4s}  "
+                f"{'yes' if report.is_liveness else 'no'}"
+            )
+        for note in self.warnings():
+            rows.append(f"warning: {note}")
+        return "\n".join(rows)
+
+
+def lint_specification(
+    properties: list[str | Formula], alphabet: Alphabet | None = None
+) -> SpecificationReport:
+    """Classify each property of a specification and report coverage.
+
+    When no alphabet is given, one shared ``2^AP`` alphabet is built from
+    the union of all mentioned propositions, so the classifications are
+    mutually comparable.
+    """
+    formulas = [
+        parse_formula(item) if isinstance(item, str) else item for item in properties
+    ]
+    if alphabet is None:
+        propositions: set[str] = set()
+        for formula in formulas:
+            propositions |= formula.propositions()
+        alphabet = Alphabet.powerset_of_propositions(propositions or {"p"})
+    reports = tuple(classify_formula(formula, alphabet) for formula in formulas)
+    return SpecificationReport(reports=reports)

@@ -1,0 +1,33 @@
+"""The topological view (§3): the Cantor metric on ``Σ^ω`` and the Borel
+correspondence — safety = closed (F), guarantee = open (G), recurrence =
+``G_δ``, persistence = ``F_σ``, liveness = dense."""
+
+from repro.topology.borel import (
+    borel_level,
+    boundary,
+    closure,
+    g_delta_approximants,
+    interior,
+    is_closed,
+    is_dense,
+    is_f_sigma,
+    is_g_delta,
+    is_open,
+)
+from repro.topology.metric import ball_around, converges_to, distance
+
+__all__ = [
+    "borel_level",
+    "boundary",
+    "closure",
+    "g_delta_approximants",
+    "interior",
+    "is_closed",
+    "is_dense",
+    "is_f_sigma",
+    "is_g_delta",
+    "is_open",
+    "ball_around",
+    "converges_to",
+    "distance",
+]

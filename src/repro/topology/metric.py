@@ -1,0 +1,71 @@
+"""The metric space ``(Σ^ω, μ)`` of §3.
+
+``μ(σ, σ') = 2^{-j}`` where ``j`` is the first position where the words
+differ; the induced topology is the Cantor topology whose basic open sets
+are the *cylinders* ``u·Σ^ω``.  Convergence and balls are provided for
+ultimately-periodic words, which is all an ω-regular analysis ever needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from fractions import Fraction
+
+from repro.omega.automaton import DetAutomaton
+from repro.words.finite import FiniteWord
+from repro.words.lasso import LassoWord, distance
+
+__all__ = ["distance", "converges_to", "ball_around", "cylinder"]
+
+
+def converges_to(
+    sequence: Callable[[int], LassoWord] | Sequence[LassoWord],
+    limit: LassoWord,
+    *,
+    witnesses: int = 32,
+) -> bool:
+    """Does ``σ_k → σ`` hold, certified up to prefix length ``witnesses``?
+
+    Convergence means the shared-prefix length grows without bound; for an
+    indexed family this checks that every target length ``L ≤ witnesses`` is
+    achieved by some later member and that distances never have to return
+    once a prefix is locked (sound for the monotone families the paper
+    uses — the general statement is not finitely checkable).
+    """
+    def member(index: int) -> LassoWord:
+        if callable(sequence):
+            return sequence(index)
+        return sequence[min(index, len(sequence) - 1)]
+
+    horizon = witnesses if callable(sequence) else min(witnesses, len(sequence))
+    for target_length in range(1, witnesses + 1):
+        achieved = False
+        for index in range(horizon + target_length):
+            gap = distance(member(index), limit)
+            if gap == 0 or gap <= Fraction(1, 2**target_length):
+                achieved = True
+                break
+        if not achieved:
+            return False
+    return True
+
+
+def ball_around(center: LassoWord, radius_exponent: int) -> "Callable[[LassoWord], bool]":
+    """The open ball ``{σ' : μ(σ, σ') < 2^{-radius_exponent}}`` as a predicate —
+    equivalently the cylinder of σ's prefix of length ``radius_exponent + 1``."""
+    prefix = center.prefix(radius_exponent + 1)
+
+    def contains(word: LassoWord) -> bool:
+        return word.prefix(len(prefix)) == prefix
+
+    return contains
+
+
+def cylinder(prefix: FiniteWord, alphabet) -> DetAutomaton:
+    """``prefix·Σ^ω`` as a deterministic automaton — the basic open (and
+    closed!) sets of the topology."""
+    from repro.finitary.dfa import DFA
+    from repro.omega.linguistic import e_of
+    from repro.finitary.language import FinitaryLanguage
+
+    return e_of(FinitaryLanguage(DFA.from_word(alphabet, prefix)))

@@ -1,0 +1,21 @@
+"""Words over finite alphabets: finite words and ultimately-periodic ω-words.
+
+The paper views a computation as an infinite sequence of states drawn from a
+set ``Σ``.  Every ω-regular property is determined by its ultimately-periodic
+members, so :class:`LassoWord` (``u · v^ω``) is the concrete representation of
+infinite words used throughout the library.
+"""
+
+from repro.words.alphabet import Alphabet
+from repro.words.finite import FiniteWord, all_words, words_up_to
+from repro.words.lasso import LassoWord, all_lassos, distance
+
+__all__ = [
+    "Alphabet",
+    "FiniteWord",
+    "LassoWord",
+    "all_words",
+    "words_up_to",
+    "all_lassos",
+    "distance",
+]

@@ -1,0 +1,110 @@
+"""Finite alphabets.
+
+The paper allows arbitrary (even infinite) state sets ``Σ``; every algorithm
+in this library works over an explicit finite alphabet, which suffices for
+the propositional fragment (``Σ = 2^AP``) and for all of the paper's
+examples (``Σ = {a, b, c, d}``).  Symbols may be any hashable value —
+single-character strings for the language-theoretic view, frozensets of
+proposition names for the logic view.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any
+
+from repro.errors import AlphabetError
+
+Symbol = Hashable
+
+
+class Alphabet:
+    """An immutable, ordered finite set of symbols.
+
+    The iteration order is fixed at construction time (first-seen order) so
+    that automaton constructions and enumerations are deterministic.
+    """
+
+    __slots__ = ("_symbols", "_index")
+
+    def __init__(self, symbols: Iterable[Symbol]) -> None:
+        ordered: list[Symbol] = []
+        index: dict[Symbol, int] = {}
+        for symbol in symbols:
+            if symbol not in index:
+                index[symbol] = len(ordered)
+                ordered.append(symbol)
+        if not ordered:
+            raise AlphabetError("an alphabet must contain at least one symbol")
+        self._symbols: tuple[Symbol, ...] = tuple(ordered)
+        self._index = index
+
+    @classmethod
+    def of(cls, *symbols: Symbol) -> Alphabet:
+        """Build an alphabet from positional symbols: ``Alphabet.of('a', 'b')``."""
+        return cls(symbols)
+
+    @classmethod
+    def from_letters(cls, letters: str) -> Alphabet:
+        """Build an alphabet of single-character symbols from a string."""
+        return cls(letters)
+
+    @classmethod
+    def powerset_of_propositions(cls, propositions: Iterable[str]) -> Alphabet:
+        """The alphabet ``2^AP`` used by the temporal-logic view.
+
+        Symbols are frozensets of the proposition names that hold in a state.
+        Ordered by subset size, then lexicographically, for reproducibility.
+        """
+        props = sorted(set(propositions))
+        subsets = [frozenset()]
+        for prop in props:
+            subsets += [subset | {prop} for subset in subsets]
+        subsets.sort(key=lambda s: (len(s), tuple(sorted(s))))
+        return cls(subsets)
+
+    @property
+    def symbols(self) -> tuple[Symbol, ...]:
+        return self._symbols
+
+    def index(self, symbol: Symbol) -> int:
+        """The fixed position of ``symbol`` in this alphabet."""
+        try:
+            return self._index[symbol]
+        except KeyError:
+            raise AlphabetError(f"symbol {symbol!r} not in alphabet {self}") from None
+
+    def __contains__(self, symbol: Any) -> bool:
+        try:
+            return symbol in self._index
+        except TypeError:
+            return False
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self._symbols)
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Alphabet):
+            return NotImplemented
+        return set(self._symbols) == set(other._symbols)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._symbols))
+
+    def __repr__(self) -> str:
+        shown = ", ".join(repr(s) for s in self._symbols[:6])
+        suffix = ", ..." if len(self._symbols) > 6 else ""
+        return f"Alphabet({{{shown}{suffix}}})"
+
+    def require(self, symbol: Symbol) -> Symbol:
+        """Return ``symbol`` if it belongs to the alphabet, else raise."""
+        if symbol not in self:
+            raise AlphabetError(f"symbol {symbol!r} not in alphabet {self}")
+        return symbol
+
+    def is_compatible_with(self, other: Alphabet) -> bool:
+        """True when both alphabets contain exactly the same symbols."""
+        return set(self._symbols) == set(other._symbols)

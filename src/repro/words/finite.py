@@ -1,0 +1,121 @@
+"""Finite words over an alphabet.
+
+A :class:`FiniteWord` is an immutable sequence of symbols.  The paper's
+finitary properties are sets of *non-empty* finite words (``Σ⁺``); the empty
+word exists here only as a technical device (e.g. as the seed of breadth-
+first enumerations) and is never a member of a finitary property.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import AlphabetError
+from repro.words.alphabet import Alphabet, Symbol
+
+
+class FiniteWord:
+    """An immutable finite word ``σ ∈ Σ*``."""
+
+    __slots__ = ("_symbols",)
+
+    def __init__(self, symbols: Iterable[Symbol]) -> None:
+        self._symbols: tuple[Symbol, ...] = tuple(symbols)
+
+    @classmethod
+    def from_letters(cls, letters: str) -> FiniteWord:
+        """Build a word of single-character symbols: ``FiniteWord.from_letters('aab')``."""
+        return cls(letters)
+
+    @classmethod
+    def empty(cls) -> FiniteWord:
+        return cls(())
+
+    @property
+    def symbols(self) -> tuple[Symbol, ...]:
+        return self._symbols
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __bool__(self) -> bool:
+        return bool(self._symbols)
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self._symbols)
+
+    def __getitem__(self, index: int | slice) -> Symbol | FiniteWord:
+        if isinstance(index, slice):
+            return FiniteWord(self._symbols[index])
+        return self._symbols[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FiniteWord):
+            return NotImplemented
+        return self._symbols == other._symbols
+
+    def __hash__(self) -> int:
+        return hash(self._symbols)
+
+    def __repr__(self) -> str:
+        if all(isinstance(s, str) and len(s) == 1 for s in self._symbols):
+            return f"FiniteWord({''.join(self._symbols)!r})"
+        return f"FiniteWord({list(self._symbols)!r})"
+
+    def __add__(self, other: FiniteWord | Iterable[Symbol]) -> FiniteWord:
+        other_symbols = other.symbols if isinstance(other, FiniteWord) else tuple(other)
+        return FiniteWord(self._symbols + other_symbols)
+
+    def __mul__(self, count: int) -> FiniteWord:
+        return FiniteWord(self._symbols * count)
+
+    def append(self, symbol: Symbol) -> FiniteWord:
+        return FiniteWord(self._symbols + (symbol,))
+
+    def is_prefix_of(self, other: FiniteWord | Sequence[Symbol]) -> bool:
+        """The relation ``σ ⪯ σ'`` restricted to finite ``σ'``."""
+        other_symbols = other.symbols if isinstance(other, FiniteWord) else tuple(other)
+        return self._symbols == other_symbols[: len(self._symbols)]
+
+    def is_proper_prefix_of(self, other: FiniteWord | Sequence[Symbol]) -> bool:
+        """The relation ``σ ≺ σ'`` restricted to finite ``σ'``."""
+        other_symbols = other.symbols if isinstance(other, FiniteWord) else tuple(other)
+        return len(self._symbols) < len(other_symbols) and self.is_prefix_of(other_symbols)
+
+    def prefixes(self, *, proper: bool = False, include_empty: bool = False) -> Iterator[FiniteWord]:
+        """All prefixes of this word, shortest first.
+
+        By default yields the *non-empty* prefixes including the word itself,
+        matching the paper's ``σ' ⪯ σ`` over ``Σ⁺``.
+        """
+        start = 0 if include_empty else 1
+        end = len(self._symbols) + (0 if proper else 1)
+        for length in range(start, end):
+            yield FiniteWord(self._symbols[:length])
+
+    def check_alphabet(self, alphabet: Alphabet) -> FiniteWord:
+        for symbol in self._symbols:
+            if symbol not in alphabet:
+                raise AlphabetError(f"symbol {symbol!r} of {self!r} not in {alphabet}")
+        return self
+
+
+def all_words(alphabet: Alphabet, length: int) -> Iterator[FiniteWord]:
+    """All words of exactly ``length`` symbols, in lexicographic alphabet order."""
+    if length == 0:
+        yield FiniteWord.empty()
+        return
+    for shorter in all_words(alphabet, length - 1):
+        for symbol in alphabet:
+            yield shorter.append(symbol)
+
+
+def words_up_to(alphabet: Alphabet, max_length: int, *, include_empty: bool = False) -> Iterator[FiniteWord]:
+    """All words of length ``1..max_length`` (``0..max_length`` if requested).
+
+    This is the brute-force enumeration oracle used by the test suite to
+    validate DFA constructions against the paper's set-theoretic definitions.
+    """
+    start = 0 if include_empty else 1
+    for length in range(start, max_length + 1):
+        yield from all_words(alphabet, length)

@@ -1,0 +1,168 @@
+"""Ultimately-periodic ω-words (lasso words) ``u · v^ω``.
+
+Two ω-regular languages are equal iff they agree on all ultimately-periodic
+words, so lassos are both the concrete carrier of the paper's computations
+and the backbone of the library's differential tests.  Every lasso is kept
+in a canonical form (primitive loop, minimal stem) so that structural
+equality coincides with equality as infinite sequences.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator
+from fractions import Fraction
+
+from repro.errors import ReproError
+from repro.words.alphabet import Alphabet, Symbol
+from repro.words.finite import FiniteWord, all_words
+
+
+def _primitive_root(word: tuple[Symbol, ...]) -> tuple[Symbol, ...]:
+    """The shortest ``r`` with ``word = r^k`` (classic failure-function trick)."""
+    n = len(word)
+    for period in range(1, n + 1):
+        if n % period == 0 and word == word[:period] * (n // period):
+            return word[:period]
+    raise AssertionError("unreachable: every word is its own root")
+
+
+class LassoWord:
+    """The infinite word ``u · v^ω`` with ``v`` non-empty.
+
+    Instances are immutable and canonical: the loop ``v`` is primitive and
+    the stem ``u`` is as short as possible (no symbol of the stem's tail can
+    be rotated into the loop).  Equality and hashing therefore agree with
+    equality of the denoted infinite sequences.
+    """
+
+    __slots__ = ("_stem", "_loop")
+
+    def __init__(self, stem: Iterable[Symbol], loop: Iterable[Symbol]) -> None:
+        stem_t = tuple(stem.symbols if isinstance(stem, FiniteWord) else stem)
+        loop_t = tuple(loop.symbols if isinstance(loop, FiniteWord) else loop)
+        if not loop_t:
+            raise ReproError("a lasso word needs a non-empty loop")
+        loop_t = _primitive_root(loop_t)
+        # Roll stem symbols into the loop while the stem's last symbol equals
+        # the loop's last symbol: u·x (y…zx)^ω = u (xy…z)^ω.
+        while stem_t and stem_t[-1] == loop_t[-1]:
+            stem_t = stem_t[:-1]
+            loop_t = (loop_t[-1],) + loop_t[:-1]
+        self._stem = stem_t
+        self._loop = loop_t
+
+    @classmethod
+    def from_letters(cls, stem: str, loop: str) -> LassoWord:
+        """``LassoWord.from_letters('a', 'ab')`` denotes ``a(ab)^ω``."""
+        return cls(tuple(stem), tuple(loop))
+
+    @classmethod
+    def constant(cls, symbol: Symbol) -> LassoWord:
+        """The word ``symbol^ω``."""
+        return cls((), (symbol,))
+
+    @property
+    def stem(self) -> tuple[Symbol, ...]:
+        return self._stem
+
+    @property
+    def loop(self) -> tuple[Symbol, ...]:
+        return self._loop
+
+    def __getitem__(self, position: int) -> Symbol:
+        if position < 0:
+            raise IndexError("ω-words have no negative positions")
+        if position < len(self._stem):
+            return self._stem[position]
+        return self._loop[(position - len(self._stem)) % len(self._loop)]
+
+    def prefix(self, length: int) -> FiniteWord:
+        """The prefix ``σ[0..length-1]`` as a finite word."""
+        return FiniteWord(self[i] for i in range(length))
+
+    def prefixes(self, max_length: int) -> Iterator[FiniteWord]:
+        """The non-empty prefixes of length ``1..max_length``."""
+        for length in range(1, max_length + 1):
+            yield self.prefix(length)
+
+    def suffix(self, drop: int) -> LassoWord:
+        """The ω-word obtained by deleting the first ``drop`` positions."""
+        if drop <= len(self._stem):
+            return LassoWord(self._stem[drop:], self._loop)
+        extra = (drop - len(self._stem)) % len(self._loop)
+        return LassoWord((), self._loop[extra:] + self._loop[:extra])
+
+    def prepend(self, word: FiniteWord | Iterable[Symbol]) -> LassoWord:
+        symbols = word.symbols if isinstance(word, FiniteWord) else tuple(word)
+        return LassoWord(symbols + self._stem, self._loop)
+
+    def symbols_used(self) -> frozenset[Symbol]:
+        return frozenset(self._stem) | frozenset(self._loop)
+
+    def stabilization_bound(self) -> int:
+        """A position past which the word is purely periodic: ``|u|``."""
+        return len(self._stem)
+
+    def period(self) -> int:
+        return len(self._loop)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LassoWord):
+            return NotImplemented
+        return self._stem == other._stem and self._loop == other._loop
+
+    def __hash__(self) -> int:
+        return hash((self._stem, self._loop))
+
+    def __repr__(self) -> str:
+        def fmt(symbols: tuple[Symbol, ...]) -> str:
+            if all(isinstance(s, str) and len(s) == 1 for s in symbols):
+                return "".join(symbols)
+            return str(list(symbols))
+
+        return f"LassoWord({fmt(self._stem)!r}, {fmt(self._loop)!r})"
+
+    def check_alphabet(self, alphabet: Alphabet) -> LassoWord:
+        for symbol in self._stem + self._loop:
+            if symbol not in alphabet:
+                raise ReproError(f"symbol {symbol!r} of {self!r} not in {alphabet}")
+        return self
+
+
+def distance(left: LassoWord, right: LassoWord) -> Fraction:
+    """The paper's metric ``μ(σ, σ') = 2^{-j}`` (0 when identical).
+
+    ``j`` is the first position at which the words differ — equivalently the
+    length of their longest common prefix.  Because both words are lassos,
+    the comparison terminates: if no difference appears within
+    ``max stem + lcm-bounded window`` positions the words are equal.
+    """
+    if left == right:
+        return Fraction(0)
+    # The words differ, and any difference shows up within the combined
+    # transient plus one loop-alignment cycle.
+    bound = max(len(left.stem), len(right.stem)) + len(left.loop) * len(right.loop)
+    for j in range(bound + 1):
+        if left[j] != right[j]:
+            return Fraction(1, 2**j)
+    raise AssertionError("unreachable: distinct lassos differ within the bound")
+
+
+def all_lassos(alphabet: Alphabet, max_stem: int, max_loop: int) -> Iterator[LassoWord]:
+    """All distinct lasso words with ``|u| ≤ max_stem`` and ``|v| ≤ max_loop``.
+
+    The enumeration deduplicates canonical forms, so each infinite word
+    appears exactly once.  This is the exhaustive test corpus used to compare
+    ω-language constructions against each other.
+    """
+    seen: set[LassoWord] = set()
+    stem_lengths = range(0, max_stem + 1)
+    loop_lengths = range(1, max_loop + 1)
+    for stem_len, loop_len in itertools.product(stem_lengths, loop_lengths):
+        for stem in all_words(alphabet, stem_len):
+            for loop in all_words(alphabet, loop_len):
+                lasso = LassoWord(stem.symbols, loop.symbols)
+                if lasso not in seen:
+                    seen.add(lasso)
+                    yield lasso

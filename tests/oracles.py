@@ -1,0 +1,58 @@
+"""Brute-force oracles used across the test suite.
+
+These evaluate the paper's set-theoretic definitions directly on lasso
+words, independently of the automaton constructions they validate.
+"""
+
+from __future__ import annotations
+
+from repro.finitary.language import FinitaryLanguage
+from repro.words.lasso import LassoWord
+
+
+def prefix_membership_profile(phi: FinitaryLanguage, lasso: LassoWord) -> tuple[list[bool], list[bool]]:
+    """Split the infinite sequence ``[prefix_k ∈ Φ]`` (k = 1, 2, …) into its
+    transient part and its repeating cycle, found by running Φ's DFA over the
+    lasso until the (loop-offset, DFA-state) pair repeats."""
+    dfa = phi.dfa
+    state = dfa.initial
+    flags: list[bool] = []
+    seen: dict[tuple[int, int], int] = {}
+    position = 0
+    while True:
+        if position >= len(lasso.stem):
+            key = ((position - len(lasso.stem)) % len(lasso.loop), state)
+            if key in seen:
+                start = seen[key]
+                return flags[:start], flags[start:]
+            seen[key] = position
+        state = dfa.step(state, lasso[position])
+        flags.append(state in dfa.accepting)
+        position += 1
+
+
+def oracle_a(phi: FinitaryLanguage, lasso: LassoWord) -> bool:
+    """All prefixes in Φ."""
+    transient, cycle = prefix_membership_profile(phi, lasso)
+    return all(transient) and all(cycle)
+
+
+def oracle_e(phi: FinitaryLanguage, lasso: LassoWord) -> bool:
+    """Some prefix in Φ."""
+    transient, cycle = prefix_membership_profile(phi, lasso)
+    return any(transient) or any(cycle)
+
+
+def oracle_r(phi: FinitaryLanguage, lasso: LassoWord) -> bool:
+    """Infinitely many prefixes in Φ — some Φ-prefix inside the repeating cycle."""
+    _transient, cycle = prefix_membership_profile(phi, lasso)
+    return any(cycle)
+
+
+def oracle_p(phi: FinitaryLanguage, lasso: LassoWord) -> bool:
+    """All but finitely many prefixes in Φ — the whole repeating cycle in Φ."""
+    _transient, cycle = prefix_membership_profile(phi, lasso)
+    return all(cycle)
+
+
+ORACLES = {"A": oracle_a, "E": oracle_e, "R": oracle_r, "P": oracle_p}

@@ -1,0 +1,77 @@
+"""Counter-freedom: the McNaughton–Papert boundary of temporal expressibility."""
+
+from repro.core import formula_to_automaton
+from repro.finitary import FinitaryLanguage, parse_regex
+from repro.logic import parse_formula
+from repro.omega import Acceptance, DetAutomaton, a_of, e_of, p_of, r_of
+from repro.omega.counterfree import counting_witness, is_counter_free, transition_monoid
+from repro.words import Alphabet
+
+AB = Alphabet.from_letters("ab")
+
+
+def lang(regex: str) -> FinitaryLanguage:
+    return FinitaryLanguage.from_regex(regex, AB)
+
+
+class TestCounterFreedom:
+    def test_mod2_counter_counts(self):
+        # Parity of a's: the archetypal counting automaton.
+        aut = DetAutomaton(AB, [[1, 0], [0, 1]], 0, Acceptance.buchi([0]))
+        assert not is_counter_free(aut)
+        witness = counting_witness(aut)
+        assert witness is not None and witness[1] == 2
+
+    def test_star_free_constructions_are_counter_free(self):
+        for automaton in [
+            a_of(lang("a+b*")),
+            e_of(lang("a.*aa")),
+            r_of(lang(".*b")),
+            p_of(lang(".*b")),
+        ]:
+            assert is_counter_free(automaton)
+
+    def test_even_length_language_counts(self):
+        dfa = parse_regex("((a|b)(a|b))*").to_dfa(AB)
+        assert not is_counter_free(dfa)
+
+    def test_counter_free_dfa(self):
+        dfa = parse_regex(".*a").to_dfa(AB)
+        assert is_counter_free(dfa)
+        assert counting_witness(dfa) is None
+
+    def test_monoid_size(self):
+        dfa = parse_regex(".*a").to_dfa(AB)
+        monoid = transition_monoid(dfa)
+        # Two constant maps (after 'a' / after 'b') only.
+        assert len(monoid) == 2
+
+    def test_normal_form_automata_are_counter_free(self):
+        # Prop 5.3/5.4: κ-normal-form formulae compile through the past
+        # tester into counter-free automata.  (The general Safra pipeline can
+        # produce automata that count even for star-free languages — the
+        # theorem only promises that *some* counter-free automaton exists,
+        # which these constructions witness.)
+        for text in ["G p", "F p", "G F p", "F G p", "(G p) | (F q)",
+                     "(G F p) | (F G q)", "G (p -> O q)", "F (p & Y q)",
+                     "G F (q | !(!q S (p & !q)))"]:  # recurrence form of G(p→Fq)
+            automaton = formula_to_automaton(parse_formula(text))
+            assert is_counter_free(automaton), text
+
+    def test_safra_output_may_count_despite_star_free_language(self):
+        # The documented gap: G(p → Fq) is star-free, yet its Safra DRA has a
+        # counting transition structure.  Its tester-based recurrence normal
+        # form above is the counter-free witness.
+        automaton = formula_to_automaton(parse_formula("G (p -> F q)"))
+        normal = formula_to_automaton(parse_formula("G F (q | !(!q S (p & !q)))"))
+        assert automaton.equivalent_to(normal)
+        assert is_counter_free(normal)
+
+    def test_counting_automaton_language_not_expressible(self):
+        # "a at every even position"-style languages count; our translator can
+        # never produce them, and the checker flags them.
+        aut = DetAutomaton(AB, [[1, 1], [0, 0]], 0, Acceptance.cobuchi([0]))
+        # accepts words where eventually the run sits in state 0 forever —
+        # impossible since states alternate: language empty, but the
+        # *structure* still counts mod 2.
+        assert not is_counter_free(aut)

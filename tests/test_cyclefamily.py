@@ -1,0 +1,87 @@
+"""The literal §5.1 cycle-family procedures vs the polynomial algorithms."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.canonical import parity_staircase
+from repro.finitary import FinitaryLanguage
+from repro.omega import a_of, e_of, p_of, r_of
+from repro.omega.cyclefamily import (
+    accepting_family,
+    accessible_cycles,
+    cross_validate,
+    literal_chain_index,
+    literal_is_persistence,
+    literal_is_recurrence,
+    literal_is_reactivity_simple,
+)
+from repro.words import Alphabet
+
+from tests.test_omega_emptiness import random_automaton
+
+AB = Alphabet.from_letters("ab")
+
+
+def lang(regex: str) -> FinitaryLanguage:
+    return FinitaryLanguage.from_regex(regex, AB)
+
+
+class TestCycleEnumeration:
+    def test_accessible_cycles_of_buchi(self):
+        automaton = r_of(lang(".*b"))  # 2 states, complete graph
+        cycles = accessible_cycles(automaton)
+        assert frozenset({0}) in cycles
+        assert frozenset({1}) in cycles
+        assert frozenset({0, 1}) in cycles
+
+    def test_accepting_family(self):
+        automaton = r_of(lang(".*b"))
+        family = accepting_family(automaton)
+        # F = cycles meeting the accepting state.
+        assert all(any(automaton.acceptance.accepts_infinity_set(c) for c in [cycle]) for cycle in family)
+        assert frozenset({0}) not in family
+
+    def test_size_limit(self):
+        staircase = parity_staircase(12)  # one SCC of 24 states
+        with pytest.raises(ValueError):
+            accessible_cycles(staircase, limit=10)
+
+
+class TestLiteralProcedures:
+    def test_on_canonical_examples(self):
+        recurrence = r_of(lang(".*b"))
+        persistence = p_of(lang(".*b"))
+        assert literal_is_recurrence(recurrence)
+        assert not literal_is_persistence(recurrence)
+        assert literal_is_persistence(persistence)
+        assert not literal_is_recurrence(persistence)
+        assert literal_is_reactivity_simple(recurrence)
+        assert literal_is_reactivity_simple(persistence)
+
+    def test_safety_guarantee_are_both(self):
+        for automaton in (a_of(lang("a+b*")), e_of(lang("ab"))):
+            assert literal_is_recurrence(automaton)
+            assert literal_is_persistence(automaton)
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_staircase_chain_index(self, n):
+        assert literal_chain_index(parity_staircase(n)) == n
+
+    def test_rabin_streett_separation_literal(self):
+        from repro.omega import Acceptance, DetAutomaton
+
+        letters = Alphabet.from_letters("123")
+        rows = [[0, 1, 2]] * 3
+        automaton = DetAutomaton(letters, rows, 0, Acceptance.rabin([({1}, {2})]))
+        assert literal_chain_index(automaton) == 2
+        assert not literal_is_reactivity_simple(automaton)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_literal_vs_polynomial_on_random_automata(seed):
+    automaton = random_automaton(random.Random(seed), max_states=5)
+    verdicts = cross_validate(automaton)
+    assert all(verdicts.values()), verdicts

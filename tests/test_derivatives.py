@@ -1,0 +1,106 @@
+"""Brzozowski derivatives, cross-validated against the Thompson pipeline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.finitary import parse_regex
+from repro.finitary.derivatives import (
+    derivative,
+    derivative_dfa,
+    matches,
+    nullable,
+    word_derivative,
+)
+from repro.finitary.regex import EmptySet, Epsilon, Lit
+from repro.words import Alphabet, FiniteWord, words_up_to
+
+AB = Alphabet.from_letters("ab")
+
+
+class TestNullable:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [("1", True), ("a*", True), ("a+", False), ("a?", True), ("ab|1", True),
+         ("ab", False), ("0", False), ("(a|b)*", True), (".", False)],
+    )
+    def test_cases(self, text, expected):
+        assert nullable(parse_regex(text)) == expected
+
+
+class TestDerivative:
+    def test_literal(self):
+        assert derivative(Lit("a"), "a") == Epsilon()
+        assert derivative(Lit("a"), "b") == EmptySet()
+
+    def test_concat_with_nullable_head(self):
+        # d_a(a*b) = a*b ;  d_b(a*b) = ε.
+        regex = parse_regex("a*b")
+        assert matches(derivative(regex, "b"), FiniteWord.empty())
+        assert matches(derivative(regex, "a"), FiniteWord.from_letters("ab"))
+
+    def test_word_derivative(self):
+        regex = parse_regex("(ab)+")
+        residual = word_derivative(regex, "ab")
+        assert nullable(residual)
+        assert matches(residual, FiniteWord.from_letters("ab"))
+
+    def test_matches(self):
+        regex = parse_regex("a+b*")
+        assert matches(regex, FiniteWord.from_letters("aab"))
+        assert not matches(regex, FiniteWord.from_letters("ba"))
+
+
+REGEXES = [
+    "a+b*", "(ab)+", ".*b", "a|b", "b+", "(a|b)+", "a.a*", ".*aa",
+    "((a|b)(a|b))*", "a?b?a?", "(a*b)+a*", "1|a(ba)*",
+]
+
+
+@pytest.mark.parametrize("text", REGEXES)
+def test_derivative_dfa_matches_thompson(text):
+    regex = parse_regex(text)
+    via_derivatives = derivative_dfa(regex, AB)
+    via_thompson = regex.to_dfa(AB)
+    assert via_derivatives.equivalent_to(via_thompson), text
+
+
+@pytest.mark.parametrize("text", REGEXES[:6])
+def test_pointwise_membership(text):
+    regex = parse_regex(text)
+    dfa = regex.to_dfa(AB)
+    for word in words_up_to(AB, 5, include_empty=True):
+        assert matches(regex, word) == dfa.accepts(word), (text, word)
+
+
+@st.composite
+def regex_text(draw) -> str:
+    def go(depth: int) -> str:
+        if depth == 0:
+            return draw(st.sampled_from(["a", "b", ".", "1"]))
+        kind = draw(st.sampled_from(["union", "concat", "star", "plus", "opt"]))
+        if kind == "union":
+            return f"({go(depth - 1)}|{go(depth - 1)})"
+        if kind == "concat":
+            return f"{go(depth - 1)}{go(depth - 1)}"
+        suffix = {"star": "*", "plus": "+", "opt": "?"}[kind]
+        return f"({go(depth - 1)}){suffix}"
+
+    return go(draw(st.integers(0, 3)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=regex_text())
+def test_pipelines_agree_on_random_regexes(text):
+    regex = parse_regex(text)
+    via_derivatives = derivative_dfa(regex, AB)
+    via_thompson = regex.to_dfa(AB)
+    assert via_derivatives.equivalent_to(via_thompson), text
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=regex_text())
+def test_derivative_state_space_is_finite_and_small(text):
+    regex = parse_regex(text)
+    dfa = derivative_dfa(regex, AB)
+    # Brzozowski's bound is loose; in practice the canonical terms are few.
+    assert dfa.num_states <= 200

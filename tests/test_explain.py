@@ -1,0 +1,99 @@
+"""Witness explanations are truthful and point at real positions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import parse_formula, satisfies
+from repro.logic.explain import explain
+from repro.logic.semantics import evaluation_table
+from repro.words import Alphabet, LassoWord, all_lassos
+
+AB = Alphabet.from_letters("ab")
+LASSOS = list(all_lassos(AB, 2, 2))
+
+
+def lasso(stem: str, loop: str) -> LassoWord:
+    return LassoWord.from_letters(stem, loop)
+
+
+class TestEvaluationTable:
+    def test_table_matches_holds(self):
+        formula = parse_formula("G (a -> F b)")
+        word = lasso("ab", "ba")
+        table = evaluation_table(formula, word)
+        from repro.logic import holds
+
+        for position in range(8):
+            assert table.value(formula, position) == holds(formula, word, position)
+
+    def test_fold_is_periodic(self):
+        table = evaluation_table(parse_formula("a"), lasso("a", "ba"))
+        assert table.fold(table.horizon) == table.transient
+        assert table.fold(table.horizon + table.cycle) == table.transient
+
+    def test_positions_where(self):
+        formula = parse_formula("b")
+        table = evaluation_table(formula, lasso("", "ab"))
+        assert table.positions_where(formula) == [1]
+
+
+class TestExplain:
+    def test_eventually_witness(self):
+        explanation = explain(parse_formula("F b"), lasso("aab", "a"))
+        assert explanation.holds
+        assert "witness at position 2" in explanation.reason
+
+    def test_always_violation(self):
+        explanation = explain(parse_formula("G a"), lasso("aab", "a"))
+        assert not explanation.holds
+        assert "violated at position 2" in explanation.reason
+
+    def test_until_left_break(self):
+        explanation = explain(parse_formula("a U b"), lasso("", "a"))
+        assert not explanation.holds
+        assert "no witness" in explanation.reason
+
+    def test_conjunction_failure_names_culprit(self):
+        explanation = explain(parse_formula("G a & F b"), lasso("", "a"))
+        assert not explanation.holds
+        assert explanation.reason == "a conjunct fails"
+        assert explanation.children[0].formula == parse_formula("F b")
+
+    def test_disjunction_witness(self):
+        explanation = explain(parse_formula("G a | F b"), lasso("", "a"))
+        assert explanation.holds
+        assert explanation.children[0].formula == parse_formula("G a")
+
+    def test_render_is_indented(self):
+        text = explain(parse_formula("G (a -> F b)"), lasso("", "ab")).render()
+        assert text.startswith("✓")
+        assert "@0" in text
+
+    def test_past_leaf(self):
+        explanation = explain(parse_formula("F (O b)"), lasso("b", "a"))
+        assert explanation.holds
+        leaf = explanation.children[0]
+        assert "past-determined" in leaf.reason
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    text=st.sampled_from(
+        ["F b", "G a", "a U b", "G (a -> F b)", "F a & G (a | b)", "X (a U b)", "a W b"]
+    ),
+    index=st.integers(0, len(LASSOS) - 1),
+)
+def test_explanations_agree_with_semantics(text, index):
+    formula = parse_formula(text)
+    word = LASSOS[index]
+    explanation = explain(formula, word)
+    assert explanation.holds == satisfies(word, formula)
+    # Every node of the tree reports the true valuation at its position.
+    table = evaluation_table(formula, word)
+
+    def check(node):
+        assert node.holds == table.value(node.formula, node.position)
+        for child in node.children:
+            check(child)
+
+    check(explanation)

@@ -1,0 +1,254 @@
+"""Unit and property tests for the DFA/NFA/regex substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AutomatonError, ParseError
+from repro.finitary import DFA, NFA, FinitaryLanguage, parse_regex
+from repro.finitary.dfa import random_dfa
+from repro.words import Alphabet, FiniteWord, words_up_to
+
+AB = Alphabet.from_letters("ab")
+ABC = Alphabet.from_letters("abc")
+
+
+def language_set(dfa: DFA, max_len: int) -> set[FiniteWord]:
+    return {w for w in words_up_to(dfa.alphabet, max_len, include_empty=True) if dfa.accepts(w)}
+
+
+class TestDFABasics:
+    def test_validation_rejects_bad_rows(self):
+        with pytest.raises(AutomatonError):
+            DFA(AB, [[0]], 0, [])  # row too short
+        with pytest.raises(AutomatonError):
+            DFA(AB, [[0, 2]], 0, [])  # target out of range
+        with pytest.raises(AutomatonError):
+            DFA(AB, [[0, 0]], 1, [])  # initial out of range
+        with pytest.raises(AutomatonError):
+            DFA(AB, [[0, 0]], 0, [5])  # accepting out of range
+
+    def test_run_and_trace(self):
+        # Two states flipping on 'a', staying on 'b'.
+        dfa = DFA(AB, [[1, 0], [0, 1]], 0, [1])
+        word = FiniteWord.from_letters("aba")
+        assert dfa.trace(word) == [0, 1, 1, 0]
+        assert dfa.run(word) == 0
+        assert not dfa.accepts(word)
+        assert dfa.accepts(FiniteWord.from_letters("ab"))
+
+    def test_universal_and_empty(self):
+        assert DFA.universal(AB).accepts_everything()
+        assert DFA.empty_language(AB).is_empty()
+        assert not DFA.universal(AB).is_empty()
+
+    def test_from_word(self):
+        dfa = DFA.from_word(AB, FiniteWord.from_letters("ab"))
+        assert language_set(dfa, 4) == {FiniteWord.from_letters("ab")}
+
+    def test_shortest_accepted(self):
+        dfa = parse_regex("aab|ba").to_dfa(AB)
+        assert dfa.shortest_accepted() == FiniteWord.from_letters("ba")
+        assert DFA.empty_language(AB).shortest_accepted() is None
+        assert DFA.universal(AB).shortest_accepted() == FiniteWord.empty()
+
+    def test_build_state_limit(self):
+        with pytest.raises(AutomatonError):
+            DFA.build(AB, 0, lambda s, _: s + 1, lambda s: False, state_limit=10)
+
+
+class TestBooleanAlgebra:
+    def test_union_intersection_difference(self):
+        odd_a = parse_regex("b*ab*(ab*ab*)*").to_dfa(AB)  # odd number of a's
+        ends_b = parse_regex("(a|b)*b").to_dfa(AB)
+        for word in words_up_to(AB, 5, include_empty=True):
+            in_odd = sum(1 for s in word if s == "a") % 2 == 1
+            in_endb = len(word) > 0 and word[len(word) - 1] == "b"
+            assert odd_a.union(ends_b).accepts(word) == (in_odd or in_endb)
+            assert odd_a.intersection(ends_b).accepts(word) == (in_odd and in_endb)
+            assert odd_a.difference(ends_b).accepts(word) == (in_odd and not in_endb)
+            assert odd_a.complement().accepts(word) == (not in_odd)
+
+    def test_product_alphabet_mismatch(self):
+        with pytest.raises(AutomatonError):
+            DFA.universal(AB).union(DFA.universal(ABC))
+
+    def test_equivalence(self):
+        left = parse_regex("(ab)*").to_dfa(AB)
+        right = parse_regex("(ab)*(ab)*").to_dfa(AB)
+        assert left.equivalent_to(right)
+        assert not left.equivalent_to(parse_regex("(ab)+").to_dfa(AB))
+
+
+class TestMinimization:
+    def test_minimized_preserves_language(self):
+        rng = random.Random(7)
+        for _ in range(25):
+            dfa = random_dfa(AB, rng.randrange(1, 8), rng)
+            assert dfa.minimized().equivalent_to(dfa)
+
+    def test_minimized_is_minimal(self):
+        # (a|b)*a(a|b): words whose second-to-last symbol is 'a' — classic 4-state minimum.
+        dfa = parse_regex("(a|b)*a(a|b)").to_dfa(AB)
+        assert dfa.minimized().num_states == 4
+
+    def test_minimized_canonical_numbering(self):
+        left = parse_regex("(ab)*").to_dfa(AB).minimized()
+        right = parse_regex("1|ab(ab)*").to_dfa(AB).minimized()
+        assert left._delta == right._delta
+        assert left.accepting == right.accepting
+
+
+class TestNFA:
+    def test_determinize_matches_nfa(self):
+        # NFA for words containing 'aa'.
+        nfa = NFA(AB, 3, {(0, "a"): {0, 1}, (0, "b"): {0}, (1, "a"): {2}, (2, "a"): {2}, (2, "b"): {2}}, [0], [2])
+        dfa = nfa.determinize()
+        for word in words_up_to(AB, 6, include_empty=True):
+            expected = "aa" in "".join(word)
+            assert nfa.accepts(word) == expected
+            assert dfa.accepts(word) == expected
+
+    def test_epsilon_closure(self):
+        nfa = NFA(AB, 3, {}, [0], [2], epsilon={0: {1}, 1: {2}})
+        assert nfa.epsilon_closure({0}) == {0, 1, 2}
+        assert nfa.accepts(FiniteWord.empty())
+
+    def test_reversed(self):
+        nfa = parse_regex("ab+").to_nfa(AB)
+        reversed_dfa = nfa.reversed().determinize()
+        for word in words_up_to(AB, 5):
+            forward = FiniteWord(reversed(tuple(word)))
+            assert reversed_dfa.accepts(word) == nfa.accepts(forward)
+
+    def test_from_dfa(self):
+        dfa = parse_regex("a*b").to_dfa(AB)
+        assert NFA.from_dfa(dfa).determinize().equivalent_to(dfa)
+
+    def test_validation(self):
+        with pytest.raises(AutomatonError):
+            NFA(AB, 1, {(0, "z"): {0}}, [0], [0])
+        with pytest.raises(AutomatonError):
+            NFA(AB, 1, {(0, "a"): {4}}, [0], [0])
+
+
+class TestRegex:
+    @pytest.mark.parametrize(
+        "text, member, nonmember",
+        [
+            ("a+b*", "aab", "ba"),
+            ("(a|b)*a", "bba", "ab"),
+            ("a?b", "b", "aab"),
+            (".*aa.*", "baab", "abab"),
+            ("0", None, "a"),
+            ("1", "", "a"),
+            ("((ab)|(ba))+", "abba", "aab"),
+        ],
+    )
+    def test_membership(self, text, member, nonmember):
+        dfa = parse_regex(text).to_dfa(AB)
+        if member is not None:
+            assert dfa.accepts(FiniteWord.from_letters(member))
+        assert not dfa.accepts(FiniteWord.from_letters(nonmember))
+
+    @pytest.mark.parametrize("bad", ["(a", "a)", "*a", "|*", "a(", "a|+"])
+    def test_parse_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_regex(bad)
+
+    def test_whitespace_ignored(self):
+        assert parse_regex("a b | c") == parse_regex("ab|c")
+
+    def test_repr_round_trip(self):
+        for text in ["a+b*", "(a|b)*a", "a?b", ".*aa", "ab|ba|1"]:
+            node = parse_regex(text)
+            assert parse_regex(repr(node)) == node
+
+    def test_operator_overloads(self):
+        from repro.finitary.regex import Lit
+
+        expr = (Lit("a") | Lit("b")) + Lit("a").star()
+        dfa = expr.to_dfa(AB)
+        assert dfa.accepts(FiniteWord.from_letters("baaa"))
+        assert not dfa.accepts(FiniteWord.from_letters("ab"))
+
+
+class TestFinitaryLanguage:
+    def test_empty_word_always_rejected(self):
+        lang = FinitaryLanguage.from_regex("a*", AB)
+        assert FiniteWord.empty() not in lang
+        assert FiniteWord.from_letters("a") in lang
+
+    def test_complement_relative_to_sigma_plus(self):
+        lang = FinitaryLanguage.from_regex("a+", AB)
+        comp = lang.complement()
+        assert FiniteWord.empty() not in comp
+        assert FiniteWord.from_letters("b") in comp
+        assert FiniteWord.from_letters("aa") not in comp
+        # Double complement is the identity on Σ⁺-languages.
+        assert comp.complement() == lang
+
+    def test_everything_and_nothing(self):
+        assert FinitaryLanguage.everything(AB).complement() == FinitaryLanguage.nothing(AB)
+        assert FinitaryLanguage.nothing(AB).is_empty()
+        assert FinitaryLanguage.everything(AB).is_everything()
+
+    def test_algebra_operators(self):
+        a_words = FinitaryLanguage.from_regex("a+", AB)
+        b_words = FinitaryLanguage.from_regex("b+", AB)
+        assert (a_words | b_words) == FinitaryLanguage.from_regex("a+|b+", AB)
+        assert (a_words & b_words).is_empty()
+        assert (a_words - a_words).is_empty()
+        assert a_words <= FinitaryLanguage.from_regex("(a|b)+", AB)
+        assert a_words < FinitaryLanguage.from_regex("(a|b)+", AB)
+
+    def test_from_words(self):
+        words = [FiniteWord.from_letters("ab"), FiniteWord.from_letters("ba")]
+        lang = FinitaryLanguage.from_words(AB, words)
+        assert lang == FinitaryLanguage.from_regex("ab|ba", AB)
+
+    def test_words_enumeration(self):
+        lang = FinitaryLanguage.from_regex("a+", AB)
+        assert {"".join(w) for w in lang.words(3)} == {"a", "aa", "aaa"}
+
+
+@st.composite
+def regex_text(draw) -> str:
+    depth = draw(st.integers(0, 3))
+
+    def go(d: int) -> str:
+        if d == 0:
+            return draw(st.sampled_from(["a", "b", ".", "1"]))
+        kind = draw(st.sampled_from(["union", "concat", "star", "plus", "opt"]))
+        if kind == "union":
+            return f"({go(d - 1)}|{go(d - 1)})"
+        if kind == "concat":
+            return f"{go(d - 1)}{go(d - 1)}"
+        return f"({go(d - 1)}){'*' if kind == 'star' else '+' if kind == 'plus' else '?'}"
+
+    return go(depth)
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=regex_text())
+def test_thompson_vs_determinized(text):
+    nfa = parse_regex(text).to_nfa(AB)
+    dfa = nfa.determinize()
+    minimal = dfa.minimized()
+    for word in words_up_to(AB, 4, include_empty=True):
+        assert nfa.accepts(word) == dfa.accepts(word) == minimal.accepts(word)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), states=st.integers(1, 6))
+def test_random_dfa_boolean_laws(seed, states):
+    rng = random.Random(seed)
+    left = random_dfa(AB, states, rng)
+    right = random_dfa(AB, rng.randrange(1, 7), rng)
+    # De Morgan on automata.
+    lhs = left.union(right).complement()
+    rhs = left.complement().intersection(right.complement())
+    assert lhs.equivalent_to(rhs)
+    # Difference in terms of complement.
+    assert left.difference(right).equivalent_to(left.intersection(right.complement()))

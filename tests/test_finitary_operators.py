@@ -1,0 +1,163 @@
+"""The finitary operators A_f, E_f, minex against brute-force oracles (§2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.finitary import DFA, FinitaryLanguage, af, ef, minex
+from repro.finitary.dfa import random_dfa
+from repro.finitary.operators import prefix_extendable
+from repro.words import Alphabet, FiniteWord, words_up_to
+
+AB = Alphabet.from_letters("ab")
+A_ONLY = Alphabet.from_letters("a")
+
+
+def oracle_af(phi: FinitaryLanguage, word: FiniteWord) -> bool:
+    return len(word) > 0 and all(prefix in phi for prefix in word.prefixes())
+
+
+def oracle_ef(phi: FinitaryLanguage, word: FiniteWord) -> bool:
+    return any(prefix in phi for prefix in word.prefixes())
+
+
+def oracle_minex(phi1: FinitaryLanguage, phi2: FinitaryLanguage, word: FiniteWord) -> bool:
+    if word not in phi2:
+        return False
+    for sigma1 in word.prefixes(proper=True):
+        if sigma1 not in phi1:
+            continue
+        between = (
+            middle
+            for middle in word.prefixes(proper=True)
+            if len(middle) > len(sigma1) and middle in phi2
+        )
+        if not any(between):
+            return True
+    return False
+
+
+def check_against_oracle(language: FinitaryLanguage, oracle, max_len: int = 6) -> None:
+    for word in words_up_to(language.alphabet, max_len):
+        assert (word in language) == oracle(word), f"mismatch on {word!r}"
+
+
+class TestAfEf:
+    def test_paper_example_af(self):
+        # A_f(a⁺b*) = a⁺b* — already prefix-closed enough.
+        phi = FinitaryLanguage.from_regex("a+b*", AB)
+        assert af(phi) == phi
+
+    def test_paper_example_ef(self):
+        # E_f(a⁺b*) = a⁺b*·Σ*.
+        phi = FinitaryLanguage.from_regex("a+b*", AB)
+        assert ef(phi) == FinitaryLanguage.from_regex("a+b*.*", AB)
+
+    def test_af_oracle_on_regexes(self):
+        for text in ["a+b*", "(ab)+", "a|b", "(a|b)+", "a.a*", "b+a"]:
+            phi = FinitaryLanguage.from_regex(text, AB)
+            check_against_oracle(af(phi), lambda w, p=phi: oracle_af(p, w))
+
+    def test_ef_oracle_on_regexes(self):
+        for text in ["a+b*", "(ab)+", "a|b", "ba*", "aab"]:
+            phi = FinitaryLanguage.from_regex(text, AB)
+            check_against_oracle(ef(phi), lambda w, p=phi: oracle_ef(p, w))
+
+    def test_af_result_is_prefix_closed(self):
+        phi = FinitaryLanguage.from_regex("(a|b)(a|b)*a*", AB)
+        closed = af(phi)
+        for word in closed.words(5):
+            for prefix in word.prefixes():
+                assert prefix in closed
+
+    def test_ef_result_is_extension_closed(self):
+        phi = FinitaryLanguage.from_regex("ab", AB)
+        extended = ef(phi)
+        for word in extended.words(4):
+            for symbol in AB:
+                assert word.append(symbol) in extended
+
+    def test_af_ef_idempotent(self):
+        phi = FinitaryLanguage.from_regex("(ab|ba)+", AB)
+        assert af(af(phi)) == af(phi)
+        assert ef(ef(phi)) == ef(phi)
+
+    def test_finitary_duality(self):
+        # ¬A_f(Φ) = E_f(¬Φ) and ¬E_f(Φ) = A_f(¬Φ), complements in Σ⁺ (§2).
+        for text in ["a+b*", "(ab)+", "a", "b+"]:
+            phi = FinitaryLanguage.from_regex(text, AB)
+            assert af(phi).complement() == ef(phi.complement())
+            assert ef(phi).complement() == af(phi.complement())
+
+
+class TestMinex:
+    def test_paper_example_forward(self):
+        # minex((a³)⁺, (a²)⁺): the paper prints (a⁶)*a² + (a⁶)*a⁴; by the
+        # paper's own ≺-definition the length-2 word a² has no proper
+        # (a³)⁺-prefix, so the exact set starts at a⁴ (minor erratum).
+        phi1 = FinitaryLanguage.from_regex("(aaa)+", A_ONLY)
+        phi2 = FinitaryLanguage.from_regex("(aa)+", A_ONLY)
+        result = minex(phi1, phi2)
+        expected_lengths = set()
+        for k in range(1, 8):
+            length = 3 * k + (1 if (3 * k) % 2 == 1 else 2)
+            expected_lengths.add(length)
+        got_lengths = {len(w) for w in result.words(24)}
+        assert got_lengths == {n for n in expected_lengths if n <= 24}
+
+    def test_paper_example_backward(self):
+        # minex((a²)⁺, (a³)⁺) = (a⁶)⁺ + (a⁶)*a³ = (a³)⁺.
+        phi1 = FinitaryLanguage.from_regex("(aa)+", A_ONLY)
+        phi2 = FinitaryLanguage.from_regex("(aaa)+", A_ONLY)
+        assert minex(phi1, phi2) == FinitaryLanguage.from_regex("(aaa)+", A_ONLY)
+
+    @pytest.mark.parametrize(
+        "text1, text2",
+        [
+            ("a+", "(a|b)+b"),
+            ("(ab)+", "a(a|b)*"),
+            ("a|b", "aa|bb|ab|ba"),
+            ("b+", "a+"),
+            ("(a|b)+", "(a|b)+"),
+        ],
+    )
+    def test_minex_oracle(self, text1, text2):
+        phi1 = FinitaryLanguage.from_regex(text1, AB)
+        phi2 = FinitaryLanguage.from_regex(text2, AB)
+        check_against_oracle(minex(phi1, phi2), lambda w: oracle_minex(phi1, phi2, w))
+
+    def test_minex_subset_of_phi2(self):
+        phi1 = FinitaryLanguage.from_regex("a+", AB)
+        phi2 = FinitaryLanguage.from_regex("(a|b)*b", AB)
+        assert minex(phi1, phi2) <= phi2
+
+    def test_minex_alphabet_mismatch(self):
+        with pytest.raises(ValueError):
+            minex(FinitaryLanguage.from_regex("a", AB), FinitaryLanguage.from_regex("a", A_ONLY))
+
+
+class TestPrefixExtendable:
+    def test_marks_live_states(self):
+        dfa = FinitaryLanguage.from_regex("aab", AB).dfa
+        live = prefix_extendable(dfa)
+        assert live.accepts(FiniteWord.from_letters("a"))
+        assert live.accepts(FiniteWord.from_letters("aa"))
+        assert live.accepts(FiniteWord.from_letters("aab"))
+        assert not live.accepts(FiniteWord.from_letters("b"))
+
+    def test_empty_language_has_no_prefixes(self):
+        dfa = DFA.empty_language(AB)
+        assert prefix_extendable(dfa).is_empty()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), states=st.integers(1, 5))
+def test_operators_against_oracles_on_random_dfas(seed, states):
+    rng = random.Random(seed)
+    phi = FinitaryLanguage(random_dfa(AB, states, rng))
+    phi2 = FinitaryLanguage(random_dfa(AB, rng.randrange(1, 5), rng))
+    for word in words_up_to(AB, 4):
+        assert (word in af(phi)) == oracle_af(phi, word)
+        assert (word in ef(phi)) == oracle_ef(phi, word)
+        assert (word in minex(phi, phi2)) == oracle_minex(phi, phi2, word)

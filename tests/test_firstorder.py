@@ -1,0 +1,74 @@
+"""§2's first-order characterizations χ_O agree with the automaton view."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.finitary import FinitaryLanguage
+from repro.finitary.dfa import random_dfa
+from repro.logic.firstorder import prefix_profile, satisfies_chi
+from repro.omega import apply_operator
+from repro.words import Alphabet, LassoWord, all_lassos
+
+AB = Alphabet.from_letters("ab")
+LASSOS = list(all_lassos(AB, 2, 3))
+REGEXES = ["a+b*", "(ab)+", ".*b", "a|b", "(a|b)+", ".*aa"]
+
+
+@pytest.mark.parametrize("operator", ["A", "E", "R", "P"])
+@pytest.mark.parametrize("regex", REGEXES)
+def test_chi_matches_automaton_view(operator, regex):
+    phi = FinitaryLanguage.from_regex(regex, AB)
+    automaton = apply_operator(operator, phi)
+    for word in LASSOS:
+        assert satisfies_chi(operator, phi, word) == automaton.accepts(word), (
+            operator,
+            regex,
+            word,
+        )
+
+
+class TestProfile:
+    def test_profile_values(self):
+        phi = FinitaryLanguage.from_regex(".*b", AB)
+        profile = prefix_profile(phi, LassoWord.from_letters("", "ab"))
+        # prefixes: a (no), ab (yes), aba (no), abab (yes), …
+        assert [profile.value(i) for i in range(4)] == [False, True, False, True]
+
+    def test_profile_is_periodic(self):
+        phi = FinitaryLanguage.from_regex("a+", AB)
+        profile = prefix_profile(phi, LassoWord.from_letters("aa", "b"))
+        assert profile.value(0) and profile.value(1)
+        assert not profile.value(5) and not profile.value(50)
+
+    def test_unknown_operator(self):
+        phi = FinitaryLanguage.from_regex("a", AB)
+        with pytest.raises(ValueError):
+            satisfies_chi("Q", phi, LassoWord.from_letters("", "a"))
+
+
+class TestQuantifierReadings:
+    def test_chi_r_needs_unbounded_witnesses(self):
+        # Finitely many Φ-prefixes: χ_E holds, χ_R fails.
+        phi = FinitaryLanguage.from_regex("a", AB)  # the single word 'a'
+        word = LassoWord.from_letters("a", "b")
+        assert satisfies_chi("E", phi, word)
+        assert not satisfies_chi("R", phi, word)
+
+    def test_chi_p_tolerates_transient_failures(self):
+        phi = FinitaryLanguage.from_regex("(a|b)*b", AB)
+        word = LassoWord.from_letters("aaa", "b")  # bad prefixes, then all good
+        assert satisfies_chi("P", phi, word)
+        assert not satisfies_chi("A", phi, word)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000), states=st.integers(1, 4))
+def test_chi_on_random_languages(seed, states):
+    rng = random.Random(seed)
+    phi = FinitaryLanguage(random_dfa(AB, states, rng))
+    automata = {op: apply_operator(op, phi) for op in "AERP"}
+    for word in LASSOS[:30]:
+        for operator, automaton in automata.items():
+            assert satisfies_chi(operator, phi, word) == automaton.accepts(word)

@@ -1,0 +1,184 @@
+"""End-to-end formula classification: §4's catalog, syntactic vs semantic."""
+
+import pytest
+
+from repro.core import TemporalClass, classify_formula, formula_to_automaton
+from repro.logic import parse_formula, satisfies
+from repro.logic.classes import (
+    analyze_syntax,
+    is_guarantee_formula,
+    is_obligation_formula,
+    is_reactivity_formula,
+    is_recurrence_formula,
+    is_safety_formula,
+    normal_form_class,
+    obligation_form_degree,
+    reactivity_form_degree,
+    syntactic_class,
+    syntactic_classes,
+)
+from repro.words import Alphabet, all_lassos
+
+PQ = Alphabet.powerset_of_propositions(["p", "q"])
+
+
+def classify(text: str):
+    return classify_formula(parse_formula(text))
+
+
+class TestNormalForms:
+    def test_shapes(self):
+        assert is_safety_formula(parse_formula("G (p -> O q)"))
+        assert not is_safety_formula(parse_formula("G (p -> F q)"))
+        assert is_guarantee_formula(parse_formula("F (p & Y q)"))
+        assert is_recurrence_formula(parse_formula("G F p"))
+        assert normal_form_class(parse_formula("F G p")) is TemporalClass.PERSISTENCE
+        assert normal_form_class(parse_formula("p U q")) is None
+
+    def test_degrees(self):
+        assert obligation_form_degree(parse_formula("(G p | F q) & (G q | F p)")) == 2
+        assert obligation_form_degree(parse_formula("G p")) == 1
+        assert obligation_form_degree(parse_formula("G F p")) is None
+        assert reactivity_form_degree(parse_formula("(G F p | F G q) & G F q")) == 2
+        assert is_obligation_formula(parse_formula("G p | F q"))
+        assert is_reactivity_formula(parse_formula("G F p | F G q"))
+
+
+class TestSyntacticFragments:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("G p", TemporalClass.SAFETY),
+            ("p W q", TemporalClass.SAFETY),
+            ("G (p -> O q)", TemporalClass.SAFETY),
+            ("F p", TemporalClass.GUARANTEE),
+            ("p U q", TemporalClass.GUARANTEE),
+            ("G p | F q", TemporalClass.OBLIGATION),
+            ("G p & F q", TemporalClass.OBLIGATION),
+            ("G F p", TemporalClass.RECURRENCE),
+            ("G (p -> F q)", TemporalClass.RECURRENCE),
+            ("F G p", TemporalClass.PERSISTENCE),
+            ("F (p U (G q))", TemporalClass.PERSISTENCE),
+            ("G F p | F G q", TemporalClass.REACTIVITY),
+            ("(q S p) U q", TemporalClass.GUARANTEE),
+        ],
+    )
+    def test_fragment_class(self, text, expected):
+        assert syntactic_class(parse_formula(text)) is expected
+
+    def test_negation_dualizes(self):
+        assert syntactic_class(parse_formula("!(G p)")) is TemporalClass.GUARANTEE
+        assert syntactic_class(parse_formula("!(G F p)")) is TemporalClass.PERSISTENCE
+
+    def test_fragment_sound_wrt_semantics(self):
+        # Syntactic membership implies semantic membership, never the reverse.
+        for text in ["G p", "F p", "p U q", "p W q", "G F p", "F G p",
+                     "G (p -> F q)", "G p | F q", "(G F p) | (F G q)",
+                     "G (p -> O q)", "F (p & H q)", "X (G p)", "!(p U q)"]:
+            formula = parse_formula(text)
+            report = classify_formula(formula)
+            for held in syntactic_classes(formula):
+                assert report.semantic.membership[held], (text, held)
+
+
+class TestResponsivenessCatalog:
+    """§4's summary of responsiveness flavors lands exactly as printed."""
+
+    def test_initial_response_is_guarantee(self):
+        assert classify("p -> F q").canonical_class is TemporalClass.GUARANTEE
+
+    def test_single_response_is_obligation(self):
+        report = classify("F p -> F (q & O p)")
+        assert report.semantic.membership[TemporalClass.OBLIGATION]
+        assert report.canonical_class is TemporalClass.OBLIGATION
+
+    def test_every_stimulus_response_is_recurrence(self):
+        assert classify("G (p -> F q)").canonical_class is TemporalClass.RECURRENCE
+
+    def test_stabilizing_response_is_persistence(self):
+        assert classify("p -> F G q").canonical_class is TemporalClass.PERSISTENCE
+        assert classify("G (p -> F G q)").canonical_class is TemporalClass.PERSISTENCE
+
+    def test_infinite_stimuli_response_is_reactivity(self):
+        report = classify("G F p -> G F q")
+        assert report.canonical_class is TemporalClass.REACTIVITY
+        assert report.streett_index == 1  # simple reactivity
+
+
+class TestPaperEquivalences:
+    """The displayed equivalences of §4, checked as language equalities."""
+
+    PAIRS = [
+        # conditional safety: p → □q  ~  □(◆(p ∧ first) → q)
+        ("p -> G q", "G ((O (p & !Y true)) -> q)"),
+        # conditional guarantee: p → ◇q.  The paper prints ◇(first ∧ p → q);
+        # the intended reading ("looking back towards the origin") is
+        # ◇(◆(first ∧ p) → q).
+        ("p -> F q", "F ((O (!Y true & p)) -> q)"),
+        # response: □(p → ◇q) ~ □◇(no pending request) — a request at k is
+        # pending at j iff p∧¬q held at k and no q appeared in (k, j].
+        ("G (p -> F q)", "G F (q | !(!q S (p & !q)))"),
+        # conditional persistence: □(p → ◇□q) ~ ◇□(◆p → q)
+        ("G (p -> F G q)", "F G ((O p) -> q)"),
+        # safety conjunction/disjunction laws
+        ("G p & G q", "G (p & q)"),
+        ("G p | G q", "G (H p | H q)"),
+        # guarantee laws
+        ("F p | F q", "F (p | q)"),
+        ("F p & F q", "F (O p & O q)"),
+        # recurrence laws
+        ("G F p | G F q", "G F (p | q)"),
+        ("G F p & G F q", "G F (q & Y (!q S p))"),
+        # persistence laws
+        ("F G p & F G q", "F G (p & q)"),
+        # inclusion embeddings
+        ("G p", "G F (H p)"),
+        ("F p", "G F (O p)"),
+        ("G p", "F G (H p)"),
+        ("F p", "F G (O p)"),
+        # duality
+        ("!(F p)", "G !p"),
+        ("!(G F p)", "F G !p"),
+    ]
+
+    @pytest.mark.parametrize("left, right", PAIRS)
+    def test_equivalence(self, left, right):
+        lf, rf = parse_formula(left), parse_formula(right)
+        la = formula_to_automaton(lf, PQ)
+        ra = formula_to_automaton(rf, PQ)
+        assert la.equivalent_to(ra), (left, right)
+
+    @pytest.mark.parametrize("left, right", PAIRS[:8])
+    def test_equivalence_pointwise(self, left, right):
+        lf, rf = parse_formula(left), parse_formula(right)
+        for word in list(all_lassos(PQ, 1, 2))[:40]:
+            assert satisfies(word, lf) == satisfies(word, rf), (left, right, word)
+
+
+class TestPersistenceDisjunctionLaw:
+    def test_persistence_union_formula(self):
+        # ◇□p ∨ ◇□q ~ ◇□(q ∨ ⊖(p S (p ∧ ¬q))) — §4's trickiest equivalence.
+        left = parse_formula("F G p | F G q")
+        right = parse_formula("F G (q | Y (p S (p & !q)))")
+        la = formula_to_automaton(left, PQ)
+        ra = formula_to_automaton(right, PQ)
+        assert la.equivalent_to(ra)
+
+
+class TestReports:
+    def test_summary_renders(self):
+        report = classify("G (p -> F q)")
+        text = report.summary()
+        assert "recurrence" in text and "Π₂" in text
+
+    def test_liveness_flags(self):
+        assert classify("G F p").is_liveness
+        assert not classify("G p").is_liveness
+        assert classify("F p").is_uniform_liveness
+
+    def test_automaton_language_matches_formula(self):
+        for text in ["G p", "G (p -> F q)", "(G p) | (F q)", "G F p | F G q"]:
+            formula = parse_formula(text)
+            automaton = formula_to_automaton(formula, PQ)
+            for word in list(all_lassos(PQ, 1, 2))[:30]:
+                assert automaton.accepts(word) == satisfies(word, formula), text

@@ -1,0 +1,117 @@
+"""The four views coincide — the paper's central thesis, end to end.
+
+For a panel of properties, each is constructed in every view that can
+express it:
+
+* linguistic   — ``A/E/R/P`` applied to a finitary language,
+* ω-regular    — the paper's ``^ω`` expression notation,
+* temporal     — an LTL+Past formula over the letter alphabet,
+* automata     — a hand-written deterministic automaton.
+
+All representations must be language-equivalent, land in the same class,
+get the same Borel level, the same liveness verdict, and (where finite)
+the same Streett index.
+"""
+
+import pytest
+
+from repro.core import formula_to_automaton
+from repro.finitary import FinitaryLanguage
+from repro.logic import parse_formula
+from repro.omega import Acceptance, DetAutomaton, a_of, e_of, p_of, r_of
+from repro.omega.classify import classify, streett_index
+from repro.omega.omega_regex import omega_language
+from repro.topology import borel_level
+from repro.words import Alphabet
+
+AB = Alphabet.from_letters("ab")
+
+
+def lang(regex: str) -> FinitaryLanguage:
+    return FinitaryLanguage.from_regex(regex, AB)
+
+
+PANEL = [
+    # (name, linguistic, ω-regex, formula over letters, handwritten automaton, class)
+    (
+        "all a's then all b's",
+        lambda: a_of(lang("a+b*")),
+        "aw | a+bw",
+        "a & (a W (b & G b))",
+        lambda: DetAutomaton(
+            # states: 0 start, 1 reading a's, 2 reading b's, 3 trap
+            AB,
+            [[1, 3], [1, 2], [3, 2], [3, 3]],
+            0,
+            Acceptance.cobuchi([0, 1, 2]),
+        ),
+        "safety",
+    ),
+    (
+        "eventually b",
+        lambda: e_of(lang(".*b")),
+        ".*bw | .*b.*aw | .*b(a|b)(a|b)w" ,
+        "F b",
+        lambda: DetAutomaton(AB, [[0, 1], [1, 1]], 0, Acceptance.buchi([1])),
+        "guarantee",
+    ),
+    (
+        "infinitely many b's",
+        lambda: r_of(lang(".*b")),
+        "(a*b)w",
+        "G F b",
+        lambda: DetAutomaton(AB, [[0, 1], [0, 1]], 0, Acceptance.buchi([1])),
+        "recurrence",
+    ),
+    (
+        "finitely many a's",
+        lambda: p_of(lang(".*b")),
+        ".*bw",
+        "F G b",
+        lambda: DetAutomaton(AB, [[0, 1], [0, 1]], 0, Acceptance.cobuchi([1])),
+        "persistence",
+    ),
+]
+
+
+@pytest.mark.parametrize("name, linguistic, omega_expr, formula_text, automaton, expected", PANEL)
+def test_views_coincide(name, linguistic, omega_expr, formula_text, automaton, expected):
+    views = {
+        "linguistic": linguistic(),
+        "omega-regex": omega_language(omega_expr, AB),
+        "formula": formula_to_automaton(parse_formula(formula_text), AB),
+        "handwritten": automaton(),
+    }
+    reference = views["linguistic"]
+    for view_name, view in views.items():
+        assert view.equivalent_to(reference), (name, view_name)
+    verdicts = {view_name: classify(view) for view_name, view in views.items()}
+    for view_name, verdict in verdicts.items():
+        assert verdict.canonical.value == expected, (name, view_name)
+    levels = {borel_level(view) for view in views.values()}
+    assert len(levels) == 1, (name, levels)
+    liveness = {verdict.is_liveness for verdict in verdicts.values()}
+    assert len(liveness) == 1
+    indices = {streett_index(view) for view in views.values()}
+    assert len(indices) == 1, (name, indices)
+
+
+def test_formula_over_letters_uses_letter_semantics():
+    # Over the abstract alphabet, the proposition `a` is true exactly on the
+    # letter a — the paper's convention for finite Σ.
+    automaton = formula_to_automaton(parse_formula("G F b"), AB)
+    from repro.words import LassoWord
+
+    assert automaton.accepts(LassoWord.from_letters("", "ab"))
+    assert not automaton.accepts(LassoWord.from_letters("b", "a"))
+
+
+def test_obligation_view_coincidence():
+    # a^ω ∪ (≥2 b's): linguistic union vs formula vs ω-regex.
+    linguistic = a_of(lang("a+")).union(e_of(lang(".*b.*b")))
+    formula = formula_to_automaton(parse_formula("(G a) | F (b & Y (O b))"), AB)
+    expression = omega_language("aw | .*b.*b.w | .*b.*bw | .*b.*b(a|b)w", AB)
+    assert formula.equivalent_to(linguistic)
+    assert expression.equivalent_to(linguistic)
+    for view in (linguistic, formula, expression):
+        assert classify(view).canonical.value == "obligation"

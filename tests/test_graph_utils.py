@@ -1,0 +1,115 @@
+"""Direct tests for the SCC/cycle/reachability utilities."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.omega.graph import (
+    can_reach,
+    enumerate_cycle_sets,
+    is_cycle_set,
+    is_nontrivial_component,
+    reachable_from,
+    restricted_sccs,
+    strongly_connected_components,
+)
+
+
+def adjacency(edges: dict[int, list[int]]):
+    return lambda node: edges.get(node, [])
+
+
+class TestSCC:
+    def test_two_cycles_and_bridge(self):
+        # 0↔1 → 2↔3, plus isolated 4.
+        edges = {0: [1], 1: [0, 2], 2: [3], 3: [2], 4: []}
+        components = {frozenset(c) for c in strongly_connected_components(5, adjacency(edges))}
+        assert components == {frozenset({0, 1}), frozenset({2, 3}), frozenset({4})}
+
+    def test_reverse_topological_order(self):
+        edges = {0: [1], 1: [2], 2: []}
+        components = strongly_connected_components(3, adjacency(edges))
+        # Sinks come first in Tarjan's output.
+        assert components[0] == [2]
+        assert components[-1] == [0]
+
+    def test_restricted(self):
+        edges = {0: [1], 1: [0, 2], 2: [3], 3: [2]}
+        components = {frozenset(c) for c in restricted_sccs({0, 1}, adjacency(edges))}
+        assert components == {frozenset({0, 1})}
+
+    def test_self_loop(self):
+        edges = {0: [0]}
+        components = strongly_connected_components(1, adjacency(edges))
+        assert components == [[0]]
+        assert is_nontrivial_component([0], adjacency(edges))
+
+    def test_trivial_component(self):
+        edges = {0: [1], 1: []}
+        assert not is_nontrivial_component([0], adjacency(edges))
+
+
+class TestCycleSets:
+    def test_is_cycle_set(self):
+        edges = {0: [1], 1: [0, 2], 2: [2]}
+        successors = adjacency(edges)
+        assert is_cycle_set({0, 1}, successors)
+        assert is_cycle_set({2}, successors)
+        assert not is_cycle_set({0}, successors)  # no self loop
+        assert not is_cycle_set({1, 2}, successors)  # not strongly connected
+        assert not is_cycle_set(set(), successors)
+
+    def test_enumerate_cycle_sets(self):
+        # complete digraph on 3 nodes: every non-empty subset is a cycle set
+        edges = {i: [j for j in range(3) if j != i] for i in range(3)}
+        cycles = set(enumerate_cycle_sets([0, 1, 2], adjacency(edges)))
+        assert cycles == {
+            frozenset(s)
+            for s in [{0, 1}, {0, 2}, {1, 2}, {0, 1, 2}]
+        }
+
+    def test_enumerate_with_self_loops(self):
+        edges = {0: [0, 1], 1: [0, 1]}
+        cycles = set(enumerate_cycle_sets([0, 1], adjacency(edges)))
+        assert cycles == {frozenset({0}), frozenset({1}), frozenset({0, 1})}
+
+    def test_limit(self):
+        edges = {i: [j for j in range(4) if j != i] for i in range(4)}
+        limited = list(enumerate_cycle_sets(range(4), adjacency(edges), limit=3))
+        assert len(limited) == 3
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            list(enumerate_cycle_sets(range(21), lambda n: [], limit=1))
+
+
+class TestReachability:
+    def test_forward(self):
+        edges = {0: [1], 1: [2], 3: [0]}
+        assert reachable_from(0, adjacency(edges)) == {0, 1, 2}
+        assert reachable_from([3], adjacency(edges)) == {0, 1, 2, 3}
+
+    def test_backward(self):
+        edges = {0: [1], 1: [2], 3: [0]}
+        assert can_reach(4, [2], adjacency(edges)) == {0, 1, 2, 3}
+        assert can_reach(4, [3], adjacency(edges)) == {3}
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 100_000), n=st.integers(1, 8))
+def test_scc_partition_properties(seed, n):
+    rng = random.Random(seed)
+    edges = {i: [j for j in range(n) if rng.random() < 0.3] for i in range(n)}
+    successors = adjacency(edges)
+    components = strongly_connected_components(n, successors)
+    # Partition: disjoint and covering.
+    seen: set[int] = set()
+    for component in components:
+        assert not (set(component) & seen)
+        seen |= set(component)
+    assert seen == set(range(n))
+    # Each component of size > 1 is a genuine cycle set.
+    for component in components:
+        if len(component) > 1:
+            assert is_cycle_set(set(component), successors)

@@ -1,0 +1,113 @@
+"""The class lattice (Figure 1) and the canonical zoo."""
+
+import pytest
+
+from repro.core import FIGURE_1_EDGES, TemporalClass, Verdict
+from repro.core.canonical import (
+    doubled_first_letter,
+    figure_1_zoo,
+    first_letter_stabilizes,
+    obligation_chain_family,
+    paper_obligation_family,
+    parity_staircase,
+)
+from repro.omega.classify import classify, is_obligation, obligation_degree, streett_index
+from repro.omega.closure import is_liveness, is_uniform_liveness
+
+
+class TestLattice:
+    def test_figure_1_edges_are_strict_covers(self):
+        for lower, upper in FIGURE_1_EDGES:
+            assert upper.strictly_includes(lower)
+
+    def test_inclusion_is_partial_order(self):
+        for a in TemporalClass:
+            assert a.includes(a)
+            for b in TemporalClass:
+                if a.includes(b) and b.includes(a):
+                    assert a is b
+                for c in TemporalClass:
+                    if a.includes(b) and b.includes(c):
+                        assert a.includes(c)
+
+    def test_safety_guarantee_incomparable(self):
+        assert not TemporalClass.SAFETY.includes(TemporalClass.GUARANTEE)
+        assert not TemporalClass.GUARANTEE.includes(TemporalClass.SAFETY)
+        assert not TemporalClass.RECURRENCE.includes(TemporalClass.PERSISTENCE)
+        assert not TemporalClass.PERSISTENCE.includes(TemporalClass.RECURRENCE)
+
+    def test_join_meet(self):
+        assert TemporalClass.SAFETY.join(TemporalClass.GUARANTEE) is TemporalClass.OBLIGATION
+        assert TemporalClass.RECURRENCE.join(TemporalClass.PERSISTENCE) is TemporalClass.REACTIVITY
+        assert TemporalClass.RECURRENCE.meet(TemporalClass.PERSISTENCE) is TemporalClass.OBLIGATION
+        # Figure 1 has no bottom: the meet of the two base classes is None.
+        assert TemporalClass.SAFETY.meet(TemporalClass.GUARANTEE) is None
+        assert TemporalClass.SAFETY.meet(TemporalClass.RECURRENCE) is TemporalClass.SAFETY
+
+    def test_duality(self):
+        assert TemporalClass.SAFETY.dual() is TemporalClass.GUARANTEE
+        assert TemporalClass.RECURRENCE.dual() is TemporalClass.PERSISTENCE
+        assert TemporalClass.OBLIGATION.dual() is TemporalClass.OBLIGATION
+        assert TemporalClass.REACTIVITY.dual() is TemporalClass.REACTIVITY
+        for cls in TemporalClass:
+            assert cls.dual().dual() is cls
+
+    def test_metadata(self):
+        assert TemporalClass.SAFETY.borel_name == "Π₁"
+        assert TemporalClass.REACTIVITY.borel_name == "Δ₃"
+        assert "closed" in TemporalClass.SAFETY.topological_name
+        assert "□" in TemporalClass.SAFETY.formula_shape
+
+    def test_verdict_requires_reactivity(self):
+        with pytest.raises(ValueError):
+            Verdict(membership={c: False for c in TemporalClass})
+
+    def test_verdict_lowest_and_canonical(self):
+        membership = {c: True for c in TemporalClass}
+        verdict = Verdict(membership=membership)
+        assert verdict.lowest == {TemporalClass.SAFETY, TemporalClass.GUARANTEE}
+        assert verdict.canonical is TemporalClass.SAFETY
+        assert "safety" in repr(verdict)
+
+
+class TestCanonicalZoo:
+    def test_every_example_lands_in_its_class(self):
+        for example in figure_1_zoo():
+            verdict = classify(example.automaton)
+            assert verdict.canonical is example.expected_class, example.name
+            assert verdict.is_liveness == example.expected_liveness, example.name
+
+    def test_zoo_witnesses_strictness_of_every_edge(self):
+        # For each covering edge (lower ⊂ upper) there is a property in the
+        # upper class outside the lower class.
+        verdicts = {e.expected_class: classify(e.automaton) for e in figure_1_zoo()}
+        for lower, upper in FIGURE_1_EDGES:
+            witness = verdicts[upper]
+            assert witness.membership[upper]
+            assert not witness.membership[lower], (lower, upper)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_obligation_chain_family(self, k):
+        automaton = obligation_chain_family(k)
+        assert is_obligation(automaton)
+        assert obligation_degree(automaton) == k
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_paper_obligation_family_erratum(self, k):
+        # The paper claims strict Obl_k; the language actually collapses to
+        # Obl₁ (closed ∪ open) — recorded as an erratum.
+        automaton = paper_obligation_family(k)
+        assert is_obligation(automaton)
+        assert obligation_degree(automaton) == 1
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_parity_staircase_index(self, n):
+        assert streett_index(parity_staircase(n)) == n
+
+    def test_liveness_examples(self):
+        stabilizes = first_letter_stabilizes()
+        assert is_liveness(stabilizes)
+        assert not is_uniform_liveness(stabilizes)
+        doubled = doubled_first_letter()
+        assert is_liveness(doubled)
+        assert is_uniform_liveness(doubled)  # the §2 erratum

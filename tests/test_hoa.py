@@ -1,0 +1,130 @@
+"""HOA serialization round-trips."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import formula_to_automaton
+from repro.errors import ParseError
+from repro.finitary import FinitaryLanguage
+from repro.logic import parse_formula
+from repro.omega import a_of, e_of, p_of, r_of
+from repro.omega.hoa import from_hoa, to_hoa
+from repro.words import Alphabet, all_lassos
+
+from tests.test_omega_emptiness import random_automaton
+
+AB = Alphabet.from_letters("ab")
+PQ = Alphabet.powerset_of_propositions(["p", "q"])
+LASSOS_AB = list(all_lassos(AB, 2, 2))
+
+
+def lang(regex: str) -> FinitaryLanguage:
+    return FinitaryLanguage.from_regex(regex, AB)
+
+
+class TestExport:
+    def test_header_fields(self):
+        automaton = r_of(lang(".*b"))
+        hoa = to_hoa(automaton, name="inf-b")
+        assert hoa.startswith("HOA: v1")
+        assert 'name: "inf-b"' in hoa
+        assert "acc-name: Buchi" in hoa
+        assert "Acceptance: 1 Inf(0)" in hoa
+        assert hoa.rstrip().endswith("--END--")
+
+    def test_cobuchi_name(self):
+        assert "acc-name: co-Buchi" in to_hoa(p_of(lang(".*b")))
+
+    def test_streett_and_rabin_headers(self):
+        streett2 = r_of(lang(".*a")).intersection(r_of(lang(".*b")))
+        hoa = to_hoa(streett2)
+        assert "acc-name: Streett 2" in hoa
+        assert "Fin(0)|Inf(1)" in hoa
+        rabin = r_of(lang(".*b")).complement()
+        assert "acc-name: Rabin 1" in to_hoa(rabin)
+
+    def test_powerset_alphabet_cubes(self):
+        automaton = formula_to_automaton(parse_formula("G (p -> F q)"), PQ)
+        hoa = to_hoa(automaton)
+        assert 'AP: 2 "p" "q"' in hoa
+        assert "[0&1]" in hoa or "[!0&!1]" in hoa
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: a_of(lang("a+b*")),
+            lambda: e_of(lang(".*b.*b")),
+            lambda: r_of(lang(".*b")),
+            lambda: p_of(lang(".*b")),
+            lambda: r_of(lang(".*a")).intersection(r_of(lang(".*b"))),
+            lambda: r_of(lang(".*b")).complement(),
+        ],
+    )
+    def test_letter_alphabet_round_trip(self, make):
+        automaton = make()
+        restored = from_hoa(to_hoa(automaton), alphabet=AB)
+        for word in LASSOS_AB:
+            assert restored.accepts(word) == automaton.accepts(word)
+
+    def test_powerset_round_trip(self):
+        automaton = formula_to_automaton(parse_formula("G (p -> F q)"), PQ)
+        restored = from_hoa(to_hoa(automaton))
+        assert restored.equivalent_to(automaton)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_random_round_trip(self, seed):
+        automaton = random_automaton(random.Random(seed))
+        restored = from_hoa(to_hoa(automaton), alphabet=AB)
+        for word in LASSOS_AB[:20]:
+            assert restored.accepts(word) == automaton.accepts(word)
+
+
+class TestImportErrors:
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ParseError):
+            from_hoa("HOA: v2\n--BODY--\n--END--")
+
+    def test_rejects_missing_states(self):
+        with pytest.raises(ParseError):
+            from_hoa("HOA: v1\nStart: 0\n--BODY--\n--END--")
+
+    def test_rejects_incomplete_transitions(self):
+        text = "\n".join(
+            [
+                "HOA: v1",
+                "States: 1",
+                "Start: 0",
+                'AP: 1 "a"',
+                "acc-name: Buchi",
+                "Acceptance: 1 Inf(0)",
+                "--BODY--",
+                "State: 0 {0}",
+                "  [0] 0",
+                "--END--",
+            ]
+        )
+        with pytest.raises(ParseError):
+            from_hoa(text)  # powerset over {a} needs [!0] too
+
+    def test_rejects_unknown_acceptance(self):
+        text = "\n".join(
+            [
+                "HOA: v1",
+                "States: 1",
+                "Start: 0",
+                'AP: 0',
+                "acc-name: parity min even 3",
+                "Acceptance: 3 Inf(0)",
+                "--BODY--",
+                "State: 0",
+                "  [t] 0",
+                "--END--",
+            ]
+        )
+        with pytest.raises(ParseError):
+            from_hoa(text)

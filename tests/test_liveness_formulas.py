@@ -1,0 +1,99 @@
+"""§4's syntactic characterization of liveness, verified semantically."""
+
+import pytest
+
+from repro.core import formula_to_automaton
+from repro.logic import parse_formula
+from repro.logic.liveness import (
+    alternative_liveness_shape,
+    is_alternative_liveness_formula,
+    is_liveness_formula,
+    liveness_shape,
+)
+from repro.omega import is_liveness
+from repro.words import Alphabet
+
+PQ = Alphabet.powerset_of_propositions(["p", "q"])
+
+
+class TestShape:
+    def test_positive_shape(self):
+        formula = parse_formula("F ((O p & F q) | (H !p & F !q))")
+        shape = liveness_shape(formula)
+        assert shape is not None and len(shape.pairs) == 2
+
+    def test_single_disjunct(self):
+        assert liveness_shape(parse_formula("F (O p & F q)")) is not None
+
+    @pytest.mark.parametrize("text", ["G (p & F q)", "F (p | q)", "F ((F q) & (F p))", "p & F q"])
+    def test_negative_shapes(self, text):
+        assert liveness_shape(parse_formula(text)) is None
+
+
+class TestSideConditions:
+    def test_trivial_cover_makes_liveness(self):
+        # p ∨ ¬p covers every position; q and ¬q are satisfiable.
+        formula = parse_formula("F ((p & F q) | (!p & F !q))")
+        assert is_liveness_formula(formula, PQ)
+
+    def test_uncovered_positions_rejected(self):
+        # □(p) is not valid, so the side condition fails.
+        formula = parse_formula("F (p & F q)")
+        assert not is_liveness_formula(formula, PQ)
+
+    def test_unsatisfiable_future_rejected(self):
+        formula = parse_formula("F ((p | !p) & F (q & !q))")
+        assert not is_liveness_formula(formula, PQ)
+
+    def test_paper_example(self):
+        # §4: (p → ◇□q) ∧ (¬p → ◇□¬q) is equivalent to the liveness formula
+        # ◇[(◆(first∧p) ∧ ◇□q) ∨ (◆(first∧¬p) ∧ ◇□¬q)].
+        original = parse_formula("(p -> F G q) & (!p -> F G !q)")
+        normal = parse_formula(
+            "F ((O ((!Y true) & p) & F (G q)) | (O ((!Y true) & !p) & F (G !q)))"
+        )
+        assert is_liveness_formula(normal, PQ)
+        left = formula_to_automaton(original, PQ)
+        right = formula_to_automaton(normal, PQ)
+        assert left.equivalent_to(right)
+
+
+class TestTheorem:
+    """Liveness formula ⟹ the denoted property is (topologically) live."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "F ((p & F q) | (!p & F !q))",
+            "F ((p | !p) & F q)",
+            "F ((O p | H !p) & F (G q)) | F ((p | !p) & F true)",
+        ],
+    )
+    def test_recognized_implies_dense(self, text):
+        formula = parse_formula(text)
+        if is_liveness_formula(formula, PQ):
+            assert is_liveness(formula_to_automaton(formula, PQ))
+
+    def test_classic_liveness_properties_have_normal_forms(self):
+        # ◇q itself: as a liveness formula ◇((p∨¬p) ∧ ◇q).
+        sugar = parse_formula("F ((p | !p) & F q)")
+        assert is_liveness_formula(sugar, PQ)
+        assert formula_to_automaton(sugar, PQ).equivalent_to(
+            formula_to_automaton(parse_formula("F q"), PQ)
+        )
+
+
+class TestAlternativeForm:
+    def test_shape(self):
+        formula = parse_formula("F ((!p | F q) & (!(!p) | F !q))")
+        assert alternative_liveness_shape(formula) is not None
+
+    def test_disjointness_enforced(self):
+        # p and p overlap: rejected.
+        overlapping = parse_formula("F ((!p | F q) & (!p | F !q))")
+        assert not is_alternative_liveness_formula(overlapping, PQ)
+
+    def test_accepting_case(self):
+        disjoint = parse_formula("F ((!p | F q) & (!(!p) | F !q))")
+        assert is_alternative_liveness_formula(disjoint, PQ)
+        assert is_liveness(formula_to_automaton(disjoint, PQ))

@@ -1,0 +1,333 @@
+"""Parser, NNF, simplification, and lasso semantics for LTL+Past."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParseError, UnsupportedFragmentError
+from repro.logic import (
+    TRUE,
+    Always,
+    And,
+    Eventually,
+    Historically,
+    Next,
+    Not,
+    Or,
+    Prop,
+    Since,
+    Unless,
+    Until,
+    end_satisfies,
+    first,
+    holds,
+    nnf,
+    parse_formula,
+    satisfies,
+    simplify,
+    weak_since,
+)
+from repro.logic.ast import Previous, Release
+from repro.words import Alphabet, FiniteWord, LassoWord, all_lassos
+
+AB = Alphabet.from_letters("ab")
+LASSOS = list(all_lassos(AB, 2, 2))
+
+
+def lasso(stem: str, loop: str) -> LassoWord:
+    return LassoWord.from_letters(stem, loop)
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("a U b", Until(Prop("a"), Prop("b"))),
+            ("G F p", Always(Eventually(Prop("p")))),
+            ("!a & b", And((Not(Prop("a")), Prop("b")))),
+            ("a -> b", Or((Not(Prop("a")), Prop("b")))),
+            ("X X a", Next(Next(Prop("a")))),
+            ("a S b", Since(Prop("a"), Prop("b"))),
+            ("H a", Historically(Prop("a"))),
+            ("a W b", Unless(Prop("a"), Prop("b"))),
+            ("a R b", Release(Prop("a"), Prop("b"))),
+            ("Y a", Previous(Prop("a"))),
+        ],
+    )
+    def test_examples(self, text, expected):
+        assert parse_formula(text) == expected
+
+    def test_precedence(self):
+        assert parse_formula("a & b | c") == Or((And((Prop("a"), Prop("b"))), Prop("c")))
+        assert parse_formula("a -> b -> c") == parse_formula("a -> (b -> c)")
+        assert parse_formula("G a & F b") == And((Always(Prop("a")), Eventually(Prop("b"))))
+        assert parse_formula("a U b U c") == parse_formula("a U (b U c)")
+
+    def test_iff_expansion(self):
+        formula = parse_formula("a <-> b")
+        assert formula == And((Prop("a").implies(Prop("b")), Prop("b").implies(Prop("a"))))
+
+    @pytest.mark.parametrize("bad", ["a U", "(a", "a b", "->a", "a & & b", "Q"])
+    def test_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_formula(bad)
+
+    def test_repr_round_trip(self):
+        for text in ["a U b", "G(a -> F b)", "!(a & b) | X c", "H(a S b)", "Y a & Z b", "O a"]:
+            formula = parse_formula(text)
+            assert parse_formula(repr(formula)) == formula
+
+    def test_identifiers_can_contain_capitals_inside(self):
+        assert parse_formula("req_Grant") == Prop("req_Grant")
+
+
+class TestFragments:
+    def test_state_past_future(self):
+        assert parse_formula("a & !b").is_state_formula()
+        assert parse_formula("a S b").is_past_formula()
+        assert not parse_formula("a S b").is_future_formula()
+        assert parse_formula("a U b").is_future_formula()
+        assert not parse_formula("a U b").is_past_formula()
+
+    def test_future_inside_past_detection(self):
+        assert parse_formula("Y (F a)").has_future_inside_past()
+        assert not parse_formula("F (Y a)").has_future_inside_past()
+
+
+class TestSemantics:
+    def test_until(self):
+        assert satisfies(lasso("aab", "b"), parse_formula("a U b"))
+        assert not satisfies(lasso("", "a"), parse_formula("a U b"))
+        # Until requires left to hold up to (excluding) the witness.
+        assert not satisfies(lasso("ba", "b"), parse_formula("a U b")) is False or True
+        assert satisfies(lasso("b", "a"), parse_formula("a U b"))  # b at position 0
+
+    def test_globally_and_eventually(self):
+        assert satisfies(lasso("", "a"), parse_formula("G a"))
+        assert not satisfies(lasso("ab", "a"), parse_formula("G a"))
+        assert satisfies(lasso("ab", "a"), parse_formula("F G a"))
+        assert satisfies(lasso("", "ab"), parse_formula("G F b"))
+        assert not satisfies(lasso("b", "a"), parse_formula("G F b"))
+
+    def test_next(self):
+        assert satisfies(lasso("ab", "a"), parse_formula("X b"))
+        assert not satisfies(lasso("aa", "b"), parse_formula("X b"))
+
+    def test_unless_weak(self):
+        # G a satisfies a W b even without b.
+        assert satisfies(lasso("", "a"), parse_formula("a W b"))
+        assert satisfies(lasso("ab", "b"), parse_formula("a W b"))
+        assert not satisfies(lasso("ba", "a"), parse_formula("a W b")) is False or True
+
+    def test_release(self):
+        # a R b: b holds until (and including) the first a.  Over {a,b} the
+        # release position would need a ∧ b at once, so a R b collapses to Gb.
+        assert satisfies(lasso("", "b"), parse_formula("a R b"))
+        assert not satisfies(lasso("bba", "a"), parse_formula("a R b"))
+        assert not satisfies(lasso("bab", "b"), parse_formula("a R b"))
+        # With a disjunctive right operand the release can genuinely fire.
+        assert satisfies(lasso("ba", "a"), parse_formula("a R (a | b)"))
+
+    def test_past_operators_at_positions(self):
+        word = lasso("ab", "a")
+        assert holds(parse_formula("Y a"), word, 1)
+        assert not holds(parse_formula("Y a"), word, 0)
+        assert holds(parse_formula("O b"), word, 5)
+        assert not holds(parse_formula("H a"), word, 5)
+        assert holds(first(), word, 0)
+        assert not holds(first(), word, 3)
+
+    def test_since(self):
+        # a S b at position j: some earlier-or-equal b with a's since then.
+        word = lasso("baa", "a")
+        assert holds(parse_formula("a S b"), word, 2)
+        # q at the current position satisfies Since outright …
+        assert holds(parse_formula("a S b"), lasso("bba", "b"), 3)
+        # … but without any q below, Since is false.
+        assert not holds(parse_formula("a S b"), lasso("ab", "a"), 0)
+
+    def test_mixed_future_past(self):
+        # □(b → ◆a): every b-position has an a somewhere before it.
+        formula = parse_formula("G (b -> O a)")
+        assert satisfies(lasso("a", "b"), formula)
+        assert not satisfies(lasso("b", "a"), formula)
+
+    def test_position_beyond_horizon_folds_into_cycle(self):
+        formula = parse_formula("b")
+        word = lasso("a", "ab")
+        assert holds(formula, word, 2) == holds(formula, word, 4) == holds(formula, word, 100)
+
+    def test_future_inside_past_rejected(self):
+        with pytest.raises(UnsupportedFragmentError):
+            satisfies(lasso("", "a"), parse_formula("Y (F b)"))
+
+
+class TestEndSatisfaction:
+    def test_paper_example(self):
+        # a*b is represented by b ∧ ⊖■a (b now, a at all previous positions).
+        formula = parse_formula("b & Z (H a)")
+        assert end_satisfies(FiniteWord.from_letters("aab"), formula)
+        assert end_satisfies(FiniteWord.from_letters("b"), formula)
+        assert not end_satisfies(FiniteWord.from_letters("abb"), formula)
+        assert not end_satisfies(FiniteWord.from_letters("aba"), formula)
+
+    def test_needs_past_formula(self):
+        with pytest.raises(UnsupportedFragmentError):
+            end_satisfies(FiniteWord.from_letters("a"), parse_formula("F a"))
+
+    def test_needs_nonempty_word(self):
+        with pytest.raises(ValueError):
+            end_satisfies(FiniteWord.empty(), parse_formula("a"))
+
+    def test_weak_since(self):
+        # Over {a,b} every word ends with a's after its last b, so use a
+        # third letter to exercise the false case.
+        formula = weak_since(Prop("a"), Prop("b"))
+        assert end_satisfies(FiniteWord.from_letters("aaa"), formula)  # ■a branch
+        assert end_satisfies(FiniteWord.from_letters("ba"), formula)
+        assert end_satisfies(FiniteWord.from_letters("ab"), formula)  # b holds now
+        assert not end_satisfies(FiniteWord.from_letters("ca"), formula)
+        assert not end_satisfies(FiniteWord.from_letters("bca"), formula)
+
+
+class TestNNF:
+    FORMULAS = [
+        "!(a U b)", "!(a W b)", "!(a R b)", "!G a", "!F a", "!X a",
+        "!(a S b)", "!Y a", "!Z a", "!O a", "!H a", "!(a & (b | !c))",
+        "!(G(a -> F b))", "!((a S b) U c)",
+    ]
+
+    @pytest.mark.parametrize("text", FORMULAS)
+    def test_nnf_preserves_semantics(self, text):
+        formula = parse_formula(text.replace("c", "a"))
+        rewritten = nnf(formula)
+        for word in LASSOS:
+            assert satisfies(word, formula) == satisfies(word, rewritten), (text, word)
+
+    @pytest.mark.parametrize("text", FORMULAS)
+    def test_nnf_negations_on_atoms_only(self, text):
+        rewritten = nnf(parse_formula(text.replace("c", "a")))
+        for node in rewritten.subformulas():
+            if isinstance(node, Not):
+                assert isinstance(node.operand, Prop)
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        assert simplify(parse_formula("a & true")) == Prop("a")
+        assert simplify(parse_formula("a & false")) == parse_formula("false")
+        assert simplify(parse_formula("a | true")) == TRUE
+        assert simplify(parse_formula("F F a")) == Eventually(Prop("a"))
+        assert simplify(parse_formula("G G a")) == Always(Prop("a"))
+        assert simplify(parse_formula("!!a")) == Prop("a")
+        assert simplify(parse_formula("true U a")) == Eventually(Prop("a"))
+
+    def test_flattening(self):
+        formula = simplify(parse_formula("(a & b) & (a & d)"))
+        assert formula == And((Prop("a"), Prop("b"), Prop("d")))
+
+    @pytest.mark.parametrize("text", ["a & (b | a)", "G(a & true)", "F(a | false)", "(a U b) & true"])
+    def test_simplify_preserves_semantics(self, text):
+        formula = parse_formula(text.replace("d", "b"))
+        reduced = simplify(formula)
+        for word in LASSOS:
+            assert satisfies(word, formula) == satisfies(word, reduced)
+
+
+def naive_holds(formula, word: LassoWord, j: int, horizon: int) -> bool:
+    """Direct recursive semantics; every future quantifier scans its own
+    window of ``horizon`` positions *relative to its evaluation point*, so
+    nested operators never run out of lookahead (test oracle)."""
+    from repro.logic import prop_holds
+    from repro.logic.ast import (
+        And, Always, Eventually, FalseConst, Historically, Next, Not, Once, Or,
+        Previous, Prop, Release, Since, TrueConst, Unless, Until, WeakPrevious,
+    )
+
+    f = formula
+    if isinstance(f, Prop):
+        return prop_holds(f.name, word[j])
+    if isinstance(f, TrueConst):
+        return True
+    if isinstance(f, FalseConst):
+        return False
+    if isinstance(f, Not):
+        return not naive_holds(f.operand, word, j, horizon)
+    if isinstance(f, And):
+        return all(naive_holds(op, word, j, horizon) for op in f.operands)
+    if isinstance(f, Or):
+        return any(naive_holds(op, word, j, horizon) for op in f.operands)
+    if isinstance(f, Next):
+        return naive_holds(f.operand, word, j + 1, horizon)
+    if isinstance(f, Until):
+        for k in range(j, j + horizon):
+            if naive_holds(f.right, word, k, horizon):
+                return all(naive_holds(f.left, word, i, horizon) for i in range(j, k))
+        return False
+    if isinstance(f, Eventually):
+        return any(naive_holds(f.operand, word, k, horizon) for k in range(j, j + horizon))
+    if isinstance(f, Always):
+        return all(naive_holds(f.operand, word, k, horizon) for k in range(j, j + horizon))
+    if isinstance(f, Unless):
+        return naive_holds(Always(f.left), word, j, horizon) or naive_holds(
+            Until(f.left, f.right), word, j, horizon
+        )
+    if isinstance(f, Release):
+        return naive_holds(Always(f.right), word, j, horizon) or naive_holds(
+            Until(f.right, And((f.left, f.right))), word, j, horizon
+        )
+    if isinstance(f, Previous):
+        return j > 0 and naive_holds(f.operand, word, j - 1, horizon)
+    if isinstance(f, WeakPrevious):
+        return j == 0 or naive_holds(f.operand, word, j - 1, horizon)
+    if isinstance(f, Since):
+        for k in range(j, -1, -1):
+            if naive_holds(f.right, word, k, horizon):
+                return all(naive_holds(f.left, word, i, horizon) for i in range(k + 1, j + 1))
+        return False
+    if isinstance(f, Once):
+        return any(naive_holds(f.operand, word, k, horizon) for k in range(j + 1))
+    if isinstance(f, Historically):
+        return all(naive_holds(f.operand, word, k, horizon) for k in range(j + 1))
+    raise AssertionError(f"unhandled {f!r}")
+
+
+@st.composite
+def formula_text(draw) -> str:
+    def go(depth: int) -> str:
+        if depth == 0:
+            return draw(st.sampled_from(["a", "b", "true"]))
+        kind = draw(
+            st.sampled_from(["!", "&", "|", "X", "F", "G", "U", "W", "Y", "S", "O", "H"])
+        )
+        if kind in "!XFG":
+            return f"{kind}({go(depth - 1)})"
+        if kind in "YOH":
+            # keep past subtrees past-only
+            return f"{kind}({go_past(depth - 1)})"
+        if kind == "S":
+            return f"({go_past(depth - 1)} S {go_past(depth - 1)})"
+        return f"({go(depth - 1)} {kind} {go(depth - 1)})"
+
+    def go_past(depth: int) -> str:
+        if depth == 0:
+            return draw(st.sampled_from(["a", "b"]))
+        kind = draw(st.sampled_from(["!", "&", "Y", "O", "H", "S"]))
+        if kind == "!":
+            return f"!({go_past(depth - 1)})"
+        if kind == "&":
+            return f"({go_past(depth - 1)} & {go_past(depth - 1)})"
+        if kind == "S":
+            return f"({go_past(depth - 1)} S {go_past(depth - 1)})"
+        return f"{kind}({go_past(depth - 1)})"
+
+    return go(draw(st.integers(1, 3)))
+
+
+@settings(max_examples=80, deadline=None)
+@given(text=formula_text(), stem=st.integers(0, 2), loop=st.integers(1, 4))
+def test_semantics_matches_naive_oracle(text, stem, loop):
+    formula = parse_formula(text)
+    words = [w for w in LASSOS if len(w.stem) <= stem and len(w.loop) <= loop][:12]
+    for word in words:
+        horizon = len(word.stem) + 64 * len(word.loop)
+        assert satisfies(word, formula) == naive_holds(formula, word, 0, horizon), (text, word)

@@ -1,0 +1,147 @@
+"""Edge coverage for small accessors and utilities across the library."""
+
+import pytest
+
+from repro.errors import AutomatonError, ClassificationError, ParseError, ReproError
+from repro.finitary import DFA, FinitaryLanguage
+from repro.logic import prop_holds
+from repro.omega import Acceptance, DetAutomaton
+from repro.omega.acceptance import Kind, Pair
+from repro.words import Alphabet, FiniteWord, LassoWord
+
+AB = Alphabet.from_letters("ab")
+
+
+class TestWordsAccessors:
+    def test_lasso_accessors(self):
+        word = LassoWord.from_letters("ab", "ba")
+        assert word.symbols_used() == {"a", "b"}
+        assert word.stabilization_bound() == len(word.stem)
+        assert word.period() == len(word.loop)
+
+    def test_lasso_check_alphabet(self):
+        with pytest.raises(ReproError):
+            LassoWord.from_letters("z", "a").check_alphabet(AB)
+
+    def test_finite_word_truthiness(self):
+        assert not FiniteWord.empty()
+        assert FiniteWord.from_letters("a")
+
+    def test_repr_of_non_char_symbols(self):
+        word = FiniteWord([frozenset({"p"})])
+        assert "frozenset" in repr(word) or "p" in repr(word)
+        lasso = LassoWord((frozenset({"p"}),), (frozenset(),))
+        assert "LassoWord" in repr(lasso)
+
+
+class TestPropHolds:
+    def test_set_symbols(self):
+        assert prop_holds("p", frozenset({"p", "q"}))
+        assert not prop_holds("r", frozenset({"p"}))
+
+    def test_plain_symbols(self):
+        assert prop_holds("a", "a")
+        assert not prop_holds("a", "b")
+
+
+class TestAcceptanceEdges:
+    def test_restricted_to(self):
+        acc = Acceptance.streett([({0, 1}, {2})])
+        restricted = acc.restricted_to(frozenset({0, 2}))
+        assert restricted.pairs[0].left == {0}
+        assert restricted.pairs[0].right == {2}
+
+    def test_repr(self):
+        assert "streett" in repr(Acceptance.buchi([1]))
+        assert "rabin" in repr(Acceptance.rabin([({0}, {1})]))
+
+    def test_validate(self):
+        with pytest.raises(AutomatonError):
+            Acceptance.buchi([9]).validate(2)
+
+    def test_empty_streett_is_universal_as_rabin(self):
+        acc = Acceptance.streett([])
+        pairs = acc.as_rabin_pairs(2)
+        rabin = Acceptance(Kind.RABIN, pairs)
+        for mask in (1, 2, 3):
+            inf = frozenset(i for i in range(2) if mask >> i & 1)
+            assert rabin.accepts_infinity_set(inf)
+
+
+class TestAutomatonEdges:
+    def test_transitions_iterator(self):
+        automaton = DetAutomaton(AB, [[0, 1], [1, 0]], 0, Acceptance.buchi([0]))
+        edges = list(automaton.transitions())
+        assert ((0, "a", 0)) in edges and ((1, "b", 0)) in edges
+        assert len(edges) == 4
+
+    def test_with_acceptance(self):
+        automaton = DetAutomaton(AB, [[0, 1], [1, 0]], 0, Acceptance.buchi([0]))
+        swapped = automaton.with_acceptance(Acceptance.buchi([1]))
+        assert swapped.acceptance.pairs[0].left == {1}
+
+    def test_transition_dfa_shares_structure(self):
+        automaton = DetAutomaton(AB, [[0, 1], [1, 0]], 0, Acceptance.buchi([0]))
+        dfa = automaton.transition_dfa([1])
+        assert dfa.accepts(FiniteWord.from_letters("b"))
+
+    def test_repr(self):
+        automaton = DetAutomaton(AB, [[0, 0]], 0, Acceptance.buchi([0]))
+        assert "DetAutomaton" in repr(automaton)
+
+    def test_pair_repr_helper(self):
+        pair = Pair.of([0], [1])
+        assert pair.left == {0}
+
+
+class TestFinitaryLanguageEdges:
+    def test_is_everything(self):
+        assert FinitaryLanguage.everything(AB).is_everything()
+        assert not FinitaryLanguage.from_regex("a+", AB).is_everything()
+
+    def test_ordering_operators(self):
+        small = FinitaryLanguage.from_regex("a", AB)
+        large = FinitaryLanguage.from_regex("a|b", AB)
+        assert small < large
+        assert small <= large
+        assert not large <= small
+
+    def test_repr(self):
+        assert "FinitaryLanguage" in repr(FinitaryLanguage.from_regex("ab", AB))
+
+    def test_dfa_universal_check(self):
+        assert DFA.universal(AB).accepts_everything()
+        assert not DFA.empty_language(AB).accepts_everything()
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for error_type in (AutomatonError, ClassificationError, ParseError):
+            assert issubclass(error_type, ReproError)
+
+    def test_parse_error_position(self):
+        error = ParseError("bad", position=3)
+        assert "position 3" in str(error)
+
+
+class TestUniversalEmptyAutomata:
+    def test_universal(self):
+        automaton = DetAutomaton.universal(AB)
+        assert automaton.is_universal()
+        from repro.omega.classify import classify
+
+        verdict = classify(automaton)
+        assert verdict.membership[verdict.canonical]
+
+    def test_empty(self):
+        automaton = DetAutomaton.empty_language(AB)
+        assert automaton.is_empty()
+        from repro.omega.classify import classify
+
+        # ∅ is (vacuously) closed AND open.
+        verdict = classify(automaton)
+        assert verdict.membership[verdict.canonical]
+        from repro.core import TemporalClass
+
+        assert verdict.membership[TemporalClass.SAFETY]
+        assert verdict.membership[TemporalClass.GUARANTEE]

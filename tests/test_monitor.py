@@ -1,0 +1,116 @@
+"""Prefix monitoring and its hierarchy-predicted power (§2's reading)."""
+
+import pytest
+
+from repro.core.monitor import PrefixMonitor, Verdict3
+from repro.finitary import FinitaryLanguage
+from repro.logic import parse_formula
+from repro.omega import a_of, e_of, p_of, r_of
+from repro.words import Alphabet, all_lassos
+
+AB = Alphabet.from_letters("ab")
+PQ = Alphabet.powerset_of_propositions(["p", "q"])
+
+
+def lang(regex: str) -> FinitaryLanguage:
+    return FinitaryLanguage.from_regex(regex, AB)
+
+
+def letters(*names):
+    return [frozenset(name) if name else frozenset() for name in names]
+
+
+class TestVerdicts:
+    def test_safety_violation_detected_finitely(self):
+        monitor = PrefixMonitor(a_of(lang("a+b*")))  # a^ω + a⁺b^ω
+        assert monitor.verdict is Verdict3.PENDING
+        monitor.feed("aab")
+        assert monitor.verdict is Verdict3.PENDING
+        monitor.step("a")  # b then a: no extension can repair the prefix
+        assert monitor.verdict is Verdict3.VIOLATED
+
+    def test_guarantee_satisfaction_detected_finitely(self):
+        monitor = PrefixMonitor(e_of(lang(".*b.*b")))  # at least two b's
+        monitor.feed("ab")
+        assert monitor.verdict is Verdict3.PENDING
+        monitor.step("b")
+        assert monitor.verdict is Verdict3.SATISFIED
+
+    def test_verdicts_are_final(self):
+        monitor = PrefixMonitor(e_of(lang(".*b.*b")))
+        monitor.feed("abb")
+        for symbol in "abab":
+            assert monitor.step(symbol) is Verdict3.SATISFIED
+
+    def test_recurrence_never_decides(self):
+        monitor = PrefixMonitor(r_of(lang(".*b")))  # infinitely many b's
+        for symbol in "abababab":
+            assert monitor.step(symbol) is Verdict3.PENDING
+
+    def test_persistence_never_decides(self):
+        monitor = PrefixMonitor(p_of(lang(".*b")))
+        for symbol in "bbbbaaaa":
+            assert monitor.step(symbol) is Verdict3.PENDING
+
+    def test_reset_and_position(self):
+        monitor = PrefixMonitor(a_of(lang("a+")))
+        monitor.feed("ab")
+        assert monitor.position == 2
+        assert monitor.verdict is Verdict3.VIOLATED
+        monitor.reset()
+        assert monitor.position == 0
+        assert monitor.verdict is Verdict3.PENDING
+
+
+class TestHierarchyPredictions:
+    def test_safety_refutations_have_finite_witnesses(self):
+        automaton = a_of(lang("a+b*"))
+        for word in all_lassos(AB, 2, 2):
+            if automaton.accepts(word):
+                continue
+            monitor = PrefixMonitor(automaton)
+            monitor.feed(word.prefix(2 + 2 * automaton.num_states))
+            assert monitor.verdict is Verdict3.VIOLATED, word
+
+    def test_guarantee_satisfactions_have_finite_witnesses(self):
+        automaton = e_of(lang(".*b"))
+        for word in all_lassos(AB, 2, 2):
+            if not automaton.accepts(word):
+                continue
+            monitor = PrefixMonitor(automaton)
+            monitor.feed(word.prefix(2 + 2 * automaton.num_states))
+            assert monitor.verdict is Verdict3.SATISFIED, word
+
+    def test_clopen_always_decides(self):
+        clopen = PrefixMonitor(e_of(lang("a+b*")))  # aΣ^ω
+        assert clopen.always_decides()
+        safety_only = PrefixMonitor(a_of(lang("a+b*")))
+        assert not safety_only.always_decides()  # a^ω stays pending forever
+
+    def test_monitorability(self):
+        # Safety and guarantee monitors can always still reach a verdict…
+        assert PrefixMonitor(a_of(lang("a+b*"))).is_monitorable_everywhere()
+        assert PrefixMonitor(e_of(lang(".*b"))).is_monitorable_everywhere()
+        # …whereas the recurrence monitor has no decided region at all.
+        recurrence = PrefixMonitor(r_of(lang(".*b")))
+        assert not recurrence.is_monitorable_everywhere()
+
+
+class TestFormulaMonitors:
+    def test_for_formula(self):
+        monitor = PrefixMonitor.for_formula(parse_formula("G !p"), PQ)
+        assert monitor.verdict is Verdict3.PENDING
+        monitor.step(frozenset())
+        assert monitor.verdict is Verdict3.PENDING
+        monitor.step(frozenset({"p"}))
+        assert monitor.verdict is Verdict3.VIOLATED
+
+    def test_response_property_pending(self):
+        monitor = PrefixMonitor.for_formula(parse_formula("G (p -> F q)"), PQ)
+        monitor.feed(letters("p", "", "q", "p"))
+        assert monitor.verdict is Verdict3.PENDING
+
+    def test_eventually_decides_positive(self):
+        monitor = PrefixMonitor.for_formula(parse_formula("F p"), PQ)
+        monitor.feed(letters("", "", "p"))
+        assert monitor.verdict is Verdict3.SATISFIED

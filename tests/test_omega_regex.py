@@ -1,0 +1,119 @@
+"""ω-regular expressions vs the linguistic constructions and raw semantics."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.finitary import FinitaryLanguage
+from repro.omega import DetAutomaton, a_of, e_of, p_of, r_of
+from repro.omega.omega_regex import omega_language, omega_regex_to_nba, parse_omega_regex
+from repro.words import Alphabet, LassoWord, all_lassos
+
+AB = Alphabet.from_letters("ab")
+LASSOS = list(all_lassos(AB, 2, 3))
+
+
+def lang(regex: str) -> FinitaryLanguage:
+    return FinitaryLanguage.from_regex(regex, AB)
+
+
+class TestParser:
+    def test_simple_terms(self):
+        expr = parse_omega_regex("aw | a+bw")
+        assert len(expr.terms) == 2
+        assert expr.terms[0].prefix is None
+
+    def test_prefix_term(self):
+        expr = parse_omega_regex(".*b(ab)w")
+        assert expr.terms[0].prefix is not None
+
+    @pytest.mark.parametrize("bad", ["a", "aw b", "w", "(a|b)", "aww |"])
+    def test_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_omega_regex(bad)
+
+    def test_repr_round_trip(self):
+        for text in ["aw", "a+bw", "(a*b)w", ".*b(ab)w | aw"]:
+            expr = parse_omega_regex(text)
+            assert parse_omega_regex(repr(expr)).terms == expr.terms
+
+
+class TestPaperIdentities:
+    """The paper's worked examples, written in its own notation."""
+
+    def test_safety_example(self):
+        # A(a⁺b*) = a^ω + a⁺b^ω.
+        assert omega_language("aw | a+bw", AB).equivalent_to(a_of(lang("a+b*")))
+
+    def test_guarantee_example(self):
+        # E(a⁺b*) = a⁺b*·Σ^ω.
+        assert omega_language("a+b*.w", AB).equivalent_to(e_of(lang("a+b*")))
+
+    def test_recurrence_example(self):
+        # R(Σ*b) = (a*b)^ω.
+        assert omega_language("(a*b)w", AB).equivalent_to(r_of(lang(".*b")))
+
+    def test_persistence_example(self):
+        # P(Σ*b) = Σ*b^ω.
+        assert omega_language(".*bw", AB).equivalent_to(p_of(lang(".*b")))
+
+    def test_closure_example(self):
+        # cl(a⁺b^ω) = a⁺b^ω + a^ω (§3's first closure computation).
+        from repro.omega import safety_closure
+
+        open_part = omega_language("a+bw", AB)
+        closed = safety_closure(open_part)
+        assert closed.equivalent_to(omega_language("a+bw | aw", AB))
+
+    def test_pref_of_recurrence_is_sigma_plus(self):
+        from repro.omega import pref_language
+
+        automaton = omega_language("(a*b)w", AB)
+        assert pref_language(automaton) == FinitaryLanguage.everything(AB)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "text, member, nonmember",
+        [
+            ("aw", ("", "a"), ("a", "b")),
+            ("(ab)w", ("", "ab"), ("", "a")),
+            ("a+bw", ("aa", "b"), ("ab", "ab")),
+            (".*b(ab)w", ("b", "ab"), ("", "a")),
+            ("aw | bw", ("", "b"), ("", "ab")),
+            ("(a|b)w", ("ab", "ba"), None),
+        ],
+    )
+    def test_membership(self, text, member, nonmember):
+        automaton = omega_language(text, AB)
+        assert automaton.accepts(LassoWord.from_letters(*member))
+        if nonmember is not None:
+            assert not automaton.accepts(LassoWord.from_letters(*nonmember))
+
+    def test_epsilon_loop_is_empty(self):
+        # (a*)^ω where the loop body could be empty still means (a⁺)^ω = a^ω.
+        automaton = omega_language("(a*)w", AB)
+        assert automaton.accepts(LassoWord.from_letters("", "a"))
+        assert not automaton.accepts(LassoWord.from_letters("", "ab"))
+
+    def test_epsilon_prefix(self):
+        # prefix a? may be skipped entirely.
+        automaton = omega_language("a?bw", AB)
+        assert automaton.accepts(LassoWord.from_letters("", "b"))
+        assert automaton.accepts(LassoWord.from_letters("a", "b"))
+        assert not automaton.accepts(LassoWord.from_letters("aa", "b"))
+
+    def test_nba_matches_determinization(self):
+        for text in ["(a*b)w", "a+bw | aw", ".*b(ab)w"]:
+            nba = omega_regex_to_nba(parse_omega_regex(text), AB)
+            det = omega_language(text, AB)
+            for word in LASSOS[:40]:
+                assert nba.accepts(word) == det.accepts(word), (text, word)
+
+
+class TestClassification:
+    def test_expression_classes(self):
+        from repro.omega.classify import classify
+
+        assert classify(omega_language("aw | a+bw", AB)).canonical.value == "safety"
+        assert classify(omega_language("(a*b)w", AB)).canonical.value == "recurrence"
+        assert classify(omega_language(".*bw", AB)).canonical.value == "persistence"

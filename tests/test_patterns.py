@@ -1,0 +1,108 @@
+"""Specification patterns land in their documented hierarchy classes."""
+
+import pytest
+
+from repro.core import classify_formula
+from repro.logic.ast import Prop
+from repro.logic.patterns import (
+    Scope,
+    absence,
+    catalog,
+    existence,
+    fair_response,
+    precedence,
+    recurrence_pattern,
+    response,
+    stabilization,
+    universality,
+)
+from repro.words import Alphabet
+
+P, S, Q, R = Prop("p"), Prop("s"), Prop("q"), Prop("r")
+ALPHABET = Alphabet.powerset_of_propositions(["p", "s", "q", "r"])
+SMALL = Alphabet.powerset_of_propositions(["p", "s"])
+
+
+def measured_class(pattern):
+    return classify_formula(pattern.formula, ALPHABET).canonical_class
+
+
+class TestCatalog:
+    def test_every_pattern_matches_its_expected_class(self):
+        for pattern in catalog(P, S, Q, R):
+            assert measured_class(pattern) is pattern.expected, (
+                pattern.name,
+                pattern.scope,
+            )
+
+    def test_catalog_covers_all_six_classes_but_obligation(self):
+        classes = {pattern.expected for pattern in catalog(P, S, Q, R)}
+        assert len(classes) == 5  # obligation arises from combinations
+
+
+class TestIndividualPatterns:
+    def test_absence_globally(self):
+        pattern = absence(P)
+        assert pattern.expected.value == "safety"
+        assert measured_class(pattern) is pattern.expected
+
+    def test_scoped_absence_stays_safety(self):
+        for scope, kwargs in [
+            (Scope.BEFORE_R, {"r": R}),
+            (Scope.AFTER_Q, {"q": Q}),
+            (Scope.AFTER_Q_UNTIL_R, {"q": Q, "r": R}),
+        ]:
+            pattern = absence(P, scope=scope, **kwargs)
+            assert measured_class(pattern) is pattern.expected
+
+    def test_existence_scope_changes_class(self):
+        # Globally: guarantee.  Before r: safety (vacuous without r).
+        # After q: recurrence (unboundedly many obligations).
+        assert existence(P).expected.value == "guarantee"
+        assert existence(P, scope=Scope.BEFORE_R, r=R).expected.value == "safety"
+        assert existence(P, scope=Scope.AFTER_Q, q=Q).expected.value == "recurrence"
+
+    def test_response_before_r_is_safety(self):
+        # The weak-until rendering keeps the "chance never lost" reading.
+        pattern = response(P, S, scope=Scope.BEFORE_R, r=R)
+        assert pattern.expected.value == "safety"
+        assert measured_class(pattern) is pattern.expected
+
+    def test_precedence_uses_past_to_stay_safety(self):
+        pattern = precedence(P, S)
+        assert pattern.formula.is_future_formula() is False  # uses ◆
+        assert measured_class(pattern) is pattern.expected
+
+    def test_progress_patterns(self):
+        assert measured_class(stabilization(P)).value == "persistence"
+        assert measured_class(recurrence_pattern(P)).value == "recurrence"
+        assert measured_class(fair_response(P, S)).value == "reactivity"
+
+    def test_universality_dualizes_absence(self):
+        pattern = universality(P, scope=Scope.AFTER_Q, q=Q)
+        assert measured_class(pattern) is pattern.expected
+
+
+class TestPatternSemantics:
+    def test_absence_after_q(self):
+        from repro.logic import satisfies
+        from repro.words import LassoWord
+
+        pattern = absence(P, scope=Scope.AFTER_Q, q=Q)
+        n, p_letter, q_letter = frozenset(), frozenset("p"), frozenset("q")
+        ok = LassoWord((p_letter, q_letter), (n,))  # p before q: fine
+        bad = LassoWord((q_letter, p_letter), (n,))  # p after q: violation
+        assert satisfies(ok, pattern.formula)
+        assert not satisfies(bad, pattern.formula)
+
+    def test_window_absence(self):
+        from repro.logic import satisfies
+        from repro.words import LassoWord
+
+        pattern = absence(P, scope=Scope.AFTER_Q_UNTIL_R, q=Q, r=R)
+        n = frozenset()
+        q_letter, r_letter, p_letter = frozenset("q"), frozenset("r"), frozenset("p")
+        closed_window = LassoWord((q_letter, r_letter, p_letter), (n,))  # p after close
+        open_window = LassoWord((q_letter, p_letter), (n,))  # p inside window
+        assert satisfies(closed_window, pattern.formula)
+        assert not satisfies(open_window, pattern.formula)

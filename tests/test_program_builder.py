@@ -1,0 +1,115 @@
+"""The guarded-command builder and the classic systems built with it."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.logic import parse_formula
+from repro.systems import (
+    Fairness,
+    ProgramBuilder,
+    bounded_buffer,
+    check,
+    dining_philosophers,
+)
+
+
+def counter(limit: int = 3):
+    return (
+        ProgramBuilder("counter")
+        .declare("x", 0)
+        .rule(
+            "tick",
+            guard=lambda env: env["x"] < limit,
+            update=lambda env: {"x": env["x"] + 1},
+            fairness=Fairness.WEAK,
+        )
+        .observe("done", lambda env: env["x"] == limit)
+        .build()
+    )
+
+
+class TestBuilder:
+    def test_builds_working_system(self):
+        system = counter()
+        assert len(system.reachable_states()) == 4
+        assert check(system, parse_formula("F done")).holds
+
+    def test_duplicate_variable_rejected(self):
+        builder = ProgramBuilder("bad").declare("x", 0)
+        with pytest.raises(ReproError):
+            builder.declare("x", 1)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ReproError):
+            ProgramBuilder("empty").build()
+
+    def test_update_of_undeclared_variable_rejected(self):
+        system = (
+            ProgramBuilder("bad")
+            .declare("x", 0)
+            .rule("oops", guard=lambda env: True, update=lambda env: {"y": 1})
+            .build()
+        )
+        with pytest.raises(ReproError):
+            system.state_graph()
+
+    def test_multiple_variables(self):
+        system = (
+            ProgramBuilder("pair")
+            .declare("x", 0)
+            .declare("y", 0)
+            .rule(
+                "bump",
+                guard=lambda env: env["x"] + env["y"] < 2,
+                update=lambda env: {"x": env["x"] + 1, "y": env["y"] + 1},
+                fairness=Fairness.WEAK,
+            )
+            .observe("balanced", lambda env: env["x"] == env["y"])
+            .build()
+        )
+        assert check(system, parse_formula("G balanced")).holds
+
+
+class TestDiningPhilosophers:
+    def test_neighbours_never_eat_together(self):
+        system = dining_philosophers(3)
+        assert check(system, parse_formula("G !(eating_0 & eating_1)")).holds
+        assert check(system, parse_formula("G !(eating_1 & eating_2)")).holds
+        assert check(system, parse_formula("G !(eating_2 & eating_0)")).holds
+
+    def test_strong_fairness_prevents_starvation(self):
+        system = dining_philosophers(3, strong=True)
+        assert check(system, parse_formula("G (hungry_0 -> F eating_0)")).holds
+
+    def test_weak_fairness_allows_starvation(self):
+        system = dining_philosophers(3, strong=False)
+        result = check(system, parse_formula("G (hungry_0 -> F eating_0)"))
+        assert not result.holds
+        assert result.counterexample_loop is not None
+
+    def test_two_philosophers(self):
+        # With two philosophers the forks fully conflict: mutual exclusion.
+        system = dining_philosophers(2)
+        assert check(system, parse_formula("G !(eating_0 & eating_1)")).holds
+        assert check(system, parse_formula("G (hungry_0 -> F eating_0)")).holds
+
+
+class TestBoundedBuffer:
+    def test_full_always_drains(self):
+        system = bounded_buffer(2)
+        assert check(system, parse_formula("G (full -> F !full)")).holds
+
+    def test_empty_not_recurrent(self):
+        # The producer can keep the buffer hovering between 1 and 2 forever.
+        system = bounded_buffer(2)
+        result = check(system, parse_formula("G F empty"))
+        assert not result.holds
+
+    def test_buffer_eventually_leaves_empty(self):
+        system = bounded_buffer(1)
+        assert check(system, parse_formula("F !empty")).holds
+
+    def test_capacity_respected(self):
+        system = bounded_buffer(3)
+        states = system.reachable_states()
+        assert {state[0] for state in states} == {0, 1, 2, 3}

@@ -1,0 +1,151 @@
+"""The INV and RESP proof rules, cross-checked against the model checker."""
+
+import pytest
+
+from repro.logic import parse_formula
+from repro.systems import Fairness, ProgramBuilder, check, peterson
+from repro.systems.proofrules import invariance_rule, response_rule
+
+
+def counter(limit: int = 3):
+    return (
+        ProgramBuilder("counter")
+        .declare("x", 0)
+        .rule(
+            "tick",
+            guard=lambda env: env["x"] < limit,
+            update=lambda env: {"x": env["x"] + 1},
+            fairness=Fairness.WEAK,
+        )
+        .observe("done", lambda env: env["x"] == limit)
+        .build()
+    )
+
+
+class TestInvariance:
+    def test_counter_bound_certified(self):
+        system = counter(3)
+        result = invariance_rule(system, lambda s: 0 <= s[0] <= 3, name="0 ≤ x ≤ 3")
+        assert result.certified
+        assert "CERTIFIED" in result.describe()
+
+    def test_non_inductive_invariant_fails(self):
+        system = counter(3)
+        # x ≤ 1 holds initially but is not preserved.
+        result = invariance_rule(system, lambda s: s[0] <= 1)
+        assert not result
+        assert not result.premises["every transition preserves φ"]
+        assert result.failures
+
+    def test_initially_false(self):
+        system = counter(3)
+        result = invariance_rule(system, lambda s: s[0] >= 1)
+        assert not result.premises["initial states satisfy φ"]
+
+    def test_strengthening_pattern(self):
+        # The classic use: a weak goal proved through a stronger inductive φ.
+        system = counter(3)
+        result = invariance_rule(
+            system,
+            invariant=lambda s: 0 <= s[0] <= 3,
+            goal=lambda s: s[0] != 5,
+            name="x ≠ 5",
+        )
+        assert result.certified
+
+    def test_invariant_not_implying_goal(self):
+        system = counter(3)
+        result = invariance_rule(system, lambda s: True, goal=lambda s: s[0] == 0)
+        assert not result.premises["φ → goal"]
+
+    def test_peterson_mutual_exclusion_certified(self):
+        """The paper's flagship safety property, by deduction not search."""
+        system = peterson()
+
+        def invariant(state) -> bool:
+            loc1, loc2, flag1, flag2, turn = state
+            # Flags reflect interest; a process in the critical section
+            # either owns the turn or its rival has not fully claimed.
+            if (loc1 in ("t", "c")) != flag1:
+                return False
+            if (loc2 in ("t", "c")) != flag2:
+                return False
+            if loc1 == "c" and loc2 == "c":
+                return False
+            if loc1 == "c" and loc2 == "t" and turn != 0:
+                return False
+            if loc2 == "c" and loc1 == "t" and turn != 1:
+                return False
+            return True
+
+        result = invariance_rule(
+            system,
+            invariant,
+            goal=lambda s: not (s[0] == "c" and s[1] == "c"),
+            name="¬(C₁ ∧ C₂)",
+        )
+        assert result.certified, result.describe()
+        # Deduction and model checking agree.
+        assert check(system, parse_formula("G !(in_c1 & in_c2)")).holds
+
+
+class TestResponse:
+    def test_counter_termination_certified(self):
+        system = counter(3)
+        result = response_rule(
+            system,
+            trigger=lambda s: True,
+            goal=lambda s: s[0] == 3,
+            ranking=lambda s: 3 - s[0],
+            helpful=lambda s: "tick",
+            name="true → ◇done",
+        )
+        assert result.certified, result.describe()
+        assert check(system, parse_formula("F done")).holds
+
+    def test_unfair_helpful_rejected(self):
+        system = (
+            ProgramBuilder("lazy")
+            .declare("x", 0)
+            .rule(
+                "tick",
+                guard=lambda env: env["x"] < 1,
+                update=lambda env: {"x": 1},
+                fairness=Fairness.NONE,
+            )
+            .observe("done", lambda env: env["x"] == 1)
+            .build()
+        )
+        result = response_rule(
+            system,
+            trigger=lambda s: True,
+            goal=lambda s: s[0] == 1,
+            ranking=lambda s: 1 - s[0],
+            helpful=lambda s: "tick",
+        )
+        assert not result.premises["N3 helpful transition is fair"]
+        # And indeed the property fails operationally.
+        assert not check(system, parse_formula("F done")).holds
+
+    def test_bad_ranking_rejected(self):
+        system = counter(2)
+        result = response_rule(
+            system,
+            trigger=lambda s: True,
+            goal=lambda s: s[0] == 2,
+            ranking=lambda s: s[0],  # increases along the run
+            helpful=lambda s: "tick",
+        )
+        assert not result.certified
+        assert not result.premises["N2 helpful step decreases the rank"]
+
+    def test_unknown_helpful_transition(self):
+        system = counter(1)
+        result = response_rule(
+            system,
+            trigger=lambda s: True,
+            goal=lambda s: s[0] == 1,
+            ranking=lambda s: 1 - s[0],
+            helpful=lambda s: "missing",
+        )
+        assert not result.premises["N3 helpful transition enabled when pending"]

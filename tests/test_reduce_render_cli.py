@@ -1,0 +1,112 @@
+"""Quotient reduction, rendering, and the command-line interface."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.__main__ import main
+from repro.finitary import FinitaryLanguage, parse_regex
+from repro.omega import a_of, r_of
+from repro.omega.omega_regex import omega_language
+from repro.omega.reduce import quotient_reduce
+from repro.omega.render import describe, to_dot
+from repro.omega.safra import formula_to_dra
+from repro.logic import parse_formula
+from repro.words import Alphabet, all_lassos
+
+from tests.test_omega_emptiness import random_automaton
+
+AB = Alphabet.from_letters("ab")
+LASSOS = list(all_lassos(AB, 2, 3))
+
+
+class TestQuotientReduce:
+    def test_preserves_language_on_safra_output(self):
+        dra = formula_to_dra(parse_formula("G (a -> F b)"), AB)
+        reduced = quotient_reduce(dra)
+        assert reduced.num_states <= dra.num_states
+        assert reduced.equivalent_to(dra)
+
+    def test_shrinks_redundant_automaton(self):
+        # Duplicate the state space of a 2-state automaton artificially.
+        base = r_of(FinitaryLanguage.from_regex(".*b", AB))
+        blown_up = formula_to_dra(parse_formula("G F b"), AB)
+        reduced = quotient_reduce(blown_up)
+        assert reduced.equivalent_to(base)
+        assert reduced.num_states <= blown_up.num_states
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_preserves_language_on_random_automata(self, seed):
+        automaton = random_automaton(random.Random(seed))
+        reduced = quotient_reduce(automaton)
+        for word in LASSOS[:25]:
+            assert reduced.accepts(word) == automaton.accepts(word)
+
+    def test_idempotent(self):
+        automaton = quotient_reduce(a_of(FinitaryLanguage.from_regex("a+b*", AB)))
+        again = quotient_reduce(automaton)
+        assert again.num_states == automaton.num_states
+
+
+class TestRender:
+    def test_describe_mentions_pairs_and_edges(self):
+        automaton = r_of(FinitaryLanguage.from_regex(".*b", AB))
+        text = describe(automaton)
+        assert "streett automaton" in text
+        assert "pair 0" in text
+        assert "→" in text
+
+    def test_dot_output_well_formed(self):
+        automaton = r_of(FinitaryLanguage.from_regex(".*b", AB))
+        dot = to_dot(automaton)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert "__init ->" in dot
+
+    def test_dot_for_dfa(self):
+        dfa = parse_regex("a*b").to_dfa(AB)
+        dot = to_dot(dfa, name="phi")
+        assert "digraph phi" in dot
+        assert "doublecircle" in dot
+
+    def test_powerset_labels(self):
+        automaton = omega_language("aw", AB)
+        assert "a" in describe(automaton)
+
+
+class TestCLI:
+    def test_classify(self, capsys):
+        assert main(["classify", "G (p -> F q)"]) == 0
+        out = capsys.readouterr().out
+        assert "recurrence" in out and "Π₂" in out
+
+    def test_classify_with_props(self, capsys):
+        assert main(["classify", "G p", "--props", "p,q"]) == 0
+        assert "safety" in capsys.readouterr().out
+
+    def test_lint_exit_codes(self, capsys):
+        assert main(["lint", "G !(c1 & c2)"]) == 1  # safety-only: warnings
+        capsys.readouterr()
+        assert main(["lint", "G !(c1 & c2)", "G (t1 -> F c1)"]) == 0
+
+    def test_automaton_text_and_dot(self, capsys):
+        assert main(["automaton", "G p"]) == 0
+        assert "automaton" in capsys.readouterr().out
+        assert main(["automaton", "G p", "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_omega(self, capsys):
+        assert main(["omega", "(a*b)w", "--alphabet", "ab"]) == 0
+        out = capsys.readouterr().out
+        assert "recurrence" in out
+
+    def test_zoo(self, capsys):
+        assert main(["zoo"]) == 0
+        out = capsys.readouterr().out
+        assert "safety" in out and "reactivity" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

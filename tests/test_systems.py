@@ -1,0 +1,174 @@
+"""Fair transition systems, model checking, and the mutual-exclusion story."""
+
+import pytest
+
+from repro.logic import parse_formula
+from repro.systems import (
+    FairTransitionSystem,
+    Fairness,
+    Transition,
+    check,
+    lint_specification,
+    peterson,
+    semaphore_mutex,
+    trivial_mutex,
+)
+from repro.systems.mutex import ACCESSIBILITY_1, ACCESSIBILITY_2, MUTUAL_EXCLUSION
+from repro.core import TemporalClass
+from repro.words import LassoWord
+
+
+def simple_counter(limit: int = 3) -> FairTransitionSystem:
+    """Counts 0..limit then stops (idles); proposition 'done' at the top."""
+
+    def guard(state):
+        return state < limit
+
+    def apply(state):
+        yield state + 1
+
+    return FairTransitionSystem(
+        name="counter",
+        initial_states=[0],
+        transitions=[Transition("tick", guard, apply, Fairness.WEAK)],
+        labeling=lambda state: frozenset({"done"} if state == limit else set()),
+        propositions=frozenset({"done"}),
+    )
+
+
+class TestFTS:
+    def test_state_graph_and_idling(self):
+        system = simple_counter(2)
+        graph = system.state_graph()
+        assert set(graph) == {0, 1, 2}
+        # Terminal state keeps an idling self-loop: computations are infinite.
+        assert ("idle", 2) in graph[2]
+
+    def test_deadlock_detection(self):
+        system = simple_counter(1)
+        assert system.deadlock_states() == [1]
+
+    def test_transition_named(self):
+        system = simple_counter()
+        assert system.transition_named("tick").fairness is Fairness.WEAK
+        with pytest.raises(KeyError):
+            system.transition_named("missing")
+
+    def test_labeling_validated(self):
+        from repro.errors import ReproError
+
+        bad = FairTransitionSystem(
+            name="bad",
+            initial_states=[0],
+            transitions=[],
+            labeling=lambda s: frozenset({"undeclared"}),
+            propositions=frozenset({"p"}),
+        )
+        with pytest.raises(ReproError):
+            bad.label(0)
+
+
+class TestModelChecking:
+    def test_termination_guarantee(self):
+        # Weak fairness forces the counter to finish: ◇done holds.
+        assert check(simple_counter(), parse_formula("F done")).holds
+
+    def test_termination_fails_without_fairness(self):
+        system = simple_counter()
+        unfair = FairTransitionSystem(
+            name="unfair",
+            initial_states=system.initial_states,
+            transitions=[
+                Transition(t.name, t.guard, t.apply, Fairness.NONE) for t in system.transitions
+            ],
+            labeling=system.labeling,
+            propositions=system.propositions,
+        )
+        result = check(unfair, parse_formula("F done"))
+        assert not result.holds
+        # The counterexample idles forever before completion.
+        assert result.counterexample_loop is not None
+
+    def test_safety_with_counterexample_replay(self):
+        system = simple_counter(2)
+        result = check(system, parse_formula("G !done"))
+        assert not result.holds
+        stem = result.counterexample_stem
+        loop = result.counterexample_loop
+        word = LassoWord(
+            tuple(system.label(s) for s in stem), tuple(system.label(s) for s in loop)
+        )
+        from repro.logic import satisfies
+
+        assert not satisfies(word, parse_formula("G !done"))
+
+    def test_invariance(self):
+        assert check(simple_counter(3), parse_formula("G (done -> done)")).holds
+
+    def test_describe(self):
+        holds = check(simple_counter(), parse_formula("F done"))
+        assert "HOLDS" in holds.describe()
+        fails = check(simple_counter(), parse_formula("G !done"))
+        assert "FAILS" in fails.describe()
+
+
+class TestMutualExclusionStory:
+    """§1's underspecification narrative, end to end."""
+
+    def test_trivial_mutex_satisfies_safety_only(self):
+        system = trivial_mutex()
+        assert check(system, parse_formula(MUTUAL_EXCLUSION)).holds
+        result = check(system, parse_formula(ACCESSIBILITY_1))
+        assert not result.holds  # starvation: the missing liveness property
+
+    def test_peterson_satisfies_both(self):
+        system = peterson()
+        assert check(system, parse_formula(MUTUAL_EXCLUSION)).holds
+        assert check(system, parse_formula(ACCESSIBILITY_1)).holds
+        assert check(system, parse_formula(ACCESSIBILITY_2)).holds
+
+    def test_peterson_precedence_property(self):
+        # A safety-class precedence property: no entry without prior request.
+        system = peterson()
+        assert check(system, parse_formula("G (in_c1 -> O in_t1)")).holds
+
+    def test_semaphore_needs_strong_fairness(self):
+        assert check(semaphore_mutex(strong=True), parse_formula(ACCESSIBILITY_1)).holds
+        result = check(semaphore_mutex(strong=False), parse_formula(ACCESSIBILITY_1))
+        assert not result.holds
+
+    def test_semaphore_safety_independent_of_fairness(self):
+        for strong in (True, False):
+            assert check(semaphore_mutex(strong=strong), parse_formula(MUTUAL_EXCLUSION)).holds
+
+    def test_peterson_eventual_entry_is_not_unconditional(self):
+        # Nothing forces a process to *request*: ◇in_c1 alone fails.
+        result = check(peterson(), parse_formula("F in_c1"))
+        assert not result.holds
+
+
+class TestSpecificationLint:
+    def test_safety_only_warning(self):
+        report = lint_specification([MUTUAL_EXCLUSION])
+        assert report.classes_used == {TemporalClass.SAFETY}
+        assert any("safety-only" in warning for warning in report.warnings())
+
+    def test_complete_specification_is_clean(self):
+        report = lint_specification([MUTUAL_EXCLUSION, ACCESSIBILITY_1, ACCESSIBILITY_2])
+        assert report.has_progress_requirement
+        assert report.has_liveness_requirement
+        assert report.warnings() == []
+        assert TemporalClass.RECURRENCE in report.classes_used
+
+    def test_table_renders(self):
+        report = lint_specification([MUTUAL_EXCLUSION, ACCESSIBILITY_1])
+        table = report.table()
+        assert "safety" in table and "recurrence" in table
+
+    def test_empty_specification(self):
+        report = lint_specification([])
+        assert any("empty" in warning for warning in report.warnings())
+
+    def test_formula_objects_accepted(self):
+        report = lint_specification([parse_formula("G p")])
+        assert report.classes_used == {TemporalClass.SAFETY}

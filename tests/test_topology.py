@@ -1,0 +1,138 @@
+"""The topological view (§3): metric, closure/interior, Borel levels."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ClassificationError
+from repro.finitary import FinitaryLanguage
+from repro.omega import DetAutomaton, a_of, e_of, p_of, r_of
+from repro.topology import (
+    ball_around,
+    borel_level,
+    boundary,
+    closure,
+    converges_to,
+    distance,
+    g_delta_approximants,
+    interior,
+    is_closed,
+    is_dense,
+    is_f_sigma,
+    is_g_delta,
+    is_open,
+)
+from repro.topology.borel import boundary_is_empty
+from repro.topology.metric import cylinder
+from repro.words import Alphabet, FiniteWord, LassoWord
+
+AB = Alphabet.from_letters("ab")
+
+
+def lang(regex: str) -> FinitaryLanguage:
+    return FinitaryLanguage.from_regex(regex, AB)
+
+
+class TestMetric:
+    def test_paper_convergence_example(self):
+        # b^ω, ab^ω, aab^ω, … → a^ω.
+        family = lambda k: LassoWord(("a",) * k, ("b",))
+        assert converges_to(family, LassoWord.from_letters("", "a"))
+
+    def test_non_convergence(self):
+        family = lambda k: LassoWord.from_letters("", "b")
+        assert not converges_to(family, LassoWord.from_letters("", "a"))
+
+    def test_ball_is_cylinder(self):
+        center = LassoWord.from_letters("ab", "a")
+        ball = ball_around(center, 2)  # prefix of length 3 = "aba"
+        assert ball(LassoWord.from_letters("aba", "b"))
+        assert not ball(LassoWord.from_letters("abb", "a"))
+
+    def test_cylinder_automaton_is_clopen(self):
+        cyl = cylinder(FiniteWord.from_letters("ab"), AB)
+        assert is_open(cyl) and is_closed(cyl)
+        assert boundary_is_empty(cyl)
+
+    def test_distance_matches_ball(self):
+        center = LassoWord.from_letters("", "ab")
+        other = LassoWord.from_letters("ab", "ba")
+        gap = distance(center, other)  # words agree on 'ab', differ at position 2
+        assert gap == Fraction(1, 2**2)
+
+
+class TestClosureInterior:
+    def test_closure_contains_interior_in_it(self):
+        automaton = e_of(lang("a*b"))  # aUb-style
+        assert interior(automaton).is_subset_of(automaton)
+        assert automaton.is_subset_of(closure(automaton))
+
+    def test_closure_of_recurrence_is_everything(self):
+        # cl((a*b)^ω) = Σ^ω since (a*b)^ω is dense.
+        automaton = r_of(lang(".*b"))
+        assert closure(automaton).is_universal()
+        assert interior(automaton).is_empty()
+
+    def test_boundary_of_dense_codense_set_is_everything(self):
+        automaton = r_of(lang(".*b"))
+        assert boundary(automaton).is_universal()
+
+    def test_interior_duality(self):
+        automaton = a_of(lang("a+b*"))
+        assert interior(automaton).equivalent_to(
+            closure(automaton.complement()).complement()
+        )
+
+
+class TestBorelLevels:
+    @pytest.mark.parametrize(
+        "make, expected",
+        [
+            (lambda: a_of(lang("a+b*")), "closed (F)"),
+            (lambda: e_of(lang(".*b.*b")), "open (G)"),
+            (lambda: e_of(lang("a+b*")), "clopen"),
+            (lambda: r_of(lang(".*b")), "G_δ"),
+            (lambda: p_of(lang(".*b")), "F_σ"),
+            (lambda: a_of(lang("a+")).union(e_of(lang(".*b.*b"))), "BC(F) — boolean combination of closed sets"),
+        ],
+    )
+    def test_levels(self, make, expected):
+        assert borel_level(make()) == expected
+
+    def test_reactivity_level(self):
+        from repro.core.canonical import simple_reactivity_example
+
+        automaton = simple_reactivity_example().automaton
+        assert borel_level(automaton) == "BC(G_δ) — boolean combination of G_δ sets"
+
+    def test_predicates(self):
+        recurrence = r_of(lang(".*b"))
+        assert is_g_delta(recurrence) and not is_f_sigma(recurrence)
+        assert is_dense(recurrence)
+        assert not is_closed(recurrence) and not is_open(recurrence)
+
+
+class TestGDeltaApproximants:
+    def test_infinitely_many_bs(self):
+        # (a*b)^ω = ⋂ₖ "at least k b's"·Σ^ω (§3's worked example).
+        automaton = r_of(lang(".*b"))
+        approximants = g_delta_approximants(automaton, 4)
+        for level, g_k in enumerate(approximants, start=1):
+            assert is_open(g_k), level
+            assert automaton.is_subset_of(g_k)
+        for tighter, looser in zip(approximants[1:], approximants):
+            assert tighter.is_subset_of(looser)
+        # G₂ contains a word with exactly two b's that Π lacks.
+        two_bs = LassoWord.from_letters("bb", "a")
+        assert approximants[1].accepts(two_bs)
+        assert not automaton.accepts(two_bs)
+
+    def test_rejects_non_recurrence(self):
+        with pytest.raises(ClassificationError):
+            g_delta_approximants(p_of(lang(".*b")), 2)
+
+    def test_safety_approximants_degenerate(self):
+        # A safety property is itself G_δ; approximants exist and contain it.
+        automaton = a_of(lang("a+b*"))
+        for g_k in g_delta_approximants(automaton, 3):
+            assert automaton.is_subset_of(g_k)

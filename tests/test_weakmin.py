@@ -1,0 +1,91 @@
+"""Canonical minimal weak automata for the obligation class."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ClassificationError
+from repro.finitary import FinitaryLanguage
+from repro.omega import a_of, e_of, r_of
+from repro.omega.classify import is_obligation, obligation_degree
+from repro.omega.weakmin import minimal_weak_automaton, residual_classes, weak_state_complexity
+from repro.words import Alphabet
+
+from tests.test_omega_classify import c_count_automaton
+from tests.test_omega_emptiness import random_automaton
+
+AB = Alphabet.from_letters("ab")
+
+
+def lang(regex: str) -> FinitaryLanguage:
+    return FinitaryLanguage.from_regex(regex, AB)
+
+
+class TestMinimization:
+    def test_preserves_language(self):
+        automaton = a_of(lang("a+b*"))
+        minimal = minimal_weak_automaton(automaton)
+        assert minimal.equivalent_to(automaton)
+
+    def test_canonical_across_presentations(self):
+        # The same clopen language built two different ways minimizes to
+        # structurally identical automata.
+        left = minimal_weak_automaton(e_of(lang("a+b*")))  # aΣ^ω
+        right = minimal_weak_automaton(e_of(lang("a(a|b)*")))
+        assert left._delta == right._delta
+        assert left.acceptance == right.acceptance
+
+    def test_minimal_size_for_known_language(self):
+        # aΣ^ω needs exactly 3 states (undecided, accepted, rejected).
+        assert weak_state_complexity(e_of(lang("a+b*"))) == 3
+
+    def test_counts_grow_with_obligation_degree(self):
+        sizes = [weak_state_complexity(c_count_automaton(k)) for k in (1, 2, 3)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_degree_preserved(self):
+        for k in (1, 2, 3):
+            automaton = c_count_automaton(k)
+            minimal = minimal_weak_automaton(automaton)
+            assert obligation_degree(minimal) == k
+
+    def test_rejects_non_obligation(self):
+        with pytest.raises(ClassificationError):
+            minimal_weak_automaton(r_of(lang(".*b")))
+
+    def test_idempotent(self):
+        automaton = minimal_weak_automaton(c_count_automaton(2))
+        again = minimal_weak_automaton(automaton)
+        assert again.num_states == automaton.num_states
+
+
+class TestResidualClasses:
+    def test_partition(self):
+        automaton = a_of(lang("a+b*"))
+        classes = residual_classes(automaton)
+        members = [state for group in classes for state in group]
+        assert sorted(members) == sorted(automaton.reachable)
+        assert len(members) == len(set(members))
+
+    def test_merges_equal_residuals(self):
+        # Build a deliberately redundant automaton: the union core duplicates
+        # behaviourally identical states.
+        redundant = a_of(lang("a+")).union(a_of(lang("a+")))
+        classes = residual_classes(redundant)
+        assert len(classes) < redundant.num_states
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_minimization_on_random_obligation_automata(seed):
+    automaton = random_automaton(random.Random(seed), max_states=4)
+    if not is_obligation(automaton):
+        return
+    minimal = minimal_weak_automaton(automaton)
+    assert minimal.equivalent_to(automaton)
+    assert minimal.num_states <= max(len(automaton.reachable), 1)
+    # Canonicity: minimizing twice is structurally stable.
+    again = minimal_weak_automaton(minimal)
+    assert again._delta == minimal._delta

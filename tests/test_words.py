@@ -1,0 +1,165 @@
+"""Unit tests for finite words, lasso words, and the paper's metric."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AlphabetError, ReproError
+from repro.words import Alphabet, FiniteWord, LassoWord, all_lassos, all_words, distance, words_up_to
+
+AB = Alphabet.from_letters("ab")
+
+
+class TestAlphabet:
+    def test_order_is_first_seen(self):
+        alpha = Alphabet.of("b", "a", "b")
+        assert alpha.symbols == ("b", "a")
+        assert alpha.index("a") == 1
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet([])
+
+    def test_membership_and_require(self):
+        assert "a" in AB
+        assert "z" not in AB
+        with pytest.raises(AlphabetError):
+            AB.require("z")
+
+    def test_unhashable_membership_is_false(self):
+        assert [1, 2] not in AB
+
+    def test_powerset_alphabet(self):
+        alpha = Alphabet.powerset_of_propositions(["p", "q"])
+        assert len(alpha) == 4
+        assert frozenset() in alpha
+        assert frozenset({"p", "q"}) in alpha
+
+    def test_equality_ignores_order(self):
+        assert Alphabet.of("a", "b") == Alphabet.of("b", "a")
+        assert hash(Alphabet.of("a", "b")) == hash(Alphabet.of("b", "a"))
+
+
+class TestFiniteWord:
+    def test_prefix_relations(self):
+        word = FiniteWord.from_letters("aab")
+        assert FiniteWord.from_letters("aa").is_proper_prefix_of(word)
+        assert word.is_prefix_of(word)
+        assert not word.is_proper_prefix_of(word)
+        assert not FiniteWord.from_letters("ab").is_prefix_of(word)
+
+    def test_prefixes_enumeration(self):
+        word = FiniteWord.from_letters("abc")
+        assert [len(p) for p in word.prefixes()] == [1, 2, 3]
+        assert [len(p) for p in word.prefixes(proper=True)] == [1, 2]
+        assert [len(p) for p in word.prefixes(include_empty=True)] == [0, 1, 2, 3]
+
+    def test_concatenation_and_power(self):
+        assert FiniteWord.from_letters("ab") + FiniteWord.from_letters("ba") == FiniteWord.from_letters("abba")
+        assert FiniteWord.from_letters("ab") * 3 == FiniteWord.from_letters("ababab")
+
+    def test_check_alphabet(self):
+        with pytest.raises(AlphabetError):
+            FiniteWord.from_letters("abz").check_alphabet(AB)
+
+    def test_slicing_returns_word(self):
+        word = FiniteWord.from_letters("abab")
+        assert word[1:3] == FiniteWord.from_letters("ba")
+        assert word[0] == "a"
+
+    def test_enumeration_counts(self):
+        assert sum(1 for _ in all_words(AB, 3)) == 8
+        assert sum(1 for _ in words_up_to(AB, 3)) == 2 + 4 + 8
+        assert sum(1 for _ in words_up_to(AB, 2, include_empty=True)) == 1 + 2 + 4
+
+
+class TestLassoWord:
+    def test_canonical_primitive_loop(self):
+        assert LassoWord.from_letters("", "abab") == LassoWord.from_letters("", "ab")
+
+    def test_canonical_stem_rotation(self):
+        # a(ba)^ω = (ab)^ω
+        assert LassoWord.from_letters("a", "ba") == LassoWord.from_letters("", "ab")
+
+    def test_indexing(self):
+        word = LassoWord.from_letters("ab", "ba")
+        assert [word[i] for i in range(6)] == list("abbaba")
+
+    def test_empty_loop_rejected(self):
+        with pytest.raises(ReproError):
+            LassoWord.from_letters("a", "")
+
+    def test_suffix_within_stem_and_loop(self):
+        word = LassoWord.from_letters("abc", "de")
+        assert word.suffix(1) == LassoWord.from_letters("bc", "de")
+        assert word.suffix(4) == LassoWord.from_letters("", "ed")
+        assert word.suffix(3) == LassoWord.from_letters("", "de")
+
+    def test_prepend(self):
+        word = LassoWord.from_letters("", "b")
+        assert word.prepend(FiniteWord.from_letters("aa")) == LassoWord.from_letters("aa", "b")
+
+    def test_prefix(self):
+        word = LassoWord.from_letters("a", "bc")
+        assert word.prefix(5) == FiniteWord.from_letters("abcbc")
+
+    def test_distance_examples_from_paper(self):
+        # μ(aⁿbω, a²ⁿbω) = 2⁻ⁿ — the two words agree exactly on aⁿ.
+        for n in (1, 3, 5):
+            left = LassoWord(("a",) * n, ("b",))
+            right = LassoWord(("a",) * 2 * n, ("b",))
+            assert distance(left, right) == Fraction(1, 2**n)
+
+    def test_distance_zero_iff_equal(self):
+        word = LassoWord.from_letters("a", "ab")
+        assert distance(word, LassoWord.from_letters("aab", "ab")) in (Fraction(0), Fraction(1, 2**3))
+        assert distance(word, word) == Fraction(0)
+
+    def test_distance_symmetry_and_triangle(self):
+        words = [
+            LassoWord.from_letters("", "a"),
+            LassoWord.from_letters("a", "b"),
+            LassoWord.from_letters("ab", "a"),
+        ]
+        for x in words:
+            for y in words:
+                assert distance(x, y) == distance(y, x)
+                for z in words:
+                    assert distance(x, z) <= distance(x, y) + distance(y, z)
+
+    def test_all_lassos_distinct(self):
+        lassos = list(all_lassos(AB, 1, 2))
+        assert len(lassos) == len(set(lassos))
+        assert LassoWord.from_letters("", "a") in lassos
+        assert LassoWord.from_letters("", "ab") in lassos
+
+    def test_convergence_example_from_paper(self):
+        # b^ω, ab^ω, aab^ω, … converges to a^ω: distances shrink as 2^{-k}.
+        limit = LassoWord.from_letters("", "a")
+        gaps = [distance(LassoWord(("a",) * k, ("b",)), limit) for k in range(1, 6)]
+        assert gaps == sorted(gaps, reverse=True)
+        assert gaps[-1] == Fraction(1, 2**5)
+
+
+@given(
+    stem=st.lists(st.sampled_from("ab"), max_size=4),
+    loop=st.lists(st.sampled_from("ab"), min_size=1, max_size=4),
+)
+def test_lasso_canonical_form_preserves_sequence(stem, loop):
+    raw_symbols = [(stem + loop * 8)[i] for i in range(len(stem) + 8 * len(loop))]
+    lasso = LassoWord(tuple(stem), tuple(loop))
+    assert [lasso[i] for i in range(len(raw_symbols))] == raw_symbols
+
+
+@given(
+    stem=st.lists(st.sampled_from("ab"), max_size=3),
+    loop=st.lists(st.sampled_from("ab"), min_size=1, max_size=3),
+    repeats=st.integers(min_value=1, max_value=3),
+    rolled=st.integers(min_value=0, max_value=3),
+)
+def test_lasso_equality_is_semantic(stem, loop, repeats, rolled):
+    base = LassoWord(tuple(stem), tuple(loop))
+    unrolled_stem = tuple(stem) + tuple(loop) * rolled
+    pumped_loop = tuple(loop) * repeats
+    assert LassoWord(unrolled_stem, pumped_loop) == base
