@@ -51,5 +51,17 @@ __all__ = [
     "Alphabet",
     "FiniteWord",
     "LassoWord",
+    "EvaluationEngine",
+    "EngineSession",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # The engine layer depends back on repro.core; load it lazily so plain
+    # library imports stay cheap and the import graph stays acyclic.
+    if name in {"EvaluationEngine", "EngineSession"}:
+        import repro.engine as engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

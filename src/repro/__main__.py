@@ -4,17 +4,26 @@ Commands
 --------
 
 classify FORMULA [--props p,q]        place a formula in the hierarchy
+classify --batch FILE                 classify a whole spec corpus at once
 lint FORMULA [FORMULA …]              check a specification for coverage gaps
 automaton FORMULA [--dot]             print (or DOT-render) the automaton
 omega EXPRESSION --alphabet ab        classify an ω-regular expression
+engine FILE [--executor …]            batch-evaluate a spec file through the
+                                      caching engine; report classes, cache
+                                      stats and timings
 zoo                                   print the canonical Figure-1 witnesses
+
+Global flags: ``--version``, ``--seed N`` (seeds ``random`` for
+reproducible randomized runs).
 """
 
 from __future__ import annotations
 
 import argparse
+import random
 import sys
 
+from repro import __version__
 from repro.core import classify_formula, formula_to_automaton
 from repro.core.canonical import figure_1_zoo
 from repro.logic import parse_formula
@@ -33,9 +42,49 @@ def _alphabet_from(props: str | None):
 
 
 def cmd_classify(args: argparse.Namespace) -> int:
+    if args.batch:
+        from repro.engine.session import EngineSession, SpecSyntaxError
+
+        session = EngineSession.create(executor=args.executor, max_workers=args.jobs)
+        try:
+            report = session.run_file(args.batch)
+        except (OSError, SpecSyntaxError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(session.render_results(report))
+        print()
+        print(session.render(report))
+        return 1 if report.failures else 0
+    if args.formula is None:
+        print("error: provide a FORMULA or --batch FILE", file=sys.stderr)
+        return 2
     report = classify_formula(parse_formula(args.formula), _alphabet_from(args.props))
     print(report.summary())
     return 0
+
+
+def cmd_engine(args: argparse.Namespace) -> int:
+    from repro.engine.session import EngineSession, SpecSyntaxError
+
+    if args.repeat < 1:
+        print("error: --repeat must be at least 1", file=sys.stderr)
+        return 2
+    session = EngineSession.create(
+        executor=args.executor, max_workers=args.jobs, dedupe=not args.no_dedupe
+    )
+    report = None
+    try:
+        for _ in range(args.repeat):
+            report = session.run_file(args.file)
+    except (OSError, SpecSyntaxError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    assert report is not None
+    if args.results:
+        print(session.render_results(report))
+        print()
+    print(session.render(report, verbose=args.verbose))
+    return 1 if report.failures else 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -74,12 +123,50 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="The Manna-Pnueli safety-progress hierarchy toolkit."
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed the global random module (reproducible randomized runs)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_classify = sub.add_parser("classify", help="classify a temporal formula")
-    p_classify.add_argument("formula")
+    p_classify.add_argument("formula", nargs="?", default=None)
     p_classify.add_argument("--props", help="comma-separated proposition universe")
+    p_classify.add_argument(
+        "--batch", metavar="FILE", help="classify every spec in FILE through the engine"
+    )
+    p_classify.add_argument(
+        "--executor", choices=["serial", "thread", "process"], default="serial"
+    )
+    p_classify.add_argument("--jobs", type=int, default=None, help="pool size for --batch")
     p_classify.set_defaults(func=cmd_classify)
+
+    p_engine = sub.add_parser(
+        "engine", help="batch-evaluate a spec file through the caching engine"
+    )
+    p_engine.add_argument("file", help="spec file: one formula / omega / monitor line each")
+    p_engine.add_argument(
+        "--executor", choices=["serial", "thread", "process"], default="serial"
+    )
+    p_engine.add_argument("--jobs", type=int, default=None, help="worker pool size")
+    p_engine.add_argument(
+        "--repeat", type=int, default=1, help="run the batch N times (shows warm-cache effect)"
+    )
+    p_engine.add_argument(
+        "--no-dedupe", action="store_true", help="disable structural job deduplication"
+    )
+    p_engine.add_argument(
+        "--results", action="store_true", help="print one line per job before the summary"
+    )
+    p_engine.add_argument(
+        "--verbose", "-v", action="store_true", help="also print the metrics registry"
+    )
+    p_engine.set_defaults(func=cmd_engine)
 
     p_lint = sub.add_parser("lint", help="lint a property-list specification")
     p_lint.add_argument("formulas", nargs="+")
@@ -100,6 +187,8 @@ def main(argv: list[str] | None = None) -> int:
     p_zoo.set_defaults(func=cmd_zoo)
 
     args = parser.parse_args(argv)
+    if args.seed is not None:
+        random.seed(args.seed)
     return args.func(args)
 
 

@@ -232,7 +232,17 @@ class FormulaReport:
 
 
 def classify_formula(formula: Formula, alphabet: Alphabet | None = None) -> FormulaReport:
-    """Compile and fully classify a formula (the library's headline call)."""
+    """Compile and fully classify a formula (the library's headline call).
+
+    Pure and uncached; heavy/repetitive traffic should go through
+    :func:`repro.engine.cache.cached_classify_formula` or the batch
+    :class:`repro.engine.batch.EvaluationEngine`, which memoize this work.
+    """
+    import time
+
+    from repro.engine.metrics import METRICS, trace
+
+    start = time.perf_counter()
     alphabet = alphabet or default_alphabet(formula)
     automaton = formula_to_automaton(formula, alphabet)
     verdict = classify_automaton(automaton)
@@ -240,6 +250,14 @@ def classify_formula(formula: Formula, alphabet: Alphabet | None = None) -> Form
         uniform = is_uniform_liveness(automaton) if verdict.is_liveness else False
     except ClassificationError:
         uniform = None
+    elapsed = time.perf_counter() - start
+    METRICS.timer("classifier.classify_formula").observe(elapsed)
+    trace(
+        "classifier.classify_formula",
+        states=automaton.num_states,
+        canonical=verdict.canonical.value,
+        seconds=elapsed,
+    )
     return FormulaReport(
         formula=formula,
         alphabet=alphabet,

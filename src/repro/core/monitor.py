@@ -43,18 +43,55 @@ class PrefixMonitor:
     successor-closed), and further symbols keep returning it.
     """
 
-    def __init__(self, automaton: DetAutomaton) -> None:
+    def __init__(
+        self,
+        automaton: DetAutomaton,
+        *,
+        live: frozenset[int] | None = None,
+        colive: frozenset[int] | None = None,
+    ) -> None:
         self.automaton = automaton
-        self._live = nonempty_states(automaton)
-        self._colive = nonempty_states(automaton.complement())
+        self._live = nonempty_states(automaton) if live is None else live
+        self._colive = (
+            nonempty_states(automaton.complement()) if colive is None else colive
+        )
         self._state = automaton.initial
         self._history: list[Symbol] = []
 
     @classmethod
-    def for_formula(cls, formula: Formula, alphabet: Alphabet | None = None) -> PrefixMonitor:
+    def for_formula(
+        cls,
+        formula: Formula,
+        alphabet: Alphabet | None = None,
+        *,
+        use_cache: bool = True,
+    ) -> PrefixMonitor:
+        """Build a monitor for a formula.
+
+        With ``use_cache`` (the default) the compilation and the residual
+        live/colive analyses go through the engine's caches, so a fleet of
+        monitors for the same property shares one construction.
+        """
+        if use_cache:
+            from repro.engine.cache import (
+                cached_formula_to_automaton,
+                cached_nonempty_states,
+            )
+
+            automaton = cached_formula_to_automaton(formula, alphabet)
+            return cls(
+                automaton,
+                live=cached_nonempty_states(automaton),
+                colive=cached_nonempty_states(automaton.complement()),
+            )
         from repro.core.classifier import formula_to_automaton
 
         return cls(formula_to_automaton(formula, alphabet))
+
+    @property
+    def state(self) -> int:
+        """The automaton state reached by the prefix consumed so far."""
+        return self._state
 
     # ---------------------------------------------------------------- online
 

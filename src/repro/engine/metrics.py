@@ -1,0 +1,284 @@
+"""Counters, timers, histograms and a trace hook for the hot paths.
+
+The engine layer (``repro.engine``) turns the library into an evaluation
+service; this module is its observability substrate.  It is deliberately
+dependency-free (stdlib only, no imports from the rest of ``repro``) so the
+algorithmic hot paths — GPVW translation, Safra determinization, Streett
+emptiness, the classifier — can record what they do without creating import
+cycles.
+
+Three primitives, all registered by name in a :class:`MetricsRegistry`:
+
+* :class:`Counter` — a monotone event count;
+* :class:`Timer` — accumulated wall-clock with count/total/min/max, used as
+  a context manager (``with METRICS.timer("safra.determinize").time(): …``);
+* :class:`Histogram` — bucketed value counts (e.g. automaton sizes).
+
+plus :func:`trace`, a structured-event hook: every instrumented call emits
+``trace("safra.determinize", nba_states=…, dra_states=…)``.  Events land in
+a bounded ring buffer and are fanned out to registered hooks, so tests and
+the CLI can observe the pipeline end-to-end without monkeypatching.
+
+Everything is thread-safe; the synchronized sections are tiny so the
+overhead on the hot paths is a few microseconds per event.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Iterable, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """A monotone named count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self._value})"
+
+
+class Timer:
+    """Accumulated wall-clock observations for one named operation."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            self.min = min(self.min, seconds)
+            self.max = max(self.max, seconds)
+
+    @contextmanager
+    def time(self):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return f"Timer({self.name}: n={self.count}, total={self.total:.6f}s)"
+
+
+class Histogram:
+    """Bucketed counts of a numeric observable (bucket = inclusive upper bound)."""
+
+    __slots__ = ("name", "bounds", "counts", "overflow", "observations", "_lock")
+
+    DEFAULT_BOUNDS: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+    def __init__(self, name: str, bounds: Sequence[float] | None = None) -> None:
+        self.name = name
+        self.bounds = tuple(sorted(bounds if bounds is not None else self.DEFAULT_BOUNDS))
+        self.counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.observations = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.observations += 1
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.counts[index] += 1
+                    return
+            self.overflow += 1
+
+    def as_dict(self) -> dict[str, int]:
+        with self._lock:
+            result = {f"le_{bound:g}": count for bound, count in zip(self.bounds, self.counts)}
+            result["overflow"] = self.overflow
+            return result
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: n={self.observations})"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One structured event emitted by an instrumented hot path."""
+
+    event: str
+    fields: tuple[tuple[str, object], ...]
+    timestamp: float
+
+    def get(self, key: str, default: object = None) -> object:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+
+TraceHook = Callable[[TraceEvent], None]
+
+
+@dataclass
+class _TraceBuffer:
+    capacity: int = 1024
+    events: deque = field(default_factory=deque)
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+        while len(self.events) > self.capacity:
+            self.events.popleft()
+
+
+class MetricsRegistry:
+    """A process-local registry of named counters, timers and histograms.
+
+    Instruments are created on first use and live for the life of the
+    registry; :meth:`reset` zeroes values but keeps trace hooks installed.
+    """
+
+    def __init__(self, *, trace_capacity: int = 1024) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._timers: dict[str, Timer] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._trace = _TraceBuffer(capacity=trace_capacity)
+        self._hooks: list[TraceHook] = []
+
+    # ---------------------------------------------------------- instruments
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def timer(self, name: str) -> Timer:
+        with self._lock:
+            if name not in self._timers:
+                self._timers[name] = Timer(name)
+            return self._timers[name]
+
+    def histogram(self, name: str, bounds: Sequence[float] | None = None) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name, bounds)
+            return self._histograms[name]
+
+    # --------------------------------------------------------------- traces
+
+    def trace(self, event: str, **fields: object) -> TraceEvent:
+        """Record a structured event and fan it out to the installed hooks."""
+        record = TraceEvent(event, tuple(sorted(fields.items())), time.perf_counter())
+        self.counter(f"trace.{event}").inc()
+        with self._lock:
+            self._trace.append(record)
+            hooks = list(self._hooks)
+        for hook in hooks:
+            hook(record)
+        return record
+
+    def add_trace_hook(self, hook: TraceHook) -> None:
+        with self._lock:
+            self._hooks.append(hook)
+
+    def remove_trace_hook(self, hook: TraceHook) -> None:
+        with self._lock:
+            if hook in self._hooks:
+                self._hooks.remove(hook)
+
+    def recent_events(self, event: str | None = None) -> list[TraceEvent]:
+        with self._lock:
+            events = list(self._trace.events)
+        if event is None:
+            return events
+        return [e for e in events if e.event == event]
+
+    # ------------------------------------------------------------ reporting
+
+    def snapshot(self) -> dict[str, object]:
+        """A plain-data view of every instrument (stable for tests/JSON)."""
+        with self._lock:
+            counters = {name: c.value for name, c in self._counters.items()}
+            timers = {
+                name: {"count": t.count, "total": t.total, "mean": t.mean}
+                for name, t in self._timers.items()
+            }
+            histograms = {name: h.as_dict() for name, h in self._histograms.items()}
+        return {"counters": counters, "timers": timers, "histograms": histograms}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+            self._histograms.clear()
+            self._trace.events.clear()
+
+    def report(self) -> str:
+        """A human-readable multi-line summary (the CLI prints this)."""
+        snap = self.snapshot()
+        lines: list[str] = []
+        if snap["timers"]:
+            lines.append("timers:")
+            for name in sorted(snap["timers"]):
+                data = snap["timers"][name]
+                lines.append(
+                    f"  {name:32s} n={data['count']:<6d} total={data['total']*1e3:9.2f}ms"
+                    f" mean={data['mean']*1e3:8.3f}ms"
+                )
+        counters = {
+            name: value
+            for name, value in snap["counters"].items()
+            if not name.startswith("trace.")
+        }
+        if counters:
+            lines.append("counters:")
+            for name in sorted(counters):
+                lines.append(f"  {name:32s} {counters[name]}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+#: The process-wide default registry used by the instrumented hot paths.
+METRICS = MetricsRegistry()
+
+
+def trace(event: str, **fields: object) -> TraceEvent:
+    """Shorthand for ``METRICS.trace(event, **fields)``."""
+    return METRICS.trace(event, **fields)
+
+
+@contextmanager
+def timed(name: str, registry: MetricsRegistry | None = None):
+    """Time a block into ``registry`` (default: the global :data:`METRICS`)."""
+    with (registry or METRICS).timer(name).time():
+        yield
+
+
+def observe_sizes(name: str, sizes: Iterable[int], registry: MetricsRegistry | None = None) -> None:
+    histogram = (registry or METRICS).histogram(name)
+    for size in sizes:
+        histogram.observe(size)

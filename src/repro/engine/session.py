@@ -1,0 +1,156 @@
+"""Spec files in, reports out: the CLI face of the evaluation engine.
+
+A *spec file* is a plain-text corpus of evaluation requests, one per line:
+
+* blank lines and ``#`` comments are skipped;
+* ``omega <letters>: <expression>`` classifies an ω-regular expression
+  over the given letter alphabet (e.g. ``omega ab: .*b(ab)w``);
+* ``monitor <stem>|<loop>: <formula>`` monitors the lasso word
+  ``stem · loop^ω`` over single-letter propositions (each letter of the
+  stem/loop names the proposition that holds at that step; ``.`` means
+  "no proposition") against the formula;
+* every other line is an LTL+Past formula to classify.
+
+:class:`EngineSession` parses such a corpus, pushes it through an
+:class:`~repro.engine.batch.EvaluationEngine`, and renders the combined
+report — per-class counts, timings, cache statistics and metrics — that
+``python -m repro engine`` prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.engine.batch import (
+    BatchReport,
+    ClassifyFormula,
+    ClassifyOmega,
+    EvaluationEngine,
+    Job,
+    MonitorLasso,
+)
+from repro.engine.cache import CACHES, CacheBank
+from repro.engine.metrics import METRICS
+
+
+class SpecSyntaxError(ValueError):
+    """A spec line that cannot be turned into a job."""
+
+
+def _monitor_symbols(text: str) -> tuple:
+    """``"ab."`` → one singleton letter-set per step (``.`` = empty set)."""
+    return tuple(frozenset() if ch == "." else frozenset(ch) for ch in text)
+
+
+def parse_spec_line(line: str) -> Job | None:
+    """One spec line → one job (or ``None`` for blanks/comments)."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    if stripped.startswith("omega "):
+        head, _, expression = stripped.partition(":")
+        letters = head[len("omega "):].strip()
+        if not letters or not expression.strip():
+            raise SpecSyntaxError(f"malformed omega line: {line!r}")
+        return ClassifyOmega(expression.strip(), letters)
+    if stripped.startswith("monitor "):
+        head, _, formula = stripped.partition(":")
+        word = head[len("monitor "):].strip()
+        stem_text, sep, loop_text = word.partition("|")
+        if not sep or not loop_text or not formula.strip():
+            raise SpecSyntaxError(f"malformed monitor line: {line!r}")
+        return MonitorLasso(
+            formula.strip(),
+            stem=_monitor_symbols(stem_text),
+            loop=_monitor_symbols(loop_text),
+        )
+    return ClassifyFormula(stripped)
+
+
+def parse_spec(text: str) -> list[Job]:
+    """Parse a whole spec corpus; line numbers are attached to errors."""
+    jobs: list[Job] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        try:
+            job = parse_spec_line(line)
+        except SpecSyntaxError as error:
+            raise SpecSyntaxError(f"line {number}: {error}") from None
+        if job is not None:
+            jobs.append(job)
+    return jobs
+
+
+@dataclass
+class EngineSession:
+    """A stateful wrapper: parse specs, evaluate batches, render reports."""
+
+    engine: EvaluationEngine = field(default_factory=EvaluationEngine)
+    bank: CacheBank = field(default_factory=lambda: CACHES)
+    history: list[BatchReport] = field(default_factory=list)
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        executor: str = "serial",
+        max_workers: int | None = None,
+        dedupe: bool = True,
+    ) -> EngineSession:
+        bank = CACHES
+        engine = EvaluationEngine(
+            executor=executor, max_workers=max_workers, dedupe=dedupe, bank=bank
+        )
+        return cls(engine=engine, bank=bank)
+
+    # ------------------------------------------------------------------ runs
+
+    def run_jobs(self, jobs: Sequence[Job]) -> BatchReport:
+        report = self.engine.run(jobs)
+        self.history.append(report)
+        return report
+
+    def run_text(self, text: str) -> BatchReport:
+        return self.run_jobs(parse_spec(text))
+
+    def run_file(self, path: str | Path) -> BatchReport:
+        return self.run_text(Path(path).read_text(encoding="utf-8"))
+
+    # ------------------------------------------------------------- rendering
+
+    def render(self, report: BatchReport, *, verbose: bool = False) -> str:
+        """The CLI's output: batch summary + (optionally) engine metrics."""
+        lines = [report.summary()]
+        if verbose:
+            lines.append("")
+            lines.append("metrics:")
+            for metric_line in METRICS.report().splitlines():
+                lines.append(f"  {metric_line}")
+        return "\n".join(lines)
+
+    def render_results(self, report: BatchReport) -> str:
+        """One line per job: verdict/class plus the job's own description."""
+        lines = []
+        for result in report.results:
+            if not result.ok:
+                lines.append(f"{'ERROR':14s} {result.job.kind}: {result.error}")
+                continue
+            value = result.value
+            canonical = getattr(value, "canonical_class", None) or getattr(
+                value, "canonical", None
+            )
+            if canonical is not None:
+                label = canonical.value
+            elif hasattr(value, "verdict"):
+                label = value.verdict.value
+            elif hasattr(value, "holds"):
+                label = "holds" if value.holds else "fails"
+            else:
+                label = str(value)
+            subject = getattr(result.job, "formula", None) or getattr(
+                result.job, "expression", None
+            )
+            flag = " (dedup)" if result.deduped else ""
+            lines.append(f"{label:14s} {subject}{flag}")
+        return "\n".join(lines)

@@ -11,6 +11,7 @@ and closure construction in the library is expressed through it.
 from __future__ import annotations
 
 import itertools
+import random
 from collections import deque
 from collections.abc import Callable, Hashable, Iterable, Iterator, Sequence
 
@@ -329,11 +330,18 @@ class DFA:
 def random_dfa(
     alphabet: Alphabet,
     num_states: int,
-    rng,
+    rng: random.Random | int | None = None,
     *,
     accepting_probability: float = 0.4,
 ) -> DFA:
-    """A uniformly random complete DFA — fuel for the property-test corpus."""
+    """A uniformly random complete DFA — fuel for the property-test corpus.
+
+    ``rng`` may be a ``random.Random`` instance, an integer seed, or ``None``
+    (seed 0), so every randomized benchmark and test is reproducible by
+    construction.
+    """
+    if not isinstance(rng, random.Random):
+        rng = random.Random(0 if rng is None else rng)
     rows = [[rng.randrange(num_states) for _ in alphabet] for _ in range(num_states)]
     accepting = [s for s in range(num_states) if rng.random() < accepting_probability]
     return DFA(alphabet, rows, 0, accepting)

@@ -203,6 +203,11 @@ def formula_to_nba(formula: Formula, alphabet: Alphabet) -> NBA:
     The result's language is ``Sat(φ)`` restricted to the alphabet; past
     subformulas are handled by composing with the deterministic past tester.
     """
+    import time
+
+    from repro.engine.metrics import METRICS, trace
+
+    start = time.perf_counter()
     skeleton, past_atoms = _extract_past_atoms(simplify(formula))
     core = _to_core_operators(nnf(skeleton))
     tableau = _Tableau(core)
@@ -297,6 +302,15 @@ def formula_to_nba(formula: Formula, alphabet: Alphabet) -> NBA:
         for index, state in enumerate(order)
         if state != "nba-init" and state[2] == 0 and state[0] in acceptance_sets[0]
     ]
+    elapsed = time.perf_counter() - start
+    METRICS.timer("gpvw.translate").observe(elapsed)
+    trace(
+        "gpvw.translate",
+        tableau_nodes=len(nodes),
+        nba_states=len(order),
+        past_atoms=len(past_atoms),
+        seconds=elapsed,
+    )
     return NBA(
         alphabet,
         len(order),

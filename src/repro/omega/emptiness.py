@@ -20,9 +20,11 @@ Everything here is polynomial except nothing — no cycle enumeration is used.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from collections.abc import Callable, Iterable, Sequence
 
+from repro.engine.metrics import METRICS, trace
 from repro.omega.acceptance import Acceptance, Kind, Pair
 from repro.omega.automaton import DetAutomaton
 from repro.omega.graph import can_reach, is_nontrivial_component, restricted_sccs
@@ -37,6 +39,7 @@ def streett_good_components(
     states: Iterable[int], successors: Successors, pairs: Sequence[Pair]
 ) -> list[frozenset[int]]:
     """Maximal accepting sub-SCCs of the induced subgraph under Streett pairs."""
+    METRICS.counter("emptiness.streett_calls").inc()
     good: list[frozenset[int]] = []
     pending: list[frozenset[int]] = [frozenset(states)]
     while pending:
@@ -86,7 +89,17 @@ def accepting_cycle_states(aut: DetAutomaton) -> frozenset[int]:
 
 def nonempty_states(aut: DetAutomaton) -> frozenset[int]:
     """States ``q`` whose residual language ``L_q`` is non-empty."""
-    return can_reach(aut.num_states, accepting_cycle_states(aut), aut.successors)
+    start = time.perf_counter()
+    result = can_reach(aut.num_states, accepting_cycle_states(aut), aut.successors)
+    elapsed = time.perf_counter() - start
+    METRICS.timer("emptiness.nonempty_states").observe(elapsed)
+    trace(
+        "emptiness.nonempty_states",
+        states=aut.num_states,
+        live=len(result),
+        seconds=elapsed,
+    )
+    return result
 
 
 def is_empty(aut: DetAutomaton) -> bool:
@@ -225,6 +238,13 @@ class ProductCheck:
             ]
 
     def witness_component(self) -> frozenset[int] | None:
+        start = time.perf_counter()
+        try:
+            return self._witness_component()
+        finally:
+            METRICS.timer("emptiness.product_check").observe(time.perf_counter() - start)
+
+    def _witness_component(self) -> frozenset[int] | None:
         aut = self.automaton
         reachable = aut.reachable
         for streett, rabin_conjuncts in self.cases:

@@ -133,8 +133,12 @@ def _safra_step(
 def determinize(nba: NBA) -> DetAutomaton:
     """Safra's construction; the result is a deterministic Rabin automaton
     accepting exactly the NBA's language."""
+    import time
+
+    from repro.engine.metrics import METRICS, trace
     from repro.finitary.dfa import explore
 
+    start = time.perf_counter()
     if nba.initials:
         initial_tree: FrozenTree | None = (0, frozenset(nba.initials), ())
     else:
@@ -170,6 +174,16 @@ def determinize(nba: NBA) -> DetAutomaton:
             pairs.append(Pair(marked_states, absent_states))
     if not pairs:
         pairs.append(Pair(frozenset(), frozenset()))  # empty language
+    elapsed = time.perf_counter() - start
+    METRICS.timer("safra.determinize").observe(elapsed)
+    METRICS.histogram("safra.macrostates").observe(len(order))
+    trace(
+        "safra.determinize",
+        nba_states=nba.num_states,
+        dra_states=len(order),
+        pairs=len(pairs),
+        seconds=elapsed,
+    )
     return DetAutomaton(nba.alphabet, rows, 0, Acceptance(Kind.RABIN, tuple(pairs)))
 
 

@@ -1,0 +1,169 @@
+"""The EvaluationEngine: dedup, executors, fallbacks, all four job kinds."""
+
+import pytest
+
+from repro.engine.batch import (
+    ClassifyFormula,
+    ClassifyOmega,
+    EvaluationEngine,
+    ModelCheck,
+    MonitorLasso,
+)
+from repro.engine.cache import CacheBank
+from repro.core.monitor import Verdict3
+from repro.logic import parse_formula
+from repro.systems.mutex import trivial_mutex
+
+CORPUS = ["G p", "F q", "G (p -> F q)", "F G p", "G p", "F q", "G p"]
+
+
+def fresh_engine(**kwargs) -> EvaluationEngine:
+    return EvaluationEngine(bank=CacheBank(), **kwargs)
+
+
+class TestDeduplication:
+    def test_structurally_equal_jobs_collapse(self):
+        report = fresh_engine().classify_formulas(CORPUS)
+        assert report.total_jobs == 7
+        assert report.unique_jobs == 4
+        assert report.deduplicated == 3
+        # Dedup flags mark the later copies, never the first occurrence.
+        flags = [result.deduped for result in report.results]
+        assert flags == [False, False, False, False, True, True, True]
+
+    def test_parsed_and_text_jobs_share_a_key(self):
+        report = fresh_engine().run(
+            [ClassifyFormula("G p"), ClassifyFormula(parse_formula("G p"))]
+        )
+        assert report.unique_jobs == 1
+
+    def test_dedupe_can_be_disabled_and_cache_absorbs_repeats(self):
+        bank = CacheBank()
+        engine = EvaluationEngine(dedupe=False, bank=bank)
+        report = engine.classify_formulas(["G p", "G p", "G p"])
+        assert report.unique_jobs == 3
+        assert bank.stats()["classification"].hits == 2
+
+    def test_results_keep_input_order(self):
+        report = fresh_engine().classify_formulas(CORPUS)
+        classes = [result.unwrap().canonical_class.value for result in report.results]
+        assert classes == [
+            "safety", "guarantee", "recurrence", "persistence",
+            "safety", "guarantee", "safety",
+        ]
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_parallel_matches_serial(self, executor):
+        serial = fresh_engine(executor="serial").classify_formulas(CORPUS)
+        parallel = fresh_engine(executor=executor, max_workers=2).classify_formulas(CORPUS)
+        for left, right in zip(serial.results, parallel.results):
+            assert left.ok and right.ok
+            assert left.value.canonical_class is right.value.canonical_class
+            assert left.value.streett_index == right.value.streett_index
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationEngine(executor="gpu")
+
+    def test_single_job_batches_run_serially(self):
+        report = fresh_engine(executor="thread").classify_formulas(["G p"])
+        assert report.executor == "serial"
+
+    def test_unpicklable_work_falls_back_to_serial(self):
+        # Process pools cannot pickle a local lambda's closure over a lock;
+        # ModelCheck on a live FairTransitionSystem (closures in transitions)
+        # exercises the degradation path.
+        engine = fresh_engine(executor="process", max_workers=2)
+        system = trivial_mutex()
+        report = engine.run(
+            [
+                ModelCheck(system, "G !(crit1 & crit2)"),
+                ModelCheck(system, "G (try1 -> F crit1)"),
+            ]
+        )
+        assert report.executor == "serial"
+        assert all(result.ok for result in report.results)
+
+
+class TestJobKinds:
+    def test_classify_omega(self):
+        report = fresh_engine().run([ClassifyOmega("(ab)w", "ab"), ClassifyOmega(".*b(ab)w | aw", "ab")])
+        first, second = report.values()
+        assert first.canonical.value == "safety"
+        assert second.canonical.value == "persistence"
+
+    def test_monitor_lasso_verdicts(self):
+        p, empty = frozenset("p"), frozenset()
+        report = fresh_engine().run(
+            [
+                MonitorLasso("G p", stem=(p,), loop=(empty,)),
+                MonitorLasso("F p", stem=(), loop=(p,)),
+                MonitorLasso("G F p", stem=(), loop=(p, empty)),
+            ]
+        )
+        violated, satisfied, pending = report.values()
+        assert violated.verdict is Verdict3.VIOLATED
+        assert satisfied.verdict is Verdict3.SATISFIED
+        assert pending.verdict is Verdict3.PENDING
+
+    def test_monitor_needs_a_loop(self):
+        report = fresh_engine().run([MonitorLasso("G p", stem=(frozenset("p"),), loop=())])
+        assert not report.results[0].ok
+        assert "loop" in report.results[0].error
+
+    def test_model_check(self):
+        system = trivial_mutex()
+        report = fresh_engine().run(
+            [
+                ModelCheck(system, "G !(crit1 & crit2)"),
+                ModelCheck(system, "G crit1"),
+            ]
+        )
+        holds, fails = report.values()
+        assert holds.holds
+        assert not fails.holds
+
+    def test_mixed_batch_shares_the_automaton_cache(self):
+        bank = CacheBank()
+        engine = EvaluationEngine(bank=bank)
+        p, empty = frozenset("p"), frozenset()
+        engine.run(
+            [
+                ClassifyFormula("G p"),
+                MonitorLasso("G p", stem=(p,), loop=(empty,)),
+            ]
+        )
+        # The classification's automaton is reused by the monitor job.
+        assert bank.stats()["formula_automaton"].hits == 1
+
+
+class TestErrorsAndReporting:
+    def test_bad_formula_fails_only_its_own_job(self):
+        report = fresh_engine().classify_formulas(["G p", "G (p -> ", "F q"])
+        assert [result.ok for result in report.results] == [True, False, True]
+        assert report.failures[0].index == 1
+        with pytest.raises(RuntimeError):
+            report.results[1].unwrap()
+
+    def test_summary_mentions_everything(self):
+        report = fresh_engine().classify_formulas(CORPUS)
+        summary = report.summary()
+        assert "deduplicated" in summary
+        assert "safety" in summary
+        assert "formula_automaton" in summary
+
+    def test_class_counts(self):
+        report = fresh_engine().classify_formulas(CORPUS)
+        assert report.class_counts() == {
+            "safety": 3, "guarantee": 2, "recurrence": 1, "persistence": 1,
+        }
+
+    def test_warm_cache_answers_repeat_batches(self):
+        bank = CacheBank()
+        engine = EvaluationEngine(bank=bank)
+        engine.classify_formulas(CORPUS)
+        before = bank.stats()["classification"].hits
+        engine.classify_formulas(CORPUS)
+        assert bank.stats()["classification"].hits == before + 4

@@ -1,0 +1,144 @@
+"""The metrics registry: counters, timers, histograms, traces, hot-path hooks."""
+
+import threading
+
+from repro.engine.metrics import METRICS, Histogram, MetricsRegistry, timed
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.counter("c") is counter
+
+    def test_counter_is_thread_safe(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+    def test_timer_accumulates(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t")
+        timer.observe(0.25)
+        timer.observe(0.75)
+        assert timer.count == 2
+        assert timer.total == 1.0
+        assert timer.mean == 0.5
+        assert (timer.min, timer.max) == (0.25, 0.75)
+
+    def test_timer_context_manager(self):
+        registry = MetricsRegistry()
+        with registry.timer("t").time():
+            pass
+        assert registry.timer("t").count == 1
+
+    def test_timed_helper_uses_global_registry(self):
+        before = METRICS.timer("test.timed_helper").count
+        with timed("test.timed_helper"):
+            pass
+        assert METRICS.timer("test.timed_helper").count == before + 1
+
+    def test_histogram_buckets(self):
+        histogram = Histogram("h", bounds=[10, 100])
+        for value in (1, 5, 50, 5000):
+            histogram.observe(value)
+        data = histogram.as_dict()
+        assert data["le_10"] == 2
+        assert data["le_100"] == 1
+        assert data["overflow"] == 1
+        assert histogram.observations == 4
+
+
+class TestTraces:
+    def test_trace_buffers_events_and_counts(self):
+        registry = MetricsRegistry()
+        registry.trace("unit.event", states=7)
+        registry.trace("unit.other")
+        events = registry.recent_events("unit.event")
+        assert len(events) == 1
+        assert events[0].get("states") == 7
+        assert registry.counter("trace.unit.event").value == 1
+
+    def test_trace_hooks_fan_out(self):
+        registry = MetricsRegistry()
+        seen = []
+        hook = seen.append
+        registry.add_trace_hook(hook)
+        registry.trace("unit.event", x=1)
+        registry.remove_trace_hook(hook)
+        registry.trace("unit.event", x=2)
+        assert len(seen) == 1
+        assert seen[0].get("x") == 1
+
+    def test_ring_buffer_is_bounded(self):
+        registry = MetricsRegistry(trace_capacity=16)
+        for index in range(100):
+            registry.trace("unit.event", index=index)
+        events = registry.recent_events()
+        assert len(events) == 16
+        assert events[-1].get("index") == 99
+
+    def test_snapshot_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.timer("t").observe(0.1)
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == 3
+        assert snap["timers"]["t"]["count"] == 1
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "timers": {}, "histograms": {}}
+
+    def test_report_mentions_instruments(self):
+        registry = MetricsRegistry()
+        registry.timer("pipeline.stage").observe(0.01)
+        registry.counter("widgets").inc()
+        report = registry.report()
+        assert "pipeline.stage" in report and "widgets" in report
+
+
+class TestHotPathInstrumentation:
+    """The Safra / GPVW / emptiness / classifier paths emit real events."""
+
+    def test_pipeline_emits_traces(self):
+        from repro.core import classify_formula
+        from repro.logic import parse_formula
+        from repro.words import Alphabet
+
+        seen = []
+        METRICS.add_trace_hook(seen.append)
+        try:
+            # "G (p -> F q)" takes the general GPVW → Safra route.
+            classify_formula(
+                parse_formula("(G F p -> G F q)"),
+                Alphabet.powerset_of_propositions(["p", "q"]),
+            )
+        finally:
+            METRICS.remove_trace_hook(seen.append)
+        events = {event.event for event in seen}
+        assert "gpvw.translate" in events
+        assert "safra.determinize" in events
+        assert "classifier.classify_formula" in events
+
+    def test_monitor_setup_times_emptiness(self):
+        from repro.core.monitor import PrefixMonitor
+        from repro.omega import r_of
+        from repro.finitary import FinitaryLanguage
+        from repro.words import Alphabet
+
+        ab = Alphabet.from_letters("ab")
+        before = METRICS.timer("emptiness.nonempty_states").count
+        PrefixMonitor(r_of(FinitaryLanguage.from_regex(".*b", ab)))
+        assert METRICS.timer("emptiness.nonempty_states").count >= before + 2

@@ -114,3 +114,74 @@ class TestFormulaMonitors:
         monitor = PrefixMonitor.for_formula(parse_formula("F p"), PQ)
         monitor.feed(letters("", "", "p"))
         assert monitor.verdict is Verdict3.SATISFIED
+
+
+class TestEdgeCases:
+    """Degenerate properties: the verdict must be right before any input."""
+
+    def test_empty_property_starts_violated(self):
+        # L = ∅: the initial residual is already empty.
+        from repro.finitary.dfa import DFA
+
+        monitor = PrefixMonitor(a_of(FinitaryLanguage(DFA.empty_language(AB))))
+        assert monitor.verdict is Verdict3.VIOLATED
+        assert monitor.position == 0
+
+    def test_universal_property_starts_satisfied(self):
+        # L = Σ^ω: every extension satisfies the property from the start.
+        from repro.finitary.dfa import DFA
+
+        monitor = PrefixMonitor(a_of(FinitaryLanguage(DFA.universal(AB))))
+        assert monitor.verdict is Verdict3.SATISFIED
+        assert monitor.position == 0
+
+    def test_contradictory_formula_starts_violated(self):
+        monitor = PrefixMonitor.for_formula(parse_formula("F (p & !p)"), PQ)
+        assert monitor.verdict is Verdict3.VIOLATED
+
+    def test_tautological_formula_starts_satisfied(self):
+        monitor = PrefixMonitor.for_formula(parse_formula("G (p | !p)"), PQ)
+        assert monitor.verdict is Verdict3.SATISFIED
+
+    def test_violated_verdict_is_stable_under_any_suffix(self):
+        monitor = PrefixMonitor(a_of(lang("a+b*")))
+        monitor.feed("aba")  # b then a: irreparable
+        assert monitor.verdict is Verdict3.VIOLATED
+        for symbol in "abababababababababab":
+            assert monitor.step(symbol) is Verdict3.VIOLATED
+
+    def test_satisfied_verdict_is_stable_under_any_suffix(self):
+        monitor = PrefixMonitor(e_of(lang(".*b.*b")))
+        monitor.feed("abb")
+        assert monitor.verdict is Verdict3.SATISFIED
+        for symbol in "babababababababababa":
+            assert monitor.step(symbol) is Verdict3.SATISFIED
+
+    def test_no_pending_after_final_verdict_on_any_lasso(self):
+        # Exhaustive: once a verdict is final it never regresses to PENDING.
+        automaton = e_of(lang("a+b"))
+        for word in all_lassos(AB, 2, 2):
+            monitor = PrefixMonitor(automaton)
+            decided = None
+            for symbol in word.prefix(3 + 2 * automaton.num_states):
+                verdict = monitor.step(symbol)
+                if decided is not None:
+                    assert verdict is decided, word
+                elif verdict is not Verdict3.PENDING:
+                    decided = verdict
+
+    def test_precomputed_live_sets_match_fresh_analysis(self):
+        automaton = a_of(lang("a+b*"))
+        reference = PrefixMonitor(automaton)
+        shared = PrefixMonitor(
+            automaton, live=reference._live, colive=reference._colive
+        )
+        for symbol in "aaba":
+            assert shared.step(symbol) is reference.step(symbol)
+
+    def test_cached_for_formula_matches_uncached(self):
+        formula = parse_formula("G (p -> F q)")
+        cached = PrefixMonitor.for_formula(formula, PQ, use_cache=True)
+        uncached = PrefixMonitor.for_formula(formula, PQ, use_cache=False)
+        for symbol in letters("p", "", "q", "p", "p"):
+            assert cached.step(symbol) is uncached.step(symbol)
