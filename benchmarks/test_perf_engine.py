@@ -8,8 +8,12 @@ faster than the cold run, and serial/threaded execution agree exactly.
 
 import time
 
+import pytest
+
 from repro.engine.batch import EvaluationEngine
 from repro.engine.cache import CacheBank
+
+pytestmark = pytest.mark.perf
 
 # 10 distinct properties spread over the hierarchy, instantiated over two
 # proposition pairs and repeated until the corpus holds 50 jobs.

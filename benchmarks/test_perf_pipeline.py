@@ -7,7 +7,10 @@ and DFA minimization, so regressions are visible.
 
 import random
 
+import pytest
 from conftest import AB
+
+pytestmark = pytest.mark.perf
 
 from repro.core import classify_formula, formula_to_automaton
 from repro.finitary import FinitaryLanguage

@@ -3,11 +3,59 @@
 The offline environment lacks the ``wheel`` package that ``pip install -e .``
 needs; ``python setup.py develop`` works, and this shim makes the test suite
 independent of either.
+
+Also hosts the session-scoped ``qa_seed`` fixture: every randomized test
+draws its ``random.Random`` from one integer, overridable with
+``REPRO_QA_SEED=<n> pytest …`` to replay a failing run exactly.
 """
 
+import os
+import random
 import sys
 from pathlib import Path
+
+import pytest
 
 SRC = Path(__file__).parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+DEFAULT_QA_SEED = 1990  # the paper's PODC year; override with REPRO_QA_SEED
+
+
+def _session_seed() -> int:
+    return int(os.environ.get("REPRO_QA_SEED", DEFAULT_QA_SEED))
+
+
+@pytest.fixture(scope="session")
+def qa_seed() -> int:
+    """The session's master seed for all randomized qa tests."""
+    return _session_seed()
+
+
+@pytest.fixture()
+def qa_rng(qa_seed, request) -> random.Random:
+    """A per-test ``random.Random`` derived from the session seed.
+
+    Mixing in the node id keeps tests independent of each other's draw
+    order, so adding a test never reshuffles every other test's input.
+    """
+    return random.Random(f"{qa_seed}:{request.node.nodeid}")
+
+
+def pytest_report_header(config):
+    return f"repro qa seed: {_session_seed()} (set REPRO_QA_SEED to override)"
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed and "qa_" in str(item.fixturenames):
+        report.sections.append(
+            (
+                "repro qa seed",
+                f"reproduce with: REPRO_QA_SEED={_session_seed()} "
+                f"pytest {item.nodeid!r}",
+            )
+        )

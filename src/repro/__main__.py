@@ -11,6 +11,8 @@ omega EXPRESSION --alphabet ab        classify an ω-regular expression
 engine FILE [--executor …]            batch-evaluate a spec file through the
                                       caching engine; report classes, cache
                                       stats and timings
+fuzz [--seed N] [--budget N]          differential fuzzing of the four views;
+                                      shrinks and reports any disagreement
 zoo                                   print the canonical Figure-1 witnesses
 
 Global flags: ``--version``, ``--seed N`` (seeds ``random`` for
@@ -85,6 +87,33 @@ def cmd_engine(args: argparse.Namespace) -> int:
         print()
     print(session.render(report, verbose=args.verbose))
     return 1 if report.failures else 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.engine.metrics import METRICS
+    from repro.qa.fuzz import run_fuzz
+    from repro.qa.oracles import ORACLES
+
+    if args.budget < 1:
+        print("error: --budget must be at least 1", file=sys.stderr)
+        return 2
+    for name in args.oracle or ():
+        if name not in ORACLES:
+            known = ", ".join(sorted(ORACLES))
+            print(f"error: unknown oracle '{name}' (known: {known})", file=sys.stderr)
+            return 2
+    report = run_fuzz(
+        seed=args.fuzz_seed,
+        budget=args.budget,
+        oracles=args.oracle or None,
+        shrink=not args.no_shrink,
+        write_corpus=args.write_corpus,
+    )
+    print(report.summary())
+    if args.verbose:
+        print()
+        print(METRICS.report())
+    return 0 if report.ok else 1
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -167,6 +196,35 @@ def main(argv: list[str] | None = None) -> int:
         "--verbose", "-v", action="store_true", help="also print the metrics registry"
     )
     p_engine.set_defaults(func=cmd_engine)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing of the four views with shrinking"
+    )
+    p_fuzz.add_argument(
+        "--seed", dest="fuzz_seed", type=int, default=1990, help="generator seed (default 1990)"
+    )
+    p_fuzz.add_argument(
+        "--budget", type=int, default=300, help="number of cases to run (default 300)"
+    )
+    p_fuzz.add_argument(
+        "--oracle",
+        action="append",
+        metavar="NAME",
+        help="restrict to one oracle (repeatable); default: all",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_true", help="report raw counterexamples unshrunk"
+    )
+    p_fuzz.add_argument(
+        "--write-corpus",
+        metavar="DIR",
+        default=None,
+        help="persist shrunk counterexamples as JSON artifacts in DIR",
+    )
+    p_fuzz.add_argument(
+        "--verbose", "-v", action="store_true", help="also print the metrics registry"
+    )
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_lint = sub.add_parser("lint", help="lint a property-list specification")
     p_lint.add_argument("formulas", nargs="+")

@@ -156,7 +156,7 @@ class Until(Formula):
     right: Formula
 
     def __repr__(self) -> str:
-        return f"({self.left!r} U {self.right!r})"
+        return f"({_wrap(self.left)} U {_wrap(self.right)})"
 
 
 @dataclass(frozen=True, slots=True)
@@ -167,7 +167,7 @@ class Unless(Formula):
     right: Formula
 
     def __repr__(self) -> str:
-        return f"({self.left!r} W {self.right!r})"
+        return f"({_wrap(self.left)} W {_wrap(self.right)})"
 
 
 @dataclass(frozen=True, slots=True)
@@ -178,7 +178,7 @@ class Release(Formula):
     right: Formula
 
     def __repr__(self) -> str:
-        return f"({self.left!r} R {self.right!r})"
+        return f"({_wrap(self.left)} R {_wrap(self.right)})"
 
 
 @dataclass(frozen=True, slots=True)
@@ -226,7 +226,7 @@ class Since(Formula):
     right: Formula
 
     def __repr__(self) -> str:
-        return f"({self.left!r} S {self.right!r})"
+        return f"({_wrap(self.left)} S {_wrap(self.right)})"
 
 
 @dataclass(frozen=True, slots=True)

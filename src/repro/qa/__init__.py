@@ -1,0 +1,65 @@
+"""``repro.qa`` — seeded differential fuzzing of the four views.
+
+The paper's central claim is that every class of the safety–progress
+hierarchy is characterized by four *coinciding* views: the linguistic
+operators ``A/E/R/P``, the topological predicates (closed / open / G_δ /
+F_σ), the temporal-logic normal forms, and the shape of the accepting
+Streett automaton.  Whenever two views are implemented by structurally
+distinct code paths, their agreement on random inputs is a free
+differential oracle — that is what this subsystem industrializes:
+
+* :mod:`repro.qa.generate` — size-bounded seeded generators for formulae,
+  finitary DFAs/NFAs, deterministic ω-automata and lasso words;
+* :mod:`repro.qa.oracles` — differential oracles comparing at least two
+  independent routes per generated object;
+* :mod:`repro.qa.shrink` — greedy structural shrinking of failing inputs;
+* :mod:`repro.qa.fuzz` — the budgeted runner behind
+  ``python -m repro fuzz``, wired into :mod:`repro.engine.metrics`;
+* ``qa/corpus/`` — shrunk counterexamples checked in as permanent
+  regression artifacts, replayed by the tier-1 suite.
+"""
+
+from repro.qa.generate import (
+    GeneratorConfig,
+    random_det_automaton,
+    random_formula,
+    random_language,
+    random_lasso,
+    random_nfa,
+    random_normal_form_formula,
+    random_past_formula,
+)
+from repro.qa.oracles import ORACLES, Disagreement, Oracle, oracle_named
+from repro.qa.shrink import shrink_automaton, shrink_formula, shrink_lasso
+from repro.qa.fuzz import (
+    CaseFailure,
+    FuzzReport,
+    corpus_artifacts,
+    corpus_dir,
+    replay_artifact,
+    run_fuzz,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "random_det_automaton",
+    "random_formula",
+    "random_language",
+    "random_lasso",
+    "random_nfa",
+    "random_normal_form_formula",
+    "random_past_formula",
+    "ORACLES",
+    "Disagreement",
+    "Oracle",
+    "oracle_named",
+    "shrink_automaton",
+    "shrink_formula",
+    "shrink_lasso",
+    "CaseFailure",
+    "FuzzReport",
+    "corpus_artifacts",
+    "corpus_dir",
+    "replay_artifact",
+    "run_fuzz",
+]

@@ -1,0 +1,464 @@
+"""Differential oracles: each generated object is classified through at
+least two independent code routes, and any disagreement is a bug.
+
+The four oracles mirror the paper's four coinciding views:
+
+* ``formula-lasso``   — direct lasso semantics vs. the compiled automaton's
+  run vs. the :class:`~repro.core.monitor.PrefixMonitor` verdict;
+* ``formula-class``   — the syntactic fragment grammar and normal-form
+  recognizers (§4) vs. translate-to-automaton-then-classify (§5.1), plus
+  negation duality across the two pipelines;
+* ``linguistic``      — the ``A/E/R/P`` constructions vs. brute-force prefix
+  profiles, the topological closure predicates, and the
+  ``A(Φ)ᶜ = E(Φᶜ)`` / ``R(Φ)ᶜ = P(Φᶜ)`` dualities;
+* ``automaton``       — complement membership, classification duality,
+  Wagner index duality and the HOA round-trip on random Streett/Rabin
+  automata.
+
+Each oracle knows how to generate a subject, check it, serialize it to a
+JSON artifact (for ``qa/corpus/``), replay an artifact, and shrink a
+failing subject — everything the fuzz runner and the regression replay
+need, in one object.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.classes import TemporalClass
+from repro.core.classifier import formula_to_automaton
+from repro.core.monitor import PrefixMonitor, Verdict3
+from repro.finitary.dfa import DFA
+from repro.finitary.language import FinitaryLanguage
+from repro.logic.ast import Formula, Not
+from repro.logic.classes import normal_form_class, syntactic_classes
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import satisfies
+from repro.omega.classify import classify, rabin_index, streett_index
+from repro.omega.closure import is_liveness, is_safety_closed
+from repro.omega.hoa import from_hoa, to_hoa
+from repro.omega.linguistic import a_of, e_of, p_of, r_of
+from repro.qa.generate import (
+    GeneratorConfig,
+    random_det_automaton,
+    random_formula,
+    random_language,
+    random_lasso_sample,
+    random_normal_form_formula,
+)
+from repro.qa.shrink import shrink_automaton, shrink_formula
+from repro.words.alphabet import Alphabet
+from repro.words.lasso import LassoWord
+
+
+@dataclass(frozen=True, slots=True)
+class Disagreement:
+    """One cross-view disagreement: the smoking gun of a fuzz run."""
+
+    oracle: str
+    detail: str
+    subject: Any
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.detail}"
+
+
+# ---------------------------------------------------------------------------
+# Serialization helpers (corpus artifacts are plain JSON)
+# ---------------------------------------------------------------------------
+
+
+def _lassos_to_json(lassos: tuple[LassoWord, ...]) -> list[list[str]]:
+    return [["".join(l.stem), "".join(l.loop)] for l in lassos]
+
+
+def _lassos_from_json(data: list[list[str]]) -> tuple[LassoWord, ...]:
+    return tuple(LassoWord.from_letters(stem, loop) for stem, loop in data)
+
+
+def _dfa_to_json(dfa: DFA) -> dict[str, Any]:
+    return {
+        "rows": [list(row) for row in dfa._delta],  # noqa: SLF001 — qa is in-tree
+        "initial": dfa.initial,
+        "accepting": sorted(dfa.accepting),
+    }
+
+
+def _dfa_from_json(data: dict[str, Any], alphabet: Alphabet) -> DFA:
+    return DFA(alphabet, data["rows"], data["initial"], data["accepting"])
+
+
+# ---------------------------------------------------------------------------
+# The oracle protocol
+# ---------------------------------------------------------------------------
+
+
+class Oracle:
+    """One differential check; subclasses define the views being compared."""
+
+    name: str = "oracle"
+    #: The independent routes this oracle compares (documentation + report).
+    routes: tuple[str, ...] = ()
+
+    def generate(self, rng: random.Random, config: GeneratorConfig) -> Any:
+        raise NotImplementedError
+
+    def check(self, subject: Any) -> str | None:
+        """``None`` when all routes agree, else a human-readable detail."""
+        raise NotImplementedError
+
+    def shrink(self, subject: Any) -> Any:
+        """Greedily minimize a failing subject (default: no shrinking)."""
+        return subject
+
+    def to_artifact(self, subject: Any) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def from_artifact(self, artifact: dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def describe(self, subject: Any) -> str:
+        return repr(subject)
+
+
+# ---------------------------------------------------------------------------
+# 1. Lasso semantics vs. automaton run vs. monitor verdict
+# ---------------------------------------------------------------------------
+
+
+def monitor_verdict(automaton, lasso: LassoWord) -> Verdict3:
+    """Feed ``stem · loop^ω`` to a prefix monitor until the verdict is final
+    or provably PENDING forever (loop-boundary state repeats)."""
+    monitor = PrefixMonitor(automaton)
+    verdict = monitor.feed(lasso.stem)
+    seen = {monitor.state}
+    while verdict is Verdict3.PENDING:
+        verdict = monitor.feed(lasso.loop)
+        if verdict is not Verdict3.PENDING or monitor.state in seen:
+            break
+        seen.add(monitor.state)
+    return verdict
+
+
+class FormulaLassoOracle(Oracle):
+    name = "formula-lasso"
+    routes = ("lasso semantics", "automaton run", "prefix-monitor verdict")
+
+    def generate(self, rng: random.Random, config: GeneratorConfig):
+        formula = random_formula(rng, config.propositions, config.max_depth)
+        return formula, random_lasso_sample(rng, config)
+
+    def check(self, subject) -> str | None:
+        formula, lassos = subject
+        # The letter alphabet must cover every lasso symbol; formula
+        # propositions outside it simply never hold (consistently so on both
+        # the semantic and the automaton route).
+        letters = sorted({s for l in lassos for s in l.symbols_used()} | {"a"})
+        alphabet = Alphabet(letters)
+        automaton = formula_to_automaton(formula, alphabet)
+        for lasso in lassos:
+            semantic = satisfies(lasso, formula)
+            automaton_says = automaton.accepts(lasso)
+            if semantic != automaton_says:
+                return (
+                    f"{formula!r} on {lasso!r}: semantics={semantic},"
+                    f" automaton={automaton_says}"
+                )
+            verdict = monitor_verdict(automaton, lasso)
+            if verdict is Verdict3.VIOLATED and semantic:
+                return f"{formula!r} on {lasso!r}: monitor VIOLATED but word satisfies"
+            if verdict is Verdict3.SATISFIED and not semantic:
+                return f"{formula!r} on {lasso!r}: monitor SATISFIED but word violates"
+        return None
+
+    def shrink(self, subject):
+        formula, lassos = subject
+        failing = [l for l in lassos if self.check((formula, (l,))) is not None]
+        kept = tuple(failing[:1]) if failing else lassos
+        shrunk = shrink_formula(formula, lambda f: self.check((f, kept)) is not None)
+        return shrunk, kept
+
+    def to_artifact(self, subject) -> dict[str, Any]:
+        formula, lassos = subject
+        return {"formula": repr(formula), "lassos": _lassos_to_json(lassos)}
+
+    def from_artifact(self, artifact):
+        return parse_formula(artifact["formula"]), _lassos_from_json(artifact["lassos"])
+
+    def describe(self, subject) -> str:
+        formula, lassos = subject
+        return f"{formula!r} over {len(lassos)} lasso(s)"
+
+
+# ---------------------------------------------------------------------------
+# 2. Syntactic classifiers vs. translate-then-classify (§5.1)
+# ---------------------------------------------------------------------------
+
+
+class FormulaClassOracle(Oracle):
+    name = "formula-class"
+    routes = (
+        "syntactic fragment grammar",
+        "normal-form recognizers",
+        "automaton classification (§5.1)",
+        "negation duality",
+    )
+
+    def generate(self, rng: random.Random, config: GeneratorConfig):
+        if rng.random() < 0.5:
+            temporal_class = rng.choice(tuple(TemporalClass))
+            return random_normal_form_formula(rng, config.propositions, temporal_class)
+        return random_formula(rng, config.propositions, config.max_depth)
+
+    def check(self, subject: Formula) -> str | None:
+        formula = subject
+        verdict = classify(formula_to_automaton(formula))
+        # Syntactic membership is sound: every class the grammar grants must
+        # hold semantically.
+        for claimed in syntactic_classes(formula):
+            if not verdict.membership[claimed]:
+                return (
+                    f"{formula!r}: syntactic grammar claims {claimed.value},"
+                    f" semantic classifier denies it"
+                )
+        # A formula literally in a κ-normal form denotes a κ-property.
+        literal = normal_form_class(formula)
+        if literal is not None and not verdict.membership[literal]:
+            return (
+                f"{formula!r}: matches the {literal.value} normal form but the"
+                f" automaton classifier denies {literal.value}"
+            )
+        # Complement duality across the two pipelines: ¬φ compiles through a
+        # different path (GPVW/Safra) yet must land in the dual classes.
+        negated = classify(formula_to_automaton(Not(formula)))
+        for temporal_class in TemporalClass:
+            if verdict.membership[temporal_class] != negated.membership[temporal_class.dual()]:
+                return (
+                    f"{formula!r}: in {temporal_class.value}="
+                    f"{verdict.membership[temporal_class]} but ¬φ in dual"
+                    f" {temporal_class.dual().value}="
+                    f"{negated.membership[temporal_class.dual()]}"
+                )
+        return None
+
+    def shrink(self, subject: Formula) -> Formula:
+        return shrink_formula(subject, lambda f: self.check(f) is not None)
+
+    def to_artifact(self, subject: Formula) -> dict[str, Any]:
+        return {"formula": repr(subject)}
+
+    def from_artifact(self, artifact) -> Formula:
+        return parse_formula(artifact["formula"])
+
+
+# ---------------------------------------------------------------------------
+# 3. Linguistic A/E/R/P vs. prefix profiles vs. topology
+# ---------------------------------------------------------------------------
+
+
+def prefix_profile(phi: FinitaryLanguage, lasso: LassoWord) -> tuple[list[bool], list[bool]]:
+    """The infinite sequence ``[σ[0..k] ∈ Φ]`` split into transient + cycle,
+    computed by brute force on Φ's DFA (independent of the ω-constructions)."""
+    dfa = phi.dfa
+    state = dfa.initial
+    flags: list[bool] = []
+    seen: dict[tuple[int, int], int] = {}
+    position = 0
+    while True:
+        if position >= len(lasso.stem):
+            key = ((position - len(lasso.stem)) % len(lasso.loop), state)
+            if key in seen:
+                start = seen[key]
+                return flags[:start], flags[start:]
+            seen[key] = position
+        state = dfa.step(state, lasso[position])
+        flags.append(state in dfa.accepting)
+        position += 1
+
+
+_BRUTE_FORCE = {
+    "A": lambda transient, cycle: all(transient) and all(cycle),
+    "E": lambda transient, cycle: any(transient) or any(cycle),
+    "R": lambda transient, cycle: any(cycle),
+    "P": lambda transient, cycle: all(cycle),
+}
+
+_CONSTRUCTIONS = {"A": a_of, "E": e_of, "R": r_of, "P": p_of}
+
+_GUARANTEED_CLASS = {
+    "A": TemporalClass.SAFETY,
+    "E": TemporalClass.GUARANTEE,
+    "R": TemporalClass.RECURRENCE,
+    "P": TemporalClass.PERSISTENCE,
+}
+
+
+class LinguisticOracle(Oracle):
+    name = "linguistic"
+    routes = (
+        "A/E/R/P constructions",
+        "brute-force prefix profiles",
+        "topological closure predicates",
+        "linguistic complement dualities",
+    )
+
+    def generate(self, rng: random.Random, config: GeneratorConfig):
+        phi = random_language(rng, config.alphabet, config.max_states)
+        return phi, random_lasso_sample(rng, config)
+
+    def check(self, subject) -> str | None:
+        phi, lassos = subject
+        automata = {op: build(phi) for op, build in _CONSTRUCTIONS.items()}
+        for op, automaton in automata.items():
+            # Route 1 vs 2: construction membership against the set-theoretic
+            # definition evaluated on the prefix profile.
+            for lasso in lassos:
+                transient, cycle = prefix_profile(phi, lasso)
+                expected = _BRUTE_FORCE[op](transient, cycle)
+                if automaton.accepts(lasso) != expected:
+                    return (
+                        f"{op}(Φ) on {lasso!r}: construction says"
+                        f" {automaton.accepts(lasso)}, prefix profile says {expected}"
+                    )
+            # Route 3: the topological view — κ(Φ) always lands in class κ.
+            guaranteed = _GUARANTEED_CLASS[op]
+            if not classify(automaton).membership[guaranteed]:
+                return f"{op}(Φ) not classified as {guaranteed.value}"
+        # Safety = closed: A(Φ) equals its own safety closure.
+        if not is_safety_closed(automata["A"]):
+            return "A(Φ) is not topologically closed"
+        # Route 4: complement dualities A(Φ)ᶜ = E(Φᶜ) and R(Φ)ᶜ = P(Φᶜ).
+        complement = phi.complement()
+        if not automata["A"].complement().equivalent_to(e_of(complement)):
+            return "A(Φ)ᶜ ≠ E(Σ⁺∖Φ)"
+        if not automata["R"].complement().equivalent_to(p_of(complement)):
+            return "R(Φ)ᶜ ≠ P(Σ⁺∖Φ)"
+        return None
+
+    def shrink(self, subject):
+        phi, lassos = subject
+        failing = [l for l in lassos if self.check((phi, (l,))) is not None]
+        return phi, (tuple(failing[:1]) if failing else lassos)
+
+    def to_artifact(self, subject) -> dict[str, Any]:
+        phi, lassos = subject
+        return {"dfa": _dfa_to_json(phi.dfa), "lassos": _lassos_to_json(lassos)}
+
+    def from_artifact(self, artifact):
+        letters = sorted(
+            {s for pair in artifact["lassos"] for part in pair for s in part} | set("ab")
+        )
+        alphabet = Alphabet(letters)
+        phi = FinitaryLanguage(_dfa_from_json(artifact["dfa"], alphabet))
+        return phi, _lassos_from_json(artifact["lassos"])
+
+    def describe(self, subject) -> str:
+        phi, lassos = subject
+        return f"Φ with {phi.dfa.num_states} DFA states over {len(lassos)} lasso(s)"
+
+
+# ---------------------------------------------------------------------------
+# 4. Automaton complementation, classification duality, HOA round-trip
+# ---------------------------------------------------------------------------
+
+
+class AutomatonOracle(Oracle):
+    name = "automaton"
+    routes = (
+        "complement membership",
+        "classification duality",
+        "Wagner index duality",
+        "HOA round-trip",
+    )
+
+    def generate(self, rng: random.Random, config: GeneratorConfig):
+        automaton = random_det_automaton(
+            rng, config.alphabet, config.max_states, config.max_pairs
+        )
+        return automaton, random_lasso_sample(rng, config)
+
+    def check(self, subject) -> str | None:
+        automaton, lassos = subject
+        complement = automaton.complement()
+        verdict = classify(automaton)
+        dual_verdict = classify(complement)
+        for lasso in lassos:
+            if complement.accepts(lasso) == automaton.accepts(lasso):
+                return f"complement agrees with original on {lasso!r}"
+        for temporal_class in TemporalClass:
+            mine = verdict.membership[temporal_class]
+            dual = dual_verdict.membership[temporal_class.dual()]
+            if mine != dual:
+                return (
+                    f"classification duality broken: {temporal_class.value}={mine}"
+                    f" but complement {temporal_class.dual().value}={dual}"
+                )
+        if streett_index(automaton) != rabin_index(complement):
+            return (
+                f"Wagner duality broken: streett_index={streett_index(automaton)}"
+                f" vs complement rabin_index={rabin_index(complement)}"
+            )
+        restored = from_hoa(to_hoa(automaton), alphabet=automaton.alphabet)
+        if restored.acceptance.kind is not automaton.acceptance.kind:
+            return (
+                f"HOA round-trip changed acceptance kind:"
+                f" {automaton.acceptance.kind} → {restored.acceptance.kind}"
+            )
+        for lasso in lassos:
+            if restored.accepts(lasso) != automaton.accepts(lasso):
+                return f"HOA round-trip changed the verdict on {lasso!r}"
+        if classify(restored).canonical != verdict.canonical:
+            return "HOA round-trip changed the canonical class"
+        return None
+
+    def shrink(self, subject):
+        automaton, lassos = subject
+        failing = [l for l in lassos if self.check((automaton, (l,))) is not None]
+        kept = tuple(failing[:1]) if failing else lassos
+        shrunk = shrink_automaton(
+            automaton, lambda a: self.check((a, kept)) is not None
+        )
+        return shrunk, kept
+
+    def to_artifact(self, subject) -> dict[str, Any]:
+        automaton, lassos = subject
+        letters = "".join(str(s) for s in automaton.alphabet)
+        return {
+            "hoa": to_hoa(automaton),
+            "letters": letters,
+            "lassos": _lassos_to_json(lassos),
+        }
+
+    def from_artifact(self, artifact):
+        alphabet = Alphabet.from_letters(artifact["letters"])
+        automaton = from_hoa(artifact["hoa"], alphabet=alphabet)
+        return automaton, _lassos_from_json(artifact["lassos"])
+
+    def describe(self, subject) -> str:
+        automaton, lassos = subject
+        return f"{automaton!r} over {len(lassos)} lasso(s)"
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+ORACLES: dict[str, Oracle] = {
+    oracle.name: oracle
+    for oracle in (
+        FormulaLassoOracle(),
+        FormulaClassOracle(),
+        LinguisticOracle(),
+        AutomatonOracle(),
+    )
+}
+
+
+def oracle_named(name: str) -> Oracle:
+    try:
+        return ORACLES[name]
+    except KeyError:
+        known = ", ".join(sorted(ORACLES))
+        raise ValueError(f"unknown oracle {name!r}; known oracles: {known}") from None

@@ -1,0 +1,184 @@
+"""Greedy structural shrinking of failing fuzz inputs.
+
+Every shrinker takes the failing object and a ``still_fails`` predicate (the
+oracle re-check) and repeatedly applies the *first* strictly-smaller variant
+that still fails, until no variant does.  The candidate moves mirror the
+object's structure:
+
+* formulae  — replace any node by one of its children, or by ``true``/
+  ``false`` (dropping an ``∧``/``∨`` operand is the child-replacement at the
+  connective);
+* lassos    — delete single stem/loop symbols, drop the stem wholesale;
+* automata  — drop acceptance pairs, thin acceptance sets, merge a state
+  into another (redirecting its in-edges) and trim.
+
+Greedy first-improvement keeps the oracle-call count linear in the number of
+accepted moves times the candidate count, which is what makes shrinking
+affordable inside a fuzz budget: counterexamples land in ``qa/corpus/`` as
+minimal artifacts a human can read.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.logic.ast import FALSE, TRUE, And, Formula, Or
+from repro.omega.acceptance import Acceptance, Pair
+from repro.omega.automaton import DetAutomaton
+from repro.words.lasso import LassoWord
+
+
+def _greedy(subject, candidates, size, still_fails):
+    """Apply the first smaller still-failing candidate until a fixpoint."""
+    current = subject
+    improved = True
+    while improved:
+        improved = False
+        for candidate in candidates(current):
+            if size(candidate) >= size(current):
+                continue
+            try:
+                fails = still_fails(candidate)
+            except Exception:  # noqa: BLE001 — a crashing variant is not a repro
+                continue
+            if fails:
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Formulae
+# ---------------------------------------------------------------------------
+
+
+def formula_size(formula: Formula) -> int:
+    """Node count with shared subterms deduplicated (the shrink measure)."""
+    return len(formula.subformulas())
+
+
+def _rebuild(formula: Formula, index: int, replacement: Formula) -> Formula:
+    """The formula with child ``index`` replaced (nodes are immutable)."""
+    children = list(formula.children())
+    children[index] = replacement
+    if isinstance(formula, (And, Or)):
+        return type(formula)(tuple(children))
+    if len(children) == 1:
+        return type(formula)(children[0])
+    return type(formula)(children[0], children[1])
+
+
+def _formula_variants(formula: Formula) -> Iterator[Formula]:
+    """Structurally smaller variants, roughly most-aggressive first."""
+    children = formula.children()
+    # Hoist any child over the root (covers dropping ∧/∨ operands too).
+    for child in children:
+        yield child
+    # Collapse the whole formula to a constant.
+    if formula not in (TRUE, FALSE):
+        yield TRUE
+        yield FALSE
+    # Recurse: same root, one shrunk child.
+    for index, child in enumerate(children):
+        for variant in _formula_variants(child):
+            yield _rebuild(formula, index, variant)
+
+
+def shrink_formula(
+    formula: Formula, still_fails: Callable[[Formula], bool]
+) -> Formula:
+    """Greedily minimize a failing formula under ``still_fails``."""
+    return _greedy(formula, _formula_variants, formula_size, still_fails)
+
+
+# ---------------------------------------------------------------------------
+# Lasso words
+# ---------------------------------------------------------------------------
+
+
+def lasso_size(lasso: LassoWord) -> int:
+    return len(lasso.stem) + len(lasso.loop)
+
+
+def _lasso_variants(lasso: LassoWord) -> Iterator[LassoWord]:
+    stem, loop = lasso.stem, lasso.loop
+    if stem:
+        yield LassoWord((), loop)
+        for index in range(len(stem)):
+            yield LassoWord(stem[:index] + stem[index + 1 :], loop)
+    if len(loop) > 1:
+        for index in range(len(loop)):
+            yield LassoWord(stem, loop[:index] + loop[index + 1 :])
+        for symbol in dict.fromkeys(loop):
+            yield LassoWord(stem, (symbol,))
+
+
+def shrink_lasso(
+    lasso: LassoWord, still_fails: Callable[[LassoWord], bool]
+) -> LassoWord:
+    """Greedily minimize a failing lasso word (shorter stem, then loop)."""
+    return _greedy(lasso, _lasso_variants, lasso_size, still_fails)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic ω-automata
+# ---------------------------------------------------------------------------
+
+
+def automaton_size(aut: DetAutomaton) -> int:
+    acceptance_weight = sum(len(p.left) + len(p.right) for p in aut.acceptance.pairs)
+    return aut.num_states * 100 + len(aut.acceptance.pairs) * 10 + acceptance_weight
+
+
+def _merge_state(aut: DetAutomaton, victim: int, target: int) -> DetAutomaton:
+    """Redirect every edge into ``victim`` to ``target``, then trim.
+
+    The victim's row stays in place so state numbering is untouched;
+    ``trim`` drops it once it becomes unreachable.
+    """
+    rows = [
+        [target if t == victim else t for t in row]
+        for row in aut._delta  # noqa: SLF001 — qa is in-tree
+    ]
+    redirected = DetAutomaton(
+        aut.alphabet,
+        rows,
+        target if aut.initial == victim else aut.initial,
+        aut.acceptance,
+    )
+    return redirected.trim()
+
+
+def _automaton_variants(aut: DetAutomaton) -> Iterator[DetAutomaton]:
+    pairs = aut.acceptance.pairs
+    # Drop whole acceptance pairs.
+    if len(pairs) > 1:
+        for index in range(len(pairs)):
+            remaining = pairs[:index] + pairs[index + 1 :]
+            yield aut.with_acceptance(Acceptance(aut.acceptance.kind, remaining))
+    # Thin individual acceptance sets one state at a time.
+    for index, pair in enumerate(pairs):
+        for side in ("left", "right"):
+            members = getattr(pair, side)
+            for state in sorted(members):
+                shrunk = frozenset(members) - {state}
+                new_pair = (
+                    Pair(shrunk, pair.right) if side == "left" else Pair(pair.left, shrunk)
+                )
+                new_pairs = pairs[:index] + (new_pair,) + pairs[index + 1 :]
+                yield aut.with_acceptance(Acceptance(aut.acceptance.kind, new_pairs))
+    # Merge states pairwise (redirect + trim shrinks the reachable core).
+    if aut.num_states > 1:
+        for victim in aut.states:
+            for target in aut.states:
+                if victim == target:
+                    continue
+                yield _merge_state(aut, victim, target)
+
+
+def shrink_automaton(
+    aut: DetAutomaton, still_fails: Callable[[DetAutomaton], bool]
+) -> DetAutomaton:
+    """Greedily minimize a failing deterministic ω-automaton."""
+    return _greedy(aut, _automaton_variants, automaton_size, still_fails)

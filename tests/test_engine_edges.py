@@ -1,0 +1,143 @@
+"""Edge cases in the evaluation engine: pool degradation, cache races, CLI.
+
+The engine promises to never let infrastructure failures change results:
+a process pool that cannot pickle its jobs degrades to serial (recorded in
+the report and the ``engine.pool_fallbacks`` counter), and cache
+invalidation racing an in-flight batch only costs recomputation, never
+correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+from repro.engine.batch import EvaluationEngine, Job
+from repro.engine.cache import CacheBank
+from repro.engine.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class ProbeJob(Job):
+    """A job computing through the bank's cache, with optional side effects."""
+
+    key_value: str
+    payload: int
+    before_compute: Callable[[CacheBank], None] | None = field(
+        default=None, compare=False
+    )
+
+    def key(self) -> Hashable:
+        return ("probe", self.key_value)
+
+    def evaluate(self, bank: CacheBank) -> Any:
+        if self.before_compute is not None:
+            self.before_compute(bank)
+        cache = bank.cache("probe")
+        return cache.get_or_compute(self.key_value, lambda: self.payload * 2)
+
+
+class TestProcessPoolFallback:
+    def test_non_picklable_jobs_degrade_to_serial(self):
+        metrics = MetricsRegistry()
+        engine = EvaluationEngine(
+            executor="process", max_workers=2, bank=CacheBank(), metrics=metrics
+        )
+
+        @dataclass(frozen=True)
+        class LocalJob(Job):
+            """Defined inside the test function — unpicklable by construction."""
+
+            n: int
+
+            def key(self) -> Hashable:
+                return ("local", self.n)
+
+            def evaluate(self, bank: CacheBank) -> Any:
+                return self.n + 1
+
+        report = engine.run([LocalJob(1), LocalJob(2), LocalJob(3)])
+        assert report.requested_executor == "process"
+        assert report.executor == "serial"
+        assert [r.value for r in report.results] == [2, 3, 4]
+        assert all(r.ok for r in report.results)
+        assert metrics.counter("engine.pool_fallbacks").value == 1
+
+    def test_single_job_short_circuits_to_serial_without_fallback(self):
+        metrics = MetricsRegistry()
+        engine = EvaluationEngine(
+            executor="process", bank=CacheBank(), metrics=metrics
+        )
+        report = engine.run([ProbeJob("solo", 21)])
+        assert report.executor == "serial"
+        assert report.results[0].value == 42
+        assert metrics.counter("engine.pool_fallbacks").value == 0
+
+
+class TestCacheInvalidationMidBatch:
+    def test_invalidation_during_batch_only_recomputes(self):
+        """A job that clears the cache mid-batch never corrupts results."""
+        bank = CacheBank()
+        engine = EvaluationEngine(executor="serial", bank=bank, metrics=MetricsRegistry())
+
+        def clobber(the_bank: CacheBank) -> None:
+            the_bank.cache("probe").invalidate("warm")
+
+        warmup = engine.run([ProbeJob("warm", 10)])
+        assert warmup.results[0].value == 20
+        assert "warm" in bank.cache("probe")
+
+        report = engine.run(
+            [
+                ProbeJob("saboteur", 1, before_compute=clobber),
+                ProbeJob("warm", 10),
+            ]
+        )
+        assert [r.value for r in report.results] == [2, 20]
+        assert all(r.ok for r in report.results)
+        assert "warm" in bank.cache("probe")
+
+    def test_full_bank_clear_between_batches_resets_stats(self):
+        bank = CacheBank()
+        engine = EvaluationEngine(executor="serial", bank=bank, metrics=MetricsRegistry())
+        engine.run([ProbeJob("x", 1), ProbeJob("x", 1)])
+        assert bank.total_hits() + bank.total_misses() > 0
+        bank.clear()
+        assert bank.total_hits() == 0 and bank.total_misses() == 0
+        report = engine.run([ProbeJob("x", 5)])
+        assert report.results[0].value == 10
+
+
+class TestCliValidation:
+    def _main(self, argv):
+        from repro.__main__ import main
+
+        return main(argv)
+
+    def test_engine_repeat_must_be_positive(self, capsys, tmp_path):
+        spec = tmp_path / "spec.txt"
+        spec.write_text("G a\n")
+        assert self._main(["engine", str(spec), "--repeat", "0"]) == 2
+        assert "--repeat" in capsys.readouterr().err
+
+    def test_fuzz_budget_must_be_positive(self, capsys):
+        assert self._main(["fuzz", "--budget", "0"]) == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_fuzz_rejects_unknown_oracle(self, capsys):
+        assert self._main(["fuzz", "--budget", "1", "--oracle", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown oracle" in err and "formula-class" in err
+
+    def test_fuzz_smoke_runs_green(self, capsys):
+        assert self._main(["fuzz", "--seed", "7", "--budget", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "disagreements: 0" in out
+
+    def test_fuzz_single_oracle_selection(self, capsys):
+        code = self._main(
+            ["fuzz", "--seed", "7", "--budget", "4", "--oracle", "formula-class"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "formula-class=4" in out

@@ -84,6 +84,51 @@ class TestRoundTrip:
             assert restored.accepts(word) == automaton.accepts(word)
 
 
+class TestGeneratedRoundTrip:
+    """~200 qa-generated deterministic automata survive HOA round-trips.
+
+    The round-trip must preserve not just the language on probe lassos but
+    the acceptance *kind* and the hierarchy class — the properties the
+    corpus artifacts rely on when they store automata as HOA text.
+    """
+
+    SAMPLES = 200
+
+    def _automata(self, qa_seed):
+        from repro.qa.generate import GeneratorConfig, random_det_automaton
+
+        rng = random.Random(f"{qa_seed}:hoa-roundtrip")
+        config = GeneratorConfig()
+        for _ in range(self.SAMPLES):
+            yield random_det_automaton(
+                rng, config.alphabet, config.max_states, config.max_pairs
+            )
+
+    def test_round_trip_preserves_kind_class_and_verdicts(self, qa_seed):
+        from repro.omega.classify import classify
+
+        for automaton in self._automata(qa_seed):
+            restored = from_hoa(to_hoa(automaton), alphabet=AB)
+            assert restored.acceptance.kind == automaton.acceptance.kind
+            assert classify(restored).canonical == classify(automaton).canonical
+            for word in LASSOS_AB:
+                assert restored.accepts(word) == automaton.accepts(word)
+
+    def test_round_trip_is_stable(self, qa_seed):
+        """A second round-trip reproduces the first's text exactly."""
+        rng = random.Random(f"{qa_seed}:hoa-stable")
+        from repro.qa.generate import GeneratorConfig, random_det_automaton
+
+        config = GeneratorConfig()
+        for _ in range(25):
+            automaton = random_det_automaton(
+                rng, config.alphabet, config.max_states, config.max_pairs
+            )
+            once = to_hoa(from_hoa(to_hoa(automaton), alphabet=AB))
+            twice = to_hoa(from_hoa(once, alphabet=AB))
+            assert once == twice
+
+
 class TestImportErrors:
     def test_rejects_wrong_version(self):
         with pytest.raises(ParseError):

@@ -85,3 +85,68 @@ def test_double_negation_round_trip(text):
     automaton = formula_to_automaton(formula, AB)
     double = formula_to_automaton(Not(Not(formula)), AB)
     assert automaton.equivalent_to(double)
+
+
+# ---------------------------------------------------------------------------
+# Dual-pair laws (Figure 1 lattice), driven by the seeded qa generators
+# ---------------------------------------------------------------------------
+
+
+class TestDualPairLaws:
+    """The hierarchy's symmetry under negation and positive boolean closure.
+
+    Safety↔guarantee and recurrence↔persistence swap under complement while
+    obligation and reactivity are self-dual; every class is closed under
+    both ∧ and ∨.  The subjects come from :mod:`repro.qa.generate` so a
+    failing draw replays from the session seed printed in the test header.
+    """
+
+    SAMPLES = 20
+
+    @staticmethod
+    def _memberships(formula):
+        from repro.core import classify_formula
+
+        return classify_formula(formula, AB).semantic.membership
+
+    def test_negation_dualizes_every_membership(self, qa_rng):
+        from repro.core.classes import TemporalClass
+        from repro.qa.generate import random_formula
+
+        for _ in range(self.SAMPLES):
+            formula = random_formula(qa_rng, ("a", "b"), 2)
+            mine = self._memberships(formula)
+            negated = self._memberships(Not(formula))
+            for temporal_class in TemporalClass:
+                assert mine[temporal_class] == negated[temporal_class.dual()], (
+                    f"{formula}: {temporal_class.value} membership does not"
+                    f" dualize to {temporal_class.dual().value} under negation"
+                )
+
+    def test_dual_pairs_swap_canonical_class_of_normal_forms(self, qa_rng):
+        from repro.core import classify_formula
+        from repro.core.classes import TemporalClass
+        from repro.qa.generate import random_normal_form_formula
+
+        for temporal_class in TemporalClass:
+            for _ in range(5):
+                formula = random_normal_form_formula(qa_rng, ("a", "b"), temporal_class)
+                report = classify_formula(formula, AB)
+                assert report.semantic.membership[temporal_class]
+                negated = classify_formula(Not(formula), AB)
+                assert negated.semantic.membership[temporal_class.dual()]
+
+    @pytest.mark.parametrize("connective", [And, Or])
+    def test_every_class_is_closed_under_positive_connectives(self, qa_rng, connective):
+        from repro.core.classes import TemporalClass
+        from repro.qa.generate import random_normal_form_formula
+
+        for temporal_class in TemporalClass:
+            for _ in range(3):
+                left = random_normal_form_formula(qa_rng, ("a", "b"), temporal_class)
+                right = random_normal_form_formula(qa_rng, ("a", "b"), temporal_class)
+                combined = connective((left, right))
+                assert self._memberships(combined)[temporal_class], (
+                    f"{temporal_class.value} not closed under"
+                    f" {connective.__name__}: {combined}"
+                )

@@ -1,0 +1,124 @@
+"""The qa generators: determinism, size bounds, fragment discipline."""
+
+import random
+
+import pytest
+
+from repro.core.classes import TemporalClass
+from repro.logic.ast import (
+    Always,
+    Eventually,
+    Formula,
+    Historically,
+    Next,
+    Once,
+    Previous,
+    Release,
+    Since,
+    Unless,
+    Until,
+    WeakPrevious,
+)
+from repro.logic.parser import parse_formula
+from repro.qa.generate import (
+    GeneratorConfig,
+    coerce_rng,
+    random_det_automaton,
+    random_formula,
+    random_language,
+    random_lasso,
+    random_nfa,
+    random_normal_form_formula,
+    random_past_formula,
+)
+
+CONFIG = GeneratorConfig()
+PAST_OPS = (Previous, WeakPrevious, Once, Historically, Since)
+FUTURE_OPS = (Next, Eventually, Always, Until, Unless, Release)
+
+
+def _nodes(formula: Formula):
+    yield formula
+    for child in formula.children():
+        yield from _nodes(child)
+
+
+def _has_future_inside_past(formula: Formula) -> bool:
+    if isinstance(formula, PAST_OPS):
+        return any(isinstance(node, FUTURE_OPS) for node in _nodes(formula))
+    return any(_has_future_inside_past(child) for child in formula.children())
+
+
+class TestDeterminism:
+    """Same seed ⇒ identical stream, for every generator."""
+
+    def test_same_seed_same_objects(self):
+        def draw(seed):
+            rng = random.Random(seed)
+            return (
+                [repr(random_formula(rng, ("a", "b"), 3)) for _ in range(10)],
+                [random_lasso(rng, CONFIG.alphabet) for _ in range(10)],
+                [
+                    repr(random_det_automaton(rng, CONFIG.alphabet))
+                    for _ in range(10)
+                ],
+            )
+
+        assert draw(42) == draw(42)
+        assert draw(42) != draw(43)
+
+    def test_coerce_rng(self):
+        rng = random.Random(5)
+        assert coerce_rng(rng) is rng
+        assert coerce_rng(7).random() == random.Random(7).random()
+        assert coerce_rng(None).random() == random.Random(0).random()
+
+
+class TestBounds:
+    def test_lasso_bounds(self, qa_rng):
+        for _ in range(100):
+            lasso = random_lasso(qa_rng, CONFIG.alphabet, max_stem=2, max_loop=3)
+            assert len(lasso.stem) <= 2
+            assert 1 <= len(lasso.loop) <= 3
+
+    def test_automaton_bounds(self, qa_rng):
+        for _ in range(50):
+            aut = random_det_automaton(qa_rng, CONFIG.alphabet, max_states=4, max_pairs=2)
+            assert 1 <= aut.num_states <= 4
+            assert 1 <= len(aut.acceptance.pairs) <= 2
+
+    def test_language_is_over_nonempty_words(self, qa_rng):
+        for _ in range(20):
+            language = random_language(qa_rng, CONFIG.alphabet)
+            assert () not in language
+
+    def test_nfa_is_well_formed(self, qa_rng):
+        for _ in range(20):
+            nfa = random_nfa(qa_rng, CONFIG.alphabet, 4)
+            dfa = nfa.determinize()
+            assert dfa.num_states >= 1
+
+
+class TestFragment:
+    def test_past_formulas_are_pure_past(self, qa_rng):
+        for _ in range(150):
+            formula = random_past_formula(qa_rng, ("a", "b"), 4)
+            assert not any(isinstance(node, FUTURE_OPS) for node in _nodes(formula))
+
+    def test_no_future_inside_past(self, qa_rng):
+        for _ in range(200):
+            formula = random_formula(qa_rng, ("a", "b"), 4)
+            assert not _has_future_inside_past(formula)
+
+    def test_repr_reparses(self, qa_rng):
+        for _ in range(100):
+            formula = random_formula(qa_rng, ("a", "b"), 3)
+            assert parse_formula(repr(formula)) == formula
+
+    @pytest.mark.parametrize("temporal_class", list(TemporalClass))
+    def test_normal_forms_carry_their_class_shape(self, qa_rng, temporal_class):
+        from repro.logic.classes import normal_form_class
+
+        for _ in range(10):
+            formula = random_normal_form_formula(qa_rng, ("a", "b"), temporal_class)
+            assert normal_form_class(formula) == temporal_class

@@ -1,0 +1,114 @@
+"""The greedy shrinkers: minimality, invariants, and termination."""
+
+import pytest
+
+from repro.logic.ast import And, Eventually, Not, Or, Prop, TRUE
+from repro.logic.parser import parse_formula
+from repro.omega.acceptance import Acceptance
+from repro.omega.automaton import DetAutomaton
+from repro.qa.generate import GeneratorConfig, random_det_automaton, random_formula
+from repro.qa.shrink import (
+    automaton_size,
+    formula_size,
+    lasso_size,
+    shrink_automaton,
+    shrink_formula,
+    shrink_lasso,
+)
+from repro.words.alphabet import Alphabet
+from repro.words.lasso import LassoWord
+
+AB = Alphabet.from_letters("ab")
+
+
+class TestShrinkFormula:
+    def test_reduces_to_the_failing_core(self):
+        # "fails" = mentions proposition b somewhere.
+        big = parse_formula("(G (a | X a) & F (b & a)) | (a U X X a)")
+        shrunk = shrink_formula(big, lambda f: "b" in f.propositions())
+        assert shrunk == Prop("b")
+
+    def test_fixpoint_when_nothing_smaller_fails(self):
+        atom = Prop("a")
+        assert shrink_formula(atom, lambda f: f == atom) == atom
+
+    def test_predicate_exceptions_are_not_improvements(self):
+        formula = And((Prop("a"), Prop("b")))
+
+        def brittle(f):
+            if f == Prop("a"):
+                raise RuntimeError("crash, not a reproduction")
+            return f == formula or f == Prop("b")
+
+        assert shrink_formula(formula, brittle) == Prop("b")
+
+    def test_monotone_size_decrease(self, qa_rng):
+        for _ in range(25):
+            formula = random_formula(qa_rng, ("a", "b"), 3)
+            target = Eventually(Prop("a"))
+            composed = Or((formula, target))
+            shrunk = shrink_formula(
+                composed, lambda f: Eventually(Prop("a")) in f.subformulas() or f == target
+            )
+            assert formula_size(shrunk) <= formula_size(composed)
+            assert Eventually(Prop("a")) in shrunk.subformulas() or shrunk == target
+
+    def test_never_returns_a_passing_formula(self):
+        formula = Not(And((Prop("a"), TRUE)))
+        fails = lambda f: "a" in f.propositions()
+        assert fails(shrink_formula(formula, fails))
+
+
+class TestShrinkLasso:
+    def test_drops_irrelevant_stem(self):
+        lasso = LassoWord(("a", "b", "a"), ("b", "b"))
+        shrunk = shrink_lasso(lasso, lambda l: "b" in l.loop)
+        assert shrunk == LassoWord((), ("b",))
+        assert lasso_size(shrunk) == 1
+
+    def test_preserves_nonempty_loop(self, qa_rng):
+        for _ in range(50):
+            lasso = LassoWord(
+                tuple(qa_rng.choice("ab") for _ in range(3)),
+                tuple(qa_rng.choice("ab") for _ in range(1, 4)),
+            )
+            shrunk = shrink_lasso(lasso, lambda l: True)
+            assert len(shrunk.loop) >= 1
+
+
+class TestShrinkAutomaton:
+    def test_merges_states_down_to_the_core(self, qa_rng):
+        config = GeneratorConfig()
+        for _ in range(10):
+            automaton = random_det_automaton(qa_rng, config.alphabet, 5, 2)
+            kind = automaton.acceptance.kind
+            shrunk = shrink_automaton(automaton, lambda a: a.acceptance.kind == kind)
+            assert shrunk.acceptance.kind == kind
+            assert automaton_size(shrunk) <= automaton_size(automaton)
+            # "Any automaton of this kind fails" shrinks to a single state.
+            assert shrunk.num_states == 1
+
+    def test_drops_redundant_pairs(self):
+        automaton = DetAutomaton(
+            AB,
+            [[0, 1], [1, 0]],
+            0,
+            Acceptance.streett([([0], [1]), ([0, 1], [])]),
+        )
+        shrunk = shrink_automaton(automaton, lambda a: len(a.acceptance.pairs) >= 1)
+        assert len(shrunk.acceptance.pairs) == 1
+
+    def test_language_constrained_shrink_keeps_the_witness(self, qa_rng):
+        """Shrinking under 'accepts (b)^ω' keeps accepting that word."""
+        config = GeneratorConfig()
+        witness = LassoWord((), ("b",))
+        found = 0
+        for _ in range(40):
+            automaton = random_det_automaton(qa_rng, config.alphabet, 5, 2)
+            if not automaton.accepts(witness):
+                continue
+            found += 1
+            shrunk = shrink_automaton(automaton, lambda a: a.accepts(witness))
+            assert shrunk.accepts(witness)
+            assert shrunk.num_states <= automaton.num_states
+        assert found > 0
