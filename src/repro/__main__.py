@@ -13,6 +13,9 @@ engine FILE [--executor …]            batch-evaluate a spec file through the
                                       stats and timings
 fuzz [--seed N] [--budget N]          differential fuzzing of the four views;
                                       shrinks and reports any disagreement
+bench [--quick] [--out F] [--check F] time the dense fastpath kernels against
+                                      the reference routes; write/gate a
+                                      JSON report (see docs/PERFORMANCE.md)
 zoo                                   print the canonical Figure-1 witnesses
 
 Global flags: ``--version``, ``--seed N`` (seeds ``random`` for
@@ -114,6 +117,50 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         print()
         print(METRICS.report())
     return 0 if report.ok else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench import (
+        BENCHMARKS,
+        regressions_against,
+        render_table,
+        report_json,
+        run_benchmarks,
+    )
+
+    if args.repeat < 1:
+        print("error: --repeat must be at least 1", file=sys.stderr)
+        return 2
+    for name in args.kernel or ():
+        if name not in BENCHMARKS:
+            known = ", ".join(BENCHMARKS)
+            print(f"error: unknown kernel '{name}' (known: {known})", file=sys.stderr)
+            return 2
+    results = run_benchmarks(
+        quick=args.quick, repeat=args.repeat, kernels=args.kernel or None
+    )
+    print(render_table(results))
+    if args.out:
+        report = report_json(results, quick=args.quick, repeat=args.repeat)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    if args.check:
+        try:
+            with open(args.check, encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read baseline {args.check}: {error}", file=sys.stderr)
+            return 1
+        failures = regressions_against(results, baseline)
+        for failure in failures:
+            print(f"regression: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"no kernel regressed more than 2x against {args.check}")
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -225,6 +272,35 @@ def main(argv: list[str] | None = None) -> int:
         "--verbose", "-v", action="store_true", help="also print the metrics registry"
     )
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark the dense fastpath kernels against the reference routes"
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true", help="smaller workloads (the CI smoke sizes)"
+    )
+    p_bench.add_argument(
+        "--repeat", type=int, default=5, help="best-of-N interleaved runs (default 5)"
+    )
+    p_bench.add_argument(
+        "--kernel",
+        action="append",
+        metavar="NAME",
+        help="restrict to one kernel (repeatable); default: all",
+    )
+    p_bench.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the JSON report to FILE (e.g. BENCH_fastpath.json)",
+    )
+    p_bench.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="exit 1 if any kernel regressed >2x vs this baseline JSON",
+    )
+    p_bench.set_defaults(func=cmd_bench)
 
     p_lint = sub.add_parser("lint", help="lint a property-list specification")
     p_lint.add_argument("formulas", nargs="+")

@@ -1,0 +1,24 @@
+"""Benchmark harness for the dense fastpath kernels.
+
+``python -m repro bench`` runs :func:`repro.bench.fastpath.run_benchmarks`
+and writes ``BENCH_fastpath.json``; the CI ``bench-smoke`` job re-runs a
+quick variant and gates on :func:`repro.bench.fastpath.regressions_against`.
+"""
+
+from repro.bench.fastpath import (
+    BENCHMARKS,
+    KernelResult,
+    regressions_against,
+    render_table,
+    report_json,
+    run_benchmarks,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "KernelResult",
+    "regressions_against",
+    "render_table",
+    "report_json",
+    "run_benchmarks",
+]

@@ -12,12 +12,29 @@ class AlphabetError(ReproError):
 
 
 class ParseError(ReproError):
-    """A regular expression or temporal formula failed to parse."""
+    """A regular expression or temporal formula failed to parse.
 
-    def __init__(self, message: str, position: int | None = None) -> None:
+    ``position`` is always a **character offset** into the parsed text
+    (end-of-input errors point one past the last character).  When the
+    ``source`` text is provided, the message carries the offending line
+    with a caret under the offset.
+    """
+
+    def __init__(
+        self, message: str, position: int | None = None, *, source: str | None = None
+    ) -> None:
         self.position = position
+        self.source = source
         if position is not None:
             message = f"{message} (at position {position})"
+            if source is not None:
+                line_start = source.rfind("\n", 0, position) + 1
+                line_end = source.find("\n", position)
+                if line_end == -1:
+                    line_end = len(source)
+                line = source[line_start:line_end]
+                caret = " " * (position - line_start) + "^"
+                message = f"{message}\n  {line}\n  {caret}"
         super().__init__(message)
 
 

@@ -1,0 +1,72 @@
+"""Dense, integer-indexed kernels for the automaton hot paths.
+
+Every decision procedure in the paper — the §5.1 class-membership checks,
+the Props 5.3/5.4 logic↔automata translations, the linguistic A/E/R/P
+constructions — bottoms out in the same few automaton algorithms: subset
+construction, DFA minimization, synchronous products, and SCC-based
+ω-emptiness.  The reference implementations (``repro.finitary``,
+``repro.omega``) work over dict-of-frozenset representations that are easy
+to audit but slow; this package re-implements the kernels over *dense*
+structures:
+
+* flat transition tables — one flat list of ``n·|Σ|`` integers,
+  indexed ``table[state * k + symbol]``;
+* bitset state sets — Python ``int`` masks, so union/intersection/
+  complement are single big-int operations and membership is a shift;
+* an array-based Hopcroft partition-refinement minimizer;
+* iterative Tarjan SCC + mask-based Streett/Rabin pruning for emptiness.
+
+The kernels are wired transparently behind the public entry points
+(:meth:`repro.finitary.nfa.NFA.determinize`,
+:meth:`repro.finitary.dfa.DFA.minimized`, the DFA set-algebra products,
+:func:`repro.omega.emptiness.nonempty_states` and
+:class:`repro.omega.emptiness.ProductCheck`): above a work threshold the
+dense kernel runs, below it the reference route runs, and the
+``REPRO_FASTPATH`` environment variable (or :func:`fastpath.config.forced`)
+forces either path.  Selection is instrumented through
+``repro.engine.metrics`` as ``fastpath.<kernel>.hit`` / ``.fallback``
+counters.
+
+Correctness contract: the subset-construction, minimization and product
+kernels return automata *structurally identical* to the reference route
+(same BFS state numbering, same tables); the emptiness kernels return the
+same state *sets* (witness components may be enumerated in a different
+order).  The ``qa`` differential oracles cross-check every kernel against
+the reference on each fuzz run.
+"""
+
+from __future__ import annotations
+
+from repro.fastpath.config import (
+    DEFAULT_THRESHOLD,
+    fastpath_mode,
+    fastpath_threshold,
+    forced,
+    kernel_selected,
+)
+from repro.fastpath.minimize import minimized_dense
+from repro.fastpath.product import (
+    dfa_product_dense,
+    explore_pair_dense,
+    explore_vector_dense,
+)
+from repro.fastpath.scc import (
+    nonempty_states_dense,
+    streett_good_masks,
+)
+from repro.fastpath.subset import determinize_dense
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "determinize_dense",
+    "dfa_product_dense",
+    "explore_pair_dense",
+    "explore_vector_dense",
+    "fastpath_mode",
+    "fastpath_threshold",
+    "forced",
+    "kernel_selected",
+    "minimized_dense",
+    "nonempty_states_dense",
+    "streett_good_masks",
+]

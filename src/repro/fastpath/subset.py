@@ -1,0 +1,61 @@
+"""Bitset subset construction: NFA → complete DFA, masks as subset keys.
+
+Structurally identical to the reference route
+(:meth:`repro.finitary.nfa.NFA.determinize`): the same breadth-first
+exploration from the ε-closed initial subset, symbols in alphabet order,
+states numbered in discovery order — only the subset representation changes
+from ``frozenset`` to ``int`` mask, turning each successor computation into
+an OR-reduction and each dedup lookup into an integer dict hit.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AutomatonError
+from repro.fastpath.tables import nfa_masks
+
+
+def determinize_dense(nfa, *, state_limit: int = 2_000_000):
+    """The subset construction over bitmask subsets (∅ is the trap).
+
+    Returns a :class:`repro.finitary.dfa.DFA` equal, table for table, to
+    the reference ``NFA.determinize()`` result.
+    """
+    from repro.finitary.dfa import DFA
+
+    k = len(nfa.alphabet)
+    closure_delta, initial_mask, accept_mask = nfa_masks(nfa)
+
+    index: dict[int, int] = {initial_mask: 0}
+    order: list[int] = [initial_mask]
+    rows: list[list[int]] = []
+    head = 0
+    while head < len(order):
+        subset = order[head]
+        head += 1
+        # Decode the member row offsets once, not once per symbol.
+        bases: list[int] = []
+        members = subset
+        while members:
+            low = members & -members
+            bases.append((low.bit_length() - 1) * k)
+            members ^= low
+        row: list[int] = []
+        append = row.append
+        for a in range(k):
+            target = 0
+            for base in bases:
+                target |= closure_delta[base + a]
+            slot = index.get(target)
+            if slot is None:
+                if len(order) >= state_limit:
+                    raise AutomatonError(
+                        f"automaton construction exceeded {state_limit} states"
+                    )
+                slot = len(order)
+                index[target] = slot
+                order.append(target)
+            append(slot)
+        rows.append(row)
+
+    accepting = [i for i, subset in enumerate(order) if subset & accept_mask]
+    return DFA.trusted(nfa.alphabet, rows, 0, accepting)

@@ -84,6 +84,27 @@ class DFA:
             if not 0 <= state < n:
                 raise AutomatonError(f"accepting state {state} out of range")
 
+    @classmethod
+    def trusted(
+        cls,
+        alphabet: Alphabet,
+        transitions: Sequence[Sequence[int]],
+        initial: int,
+        accepting: Iterable[int],
+    ) -> DFA:
+        """Construct without re-validating the table.
+
+        For rows produced by in-tree exploration (``explore``, the fastpath
+        kernels), which are complete and in-range by construction; skips the
+        ``O(n·|Σ|)`` validation pass of ``__init__``.
+        """
+        dfa = cls.__new__(cls)
+        dfa.alphabet = alphabet
+        dfa._delta = tuple(map(tuple, transitions))
+        dfa.initial = initial
+        dfa.accepting = frozenset(accepting)
+        return dfa
+
     # ------------------------------------------------------------------ core
 
     @property
@@ -150,6 +171,14 @@ class DFA:
     def _product(self, other: DFA, combine: Callable[[bool, bool], bool]) -> DFA:
         if not self.alphabet.is_compatible_with(other.alphabet):
             raise AutomatonError("product of DFAs over different alphabets")
+        from repro.fastpath.config import kernel_selected
+
+        if kernel_selected(
+            "dfa_product", self.num_states * other.num_states * len(self.alphabet)
+        ):
+            from repro.fastpath.product import dfa_product_dense
+
+            return dfa_product_dense(self, other, combine)
 
         def successor(pair: tuple[int, int], symbol: Symbol) -> tuple[int, int]:
             return self.step(pair[0], symbol), other.step(pair[1], symbol)
@@ -258,7 +287,17 @@ class DFA:
         Unreachable states are dropped; the result is unique up to state
         numbering, which is fixed by breadth-first order from the initial
         state, so equal languages yield structurally identical automata.
+
+        Large inputs route through the array-based Hopcroft kernel
+        (:func:`repro.fastpath.minimize.minimized_dense`), which returns
+        the same canonical automaton; see ``docs/PERFORMANCE.md``.
         """
+        from repro.fastpath.config import kernel_selected
+
+        if kernel_selected("minimize", self.num_states * len(self.alphabet)):
+            from repro.fastpath.minimize import minimized_dense
+
+            return minimized_dense(self)
         reachable = sorted(self.reachable_states())
         position = {s: i for i, s in enumerate(reachable)}
         block = [1 if s in self.accepting else 0 for s in reachable]

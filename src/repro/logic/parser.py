@@ -63,8 +63,13 @@ _UNARY = {
 _BINARY = {"U": Until, "W": Unless, "R": Release, "S": Since}
 
 
-def _tokenize(text: str) -> list[str]:
-    tokens: list[str] = []
+def _tokenize(text: str) -> list[tuple[str, int]]:
+    """``(token, start)`` pairs; ``start`` is the token's character offset.
+
+    Offsets travel with the tokens so every later parse error can point at
+    a position in the *text* — token indices never leak into diagnostics.
+    """
+    tokens: list[tuple[str, int]] = []
     position = 0
     while position < len(text):
         match = _TOKEN_RE.match(text, position)
@@ -72,17 +77,30 @@ def _tokenize(text: str) -> list[str]:
             remaining = text[position:].lstrip()
             if not remaining:
                 break
-            raise ParseError(f"unexpected character {remaining[0]!r}", position)
-        token = match.group(match.lastgroup)
-        tokens.append(token)
+            offset = len(text) - len(remaining)
+            raise ParseError(
+                f"unexpected character {remaining[0]!r}", offset, source=text
+            )
+        tokens.append((match.group(match.lastgroup), match.start(match.lastgroup)))
         position = match.end()
     return tokens
 
 
 class _Parser:
-    def __init__(self, tokens: list[str]) -> None:
-        self.tokens = tokens
+    def __init__(self, text: str, spans: list[tuple[str, int]]) -> None:
+        self.text = text
+        self.tokens = [token for token, _ in spans]
+        self.offsets = [offset for _, offset in spans]
         self.pos = 0
+
+    def _error(self, message: str) -> ParseError:
+        """A ParseError at the current token's character offset (or at
+        end-of-input, one past the last character)."""
+        if self.pos < len(self.offsets):
+            offset = self.offsets[self.pos]
+        else:
+            offset = len(self.text)
+        return ParseError(message, offset, source=self.text)
 
     def peek(self) -> str | None:
         return self.tokens[self.pos] if self.pos < len(self.tokens) else None
@@ -94,13 +112,14 @@ class _Parser:
 
     def expect(self, token: str) -> None:
         if self.peek() != token:
-            raise ParseError(f"expected {token!r}, found {self.peek()!r}", self.pos)
+            found = "end of formula" if self.peek() is None else repr(self.peek())
+            raise self._error(f"expected {token!r}, found {found}")
         self.take()
 
     def parse(self) -> Formula:
         node = self.iff()
         if self.pos != len(self.tokens):
-            raise ParseError(f"unexpected trailing {self.peek()!r}", self.pos)
+            raise self._error(f"unexpected trailing {self.peek()!r}")
         return node
 
     def iff(self) -> Formula:
@@ -150,7 +169,7 @@ class _Parser:
     def atom(self) -> Formula:
         token = self.peek()
         if token is None:
-            raise ParseError("unexpected end of formula", self.pos)
+            raise self._error("unexpected end of formula")
         if token == "(":
             self.take()
             node = self.iff()
@@ -165,9 +184,13 @@ class _Parser:
         if re.fullmatch(r"[a-z_][a-zA-Z0-9_]*", token):
             self.take()
             return Prop(token)
-        raise ParseError(f"unexpected token {token!r}", self.pos)
+        raise self._error(f"unexpected token {token!r}")
 
 
 def parse_formula(text: str) -> Formula:
-    """Parse the LTL+Past syntax described in the module docstring."""
-    return _Parser(_tokenize(text)).parse()
+    """Parse the LTL+Past syntax described in the module docstring.
+
+    Parse errors raise :class:`~repro.errors.ParseError` with a character
+    offset into ``text`` and a caret snippet.
+    """
+    return _Parser(text, _tokenize(text)).parse()

@@ -49,6 +49,27 @@ class DetAutomaton:
                 raise AutomatonError("transition target out of range")
         acceptance.validate(n)
 
+    @classmethod
+    def trusted(
+        cls,
+        alphabet: Alphabet,
+        transitions: Sequence[Sequence[int]],
+        initial: int,
+        acceptance: Acceptance,
+    ) -> DetAutomaton:
+        """Construct without re-validating the table.
+
+        For rows produced by in-tree exploration (``explore``, the fastpath
+        product kernels), which are complete and in-range by construction;
+        skips the ``O(n·|Σ|)`` validation pass of ``__init__``.
+        """
+        aut = cls.__new__(cls)
+        aut.alphabet = alphabet
+        aut._delta = tuple(map(tuple, transitions))
+        aut.initial = initial
+        aut.acceptance = acceptance
+        return aut
+
     # ------------------------------------------------------------------ core
 
     @property

@@ -88,9 +88,23 @@ def accepting_cycle_states(aut: DetAutomaton) -> frozenset[int]:
 
 
 def nonempty_states(aut: DetAutomaton) -> frozenset[int]:
-    """States ``q`` whose residual language ``L_q`` is non-empty."""
+    """States ``q`` whose residual language ``L_q`` is non-empty.
+
+    Large automata route through the mask-based dense kernel
+    (:func:`repro.fastpath.scc.nonempty_states_dense`), which computes the
+    identical state set; see ``docs/PERFORMANCE.md``.
+    """
+    from repro.fastpath.config import kernel_selected
+
     start = time.perf_counter()
-    result = can_reach(aut.num_states, accepting_cycle_states(aut), aut.successors)
+    if kernel_selected("emptiness", aut.num_states * len(aut.alphabet)):
+        from repro.fastpath.scc import nonempty_states_dense
+
+        route = "dense"
+        result = nonempty_states_dense(aut)
+    else:
+        route = "reference"
+        result = can_reach(aut.num_states, accepting_cycle_states(aut), aut.successors)
     elapsed = time.perf_counter() - start
     METRICS.timer("emptiness.nonempty_states").observe(elapsed)
     trace(
@@ -98,6 +112,7 @@ def nonempty_states(aut: DetAutomaton) -> frozenset[int]:
         states=aut.num_states,
         live=len(result),
         seconds=elapsed,
+        route=route,
     )
     return result
 
@@ -203,23 +218,78 @@ class ProductCheck:
         if len(automata) != len(complemented):
             raise ValueError("one complement flag per automaton is required")
         first = automata[0]
-        from repro.finitary.dfa import explore
+        from repro.fastpath.config import kernel_selected
 
-        rows, order = explore(
-            first.alphabet,
-            tuple(aut.initial for aut in automata),
-            lambda vector, symbol: tuple(
-                aut.step(state, symbol) for aut, state in zip(automata, vector)
-            ),
+        work = len(first.alphabet)
+        for aut in automata:
+            work *= aut.num_states
+        # One route per ProductCheck: the same selection drives the explore,
+        # the case representation (frozensets vs masks) and the witness.
+        self._dense = kernel_selected("product", work)
+        if self._dense:
+            from repro.fastpath.product import explore_vector_dense
+            from repro.fastpath.tables import flat_table_over
+
+            rows, order = explore_vector_dense(
+                [
+                    flat_table_over(aut._delta, aut.alphabet, first.alphabet)  # noqa: SLF001
+                    for aut in automata
+                ],
+                [aut.num_states for aut in automata],
+                len(first.alphabet),
+                [aut.initial for aut in automata],
+            )
+        else:
+            from repro.finitary.dfa import explore
+
+            rows, order = explore(
+                first.alphabet,
+                tuple(aut.initial for aut in automata),
+                lambda vector, symbol: tuple(
+                    aut.step(state, symbol) for aut, state in zip(automata, vector)
+                ),
+            )
+        self.automaton = DetAutomaton.trusted(
+            first.alphabet, rows, 0, Acceptance.streett([])
         )
-        self.automaton = DetAutomaton(first.alphabet, rows, 0, Acceptance.streett([]))
         self.order = order
+        num_product_states = len(order)
 
-        def lift(pairs: Iterable[Pair], side: int) -> tuple[Pair, ...]:
-            def lift_set(states: frozenset[int]) -> frozenset[int]:
-                return frozenset(i for i, vector in enumerate(order) if vector[side] in states)
+        # buckets[side][q] lists the product states whose side-th component
+        # is q, so lifting a set costs its output size, not O(N) per set.
+        buckets: list[list[list[int]]] = [
+            [[] for _ in range(aut.num_states)] for aut in automata
+        ]
+        for i, vector in enumerate(order):
+            for side, component in enumerate(vector):
+                buckets[side][component].append(i)
 
-            return tuple(Pair(lift_set(p.left), lift_set(p.right)) for p in pairs)
+        if self._dense:
+            # Masks throughout — frozenset cases are never materialized.
+            def lift(pairs: Iterable[Pair], side: int) -> tuple[tuple[int, int], ...]:
+                side_buckets = buckets[side]
+                buffer_size = num_product_states // 8 + 1
+
+                def lift_mask(states: frozenset[int]) -> int:
+                    buffer = bytearray(buffer_size)
+                    for state in states:
+                        for i in side_buckets[state]:
+                            buffer[i >> 3] |= 1 << (i & 7)
+                    return int.from_bytes(buffer, "little")
+
+                return tuple((lift_mask(p.left), lift_mask(p.right)) for p in pairs)
+        else:
+
+            def lift(pairs: Iterable[Pair], side: int) -> tuple[Pair, ...]:
+                side_buckets = buckets[side]
+
+                def lift_set(states: frozenset[int]) -> frozenset[int]:
+                    lifted: list[int] = []
+                    for state in states:
+                        lifted.extend(side_buckets[state])
+                    return frozenset(lifted)
+
+                return tuple(Pair(lift_set(p.left), lift_set(p.right)) for p in pairs)
 
         per_automaton_cases = []
         for side, (aut, flip) in enumerate(zip(automata, complemented)):
@@ -228,8 +298,10 @@ class ProductCheck:
                 [(lift(streett, side), lift(rabin, side)) for streett, rabin in _acceptance_cases(acc)]
             )
 
-        # Cartesian distribution of the per-automaton disjunctions.
-        self.cases: list[tuple[tuple[Pair, ...], tuple[Pair, ...]]] = [((), ())]
+        # Cartesian distribution of the per-automaton disjunctions.  Each
+        # case pairs the Streett obligations with the Rabin conjuncts, in
+        # the route's set representation (Pair of frozensets / mask pairs).
+        self.cases = [((), ())]
         for automaton_cases in per_automaton_cases:
             self.cases = [
                 (streett + case_streett, rabin + case_rabin)
@@ -246,6 +318,11 @@ class ProductCheck:
 
     def _witness_component(self) -> frozenset[int] | None:
         aut = self.automaton
+        METRICS.counter(
+            f"fastpath.product_emptiness.{'hit' if self._dense else 'fallback'}"
+        ).inc()
+        if self._dense:
+            return self._witness_component_dense()
         reachable = aut.reachable
         for streett, rabin_conjuncts in self.cases:
             # inf must avoid every Rabin F and meet every Rabin E: delete the
@@ -260,6 +337,36 @@ class ProductCheck:
                 arena, aut.successors, tuple(streett) + tuple(extra)
             ):
                 return component
+        return None
+
+    def _witness_component_dense(self) -> frozenset[int] | None:
+        """Mask-based twin of :meth:`_witness_component`.
+
+        The emptiness verdict is identical; when non-empty, the returned
+        component may be a different (equally valid) accepting sub-SCC than
+        the reference route would enumerate first.
+        """
+        from repro.fastpath.bitset import to_frozenset
+        from repro.fastpath.scc import (
+            prepared_adjacency,
+            reachable_mask,
+            streett_good_masks,
+        )
+
+        aut = self.automaton
+        n = aut.num_states
+        adjacency = prepared_adjacency(n, aut._delta)  # noqa: SLF001 — rows double as adjacency
+        reachable = reachable_mask(n, aut.initial, adjacency)
+        for streett, rabin_conjuncts in self.cases:
+            removed = 0
+            pairs = list(streett)
+            for left, right in rabin_conjuncts:
+                removed |= right
+                pairs.append((left, 0))
+            arena = reachable & ~removed
+            good = streett_good_masks(n, arena, adjacency, pairs)
+            if good:
+                return to_frozenset(good[0])
         return None
 
     def witness_lasso(self) -> LassoWord | None:

@@ -146,6 +146,7 @@ def from_hoa(text: str, *, alphabet: Alphabet | None = None) -> DetAutomaton:
     headers: dict[str, str] = {}
     body_lines: list[str] = []
     in_body = False
+    saw_end = False
     for raw in text.splitlines():
         line = raw.strip()
         if not line:
@@ -154,6 +155,7 @@ def from_hoa(text: str, *, alphabet: Alphabet | None = None) -> DetAutomaton:
             in_body = True
             continue
         if line == "--END--":
+            saw_end = True
             break
         if in_body:
             body_lines.append(line)
@@ -164,11 +166,21 @@ def from_hoa(text: str, *, alphabet: Alphabet | None = None) -> DetAutomaton:
 
     if headers.get("HOA") != "v1":
         raise ParseError("expected an 'HOA: v1' header")
+    # A truncated document must fail on the missing marker, not on whichever
+    # state happens to lack transitions afterwards.
+    if not in_body:
+        raise ParseError("truncated HOA document: missing '--BODY--' marker")
+    if not saw_end:
+        raise ParseError("truncated HOA document: missing '--END--' marker")
     try:
         num_states = int(headers["States"])
         initial = int(headers["Start"])
     except (KeyError, ValueError) as error:
         raise ParseError(f"missing or malformed States/Start header: {error}") from None
+    if not 0 <= initial < num_states:
+        raise ParseError(
+            f"Start state {initial} is not among the {num_states} declared states"
+        )
     ap_parts = headers.get("AP", "0").split()
     propositions = [part.strip('"') for part in ap_parts[1:]]
 
@@ -189,6 +201,11 @@ def from_hoa(text: str, *, alphabet: Alphabet | None = None) -> DetAutomaton:
         state_match = state_re.match(line)
         if state_match:
             current = int(state_match.group(1))
+            if current >= num_states:
+                raise ParseError(
+                    f"body declares state {current} but the header declares "
+                    f"only {num_states} states"
+                )
             if state_match.group(2):
                 state_sets[current] = {int(x) for x in state_match.group(2).split()}
             continue
@@ -201,7 +218,13 @@ def from_hoa(text: str, *, alphabet: Alphabet | None = None) -> DetAutomaton:
                     key = (current, symbol)
                     if key in transitions:
                         raise ParseError(f"nondeterministic edge at state {current}")
-                    transitions[key] = int(edge_match.group(2))
+                    target = int(edge_match.group(2))
+                    if target >= num_states:
+                        raise ParseError(
+                            f"edge from state {current} targets undeclared "
+                            f"state {target}"
+                        )
+                    transitions[key] = target
 
     rows = []
     for state in range(num_states):

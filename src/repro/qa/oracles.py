@@ -442,6 +442,171 @@ class AutomatonOracle(Oracle):
 
 
 # ---------------------------------------------------------------------------
+# 5. Dense fastpath kernels vs. the audited reference routes
+# ---------------------------------------------------------------------------
+
+
+def _nfa_to_json(nfa) -> dict[str, Any]:
+    return {
+        "num_states": nfa.num_states,
+        "edges": [
+            [state, str(symbol), sorted(targets)]
+            for (state, symbol), targets in sorted(
+                nfa.transitions.items(), key=lambda item: (item[0][0], str(item[0][1]))
+            )
+        ],
+        "epsilon": [
+            [state, sorted(targets)] for state, targets in sorted(nfa.epsilon.items())
+        ],
+        "initials": sorted(nfa.initials),
+        "accepting": sorted(nfa.accepting),
+    }
+
+
+def _nfa_from_json(data: dict[str, Any], alphabet: Alphabet):
+    from repro.finitary.nfa import NFA
+
+    return NFA(
+        alphabet,
+        data["num_states"],
+        {(state, symbol): set(targets) for state, symbol, targets in data["edges"]},
+        data["initials"],
+        data["accepting"],
+        {state: set(targets) for state, targets in data["epsilon"]},
+    )
+
+
+class FastpathOracle(Oracle):
+    """Every dense kernel against its reference twin, on one random subject.
+
+    The contract being checked is the fastpath parity contract
+    (``docs/PERFORMANCE.md``): subset construction, minimization and DFA
+    products must return *structurally identical* automata; emptiness
+    kernels must return identical state sets and verdicts (witness
+    components may legitimately differ).  When numpy/scipy are importable
+    the dense route is additionally cross-checked against itself with the
+    vectorized SCC backend disabled, so all three implementations must
+    agree before a case passes.
+    """
+
+    name = "fastpath"
+    routes = (
+        "reference kernels",
+        "dense bitset kernels",
+        "vectorized SCC backend (when importable)",
+    )
+
+    def generate(self, rng: random.Random, config: GeneratorConfig):
+        from repro.qa.generate import random_nfa
+
+        nfa_a = random_nfa(rng, config.alphabet, rng.randrange(3, 8))
+        nfa_b = random_nfa(rng, config.alphabet, rng.randrange(3, 8))
+        # Mostly small ω-automata; occasionally large enough that the
+        # emptiness kernels cross the vectorized-backend threshold.
+        size = rng.randrange(200, 256) if rng.random() < 0.15 else None
+        aut_a = random_det_automaton(rng, config.alphabet, size or config.max_states, config.max_pairs)
+        aut_b = random_det_automaton(rng, config.alphabet, config.max_states, config.max_pairs)
+        return nfa_a, nfa_b, aut_a, aut_b, rng.random() < 0.5
+
+    @staticmethod
+    def _same_dfa(a, b) -> bool:
+        return (
+            a._delta == b._delta  # noqa: SLF001 — structural identity is the contract
+            and a.initial == b.initial
+            and a.accepting == b.accepting
+        )
+
+    def _emptiness_views(self, aut_a, aut_b, complemented):
+        from repro.omega.emptiness import ProductCheck, nonempty_states
+
+        nonempty = nonempty_states(aut_a)
+        check = ProductCheck([aut_a, aut_b], [False, complemented])
+        return nonempty, check.witness_component() is None
+
+    def check(self, subject) -> str | None:
+        import os
+
+        from repro.fastpath.config import forced
+        from repro.fastpath.vector import HAVE_VECTOR
+
+        nfa_a, nfa_b, aut_a, aut_b, complemented = subject
+
+        def construction_views():
+            dfa_a = nfa_a.determinize()
+            dfa_b = nfa_b.determinize()
+            return (
+                dfa_a,
+                dfa_b,
+                dfa_a.minimized(),
+                dfa_a.intersection(dfa_b),
+                dfa_a.union(dfa_b),
+            )
+
+        with forced("off"):
+            reference = construction_views()
+            nonempty_ref, empty_ref = self._emptiness_views(aut_a, aut_b, complemented)
+        with forced("on"):
+            dense = construction_views()
+            nonempty_fast, empty_fast = self._emptiness_views(aut_a, aut_b, complemented)
+            if HAVE_VECTOR:
+                # Third route: the dense kernels with the vector backend off.
+                os.environ["REPRO_FASTPATH_VECTOR"] = "off"
+                try:
+                    nonempty_pure, empty_pure = self._emptiness_views(
+                        aut_a, aut_b, complemented
+                    )
+                finally:
+                    os.environ.pop("REPRO_FASTPATH_VECTOR", None)
+                if nonempty_pure != nonempty_fast or empty_pure != empty_fast:
+                    return "dense route disagrees with itself across SCC backends"
+
+        names = ("determinize(A)", "determinize(B)", "minimized", "intersection", "union")
+        for name, ref, fast in zip(names, reference, dense):
+            if not self._same_dfa(ref, fast):
+                return f"{name}: dense result not structurally identical to reference"
+        if nonempty_ref != nonempty_fast:
+            return (
+                f"nonempty_states: reference {sorted(nonempty_ref)} !="
+                f" dense {sorted(nonempty_fast)}"
+            )
+        if empty_ref != empty_fast:
+            return (
+                f"product emptiness verdict: reference empty={empty_ref},"
+                f" dense empty={empty_fast}"
+            )
+        return None
+
+    def to_artifact(self, subject) -> dict[str, Any]:
+        nfa_a, nfa_b, aut_a, aut_b, complemented = subject
+        return {
+            "nfa_a": _nfa_to_json(nfa_a),
+            "nfa_b": _nfa_to_json(nfa_b),
+            "aut_a": to_hoa(aut_a),
+            "aut_b": to_hoa(aut_b),
+            "letters": "".join(str(s) for s in aut_a.alphabet),
+            "complemented": complemented,
+        }
+
+    def from_artifact(self, artifact):
+        alphabet = Alphabet.from_letters(artifact["letters"])
+        return (
+            _nfa_from_json(artifact["nfa_a"], alphabet),
+            _nfa_from_json(artifact["nfa_b"], alphabet),
+            from_hoa(artifact["aut_a"], alphabet=alphabet),
+            from_hoa(artifact["aut_b"], alphabet=alphabet),
+            artifact["complemented"],
+        )
+
+    def describe(self, subject) -> str:
+        nfa_a, nfa_b, aut_a, aut_b, complemented = subject
+        return (
+            f"NFAs {nfa_a.num_states}/{nfa_b.num_states} states,"
+            f" ω-automata {aut_a.num_states}/{aut_b.num_states} states,"
+            f" complemented={complemented}"
+        )
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -452,6 +617,7 @@ ORACLES: dict[str, Oracle] = {
         FormulaClassOracle(),
         LinguisticOracle(),
         AutomatonOracle(),
+        FastpathOracle(),
     )
 }
 

@@ -156,6 +156,90 @@ class TestImportErrors:
         with pytest.raises(ParseError):
             from_hoa(text)  # powerset over {a} needs [!0] too
 
+    def test_truncated_document_missing_body_marker(self):
+        # Used to surface as "state 0 lacks a transition on frozenset()".
+        text = "\n".join(
+            ["HOA: v1", "States: 1", "Start: 0", "AP: 0", "acc-name: Buchi"]
+        )
+        with pytest.raises(ParseError, match=r"missing '--BODY--'"):
+            from_hoa(text)
+
+    def test_truncated_document_missing_end_marker(self):
+        text = "\n".join(
+            [
+                "HOA: v1",
+                "States: 1",
+                "Start: 0",
+                "AP: 0",
+                "acc-name: Buchi",
+                "Acceptance: 1 Inf(0)",
+                "--BODY--",
+                "State: 0 {0}",
+                "  [t] 0",
+            ]
+        )
+        with pytest.raises(ParseError, match=r"missing '--END--'"):
+            from_hoa(text)
+
+    @pytest.mark.parametrize("start", [-1, 1, 7])
+    def test_start_state_validated_against_states(self, start):
+        # Used to surface as a missing-transition error (or build a broken
+        # automaton) instead of naming the out-of-range Start header.
+        text = "\n".join(
+            [
+                "HOA: v1",
+                "States: 1",
+                f"Start: {start}",
+                "AP: 0",
+                "acc-name: Buchi",
+                "Acceptance: 1 Inf(0)",
+                "--BODY--",
+                "State: 0 {0}",
+                "  [t] 0",
+                "--END--",
+            ]
+        )
+        with pytest.raises(ParseError, match="not among the 1 declared states"):
+            from_hoa(text)
+
+    def test_body_state_beyond_declared_states(self):
+        text = "\n".join(
+            [
+                "HOA: v1",
+                "States: 1",
+                "Start: 0",
+                "AP: 0",
+                "acc-name: Buchi",
+                "Acceptance: 1 Inf(0)",
+                "--BODY--",
+                "State: 0 {0}",
+                "  [t] 0",
+                "State: 3",
+                "  [t] 0",
+                "--END--",
+            ]
+        )
+        with pytest.raises(ParseError, match="declares state 3"):
+            from_hoa(text)
+
+    def test_edge_target_beyond_declared_states(self):
+        text = "\n".join(
+            [
+                "HOA: v1",
+                "States: 1",
+                "Start: 0",
+                "AP: 0",
+                "acc-name: Buchi",
+                "Acceptance: 1 Inf(0)",
+                "--BODY--",
+                "State: 0 {0}",
+                "  [t] 5",
+                "--END--",
+            ]
+        )
+        with pytest.raises(ParseError, match="targets undeclared state 5"):
+            from_hoa(text)
+
     def test_rejects_unknown_acceptance(self):
         text = "\n".join(
             [

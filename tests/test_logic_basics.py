@@ -71,6 +71,43 @@ class TestParser:
         with pytest.raises(ParseError):
             parse_formula(bad)
 
+    @pytest.mark.parametrize(
+        "text, offset",
+        [
+            ("p &&& q", 3),      # second '&' begins at character 3
+            ("p & & q", 4),
+            ("p &", 3),          # end of input: one past the last character
+            ("a U", 3),
+            ("G (p -> q", 9),    # unclosed paren reported at end of input
+            ("p @ q", 2),        # lexer error points at the bad character...
+            ("  @", 2),          # ...even behind leading whitespace
+            ("(p | q)) ", 7),    # trailing ')' at its own offset
+            ("U p", 0),
+            ("a b c", 2),        # trailing junk at the second token
+        ],
+    )
+    def test_error_positions_are_character_offsets(self, text, offset):
+        """Every ParseError position is a char offset into the source —
+        never a token index (they used to be mixed)."""
+        with pytest.raises(ParseError) as excinfo:
+            parse_formula(text)
+        assert excinfo.value.position == offset
+        assert f"position {offset}" in str(excinfo.value)
+
+    def test_error_carries_caret_snippet(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_formula("p &&& q")
+        message = str(excinfo.value)
+        assert "p &&& q" in message
+        line, caret = message.splitlines()[-2:]
+        assert caret.index("^") == line.index("&", line.index("&") + 1)
+
+    def test_end_of_input_caret_lands_one_past_the_text(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_formula("p &")
+        line, caret = str(excinfo.value).splitlines()[-2:]
+        assert caret.index("^") == line.index("p &") + len("p &")
+
     def test_repr_round_trip(self):
         for text in ["a U b", "G(a -> F b)", "!(a & b) | X c", "H(a S b)", "Y a & Z b", "O a"]:
             formula = parse_formula(text)
