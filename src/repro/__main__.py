@@ -4,6 +4,8 @@ Commands
 --------
 
 classify FORMULA [--props p,q]        place a formula in the hierarchy
+classify FORMULA --explain            …and say *why*: deciding view, route,
+                                      per-class reasons, automaton evidence
 classify --batch FILE                 classify a whole spec corpus at once
 lint FORMULA [FORMULA …]              check a specification for coverage gaps
 automaton FORMULA [--dot]             print (or DOT-render) the automaton
@@ -11,11 +13,16 @@ omega EXPRESSION --alphabet ab        classify an ω-regular expression
 engine FILE [--executor …]            batch-evaluate a spec file through the
                                       caching engine; report classes, cache
                                       stats and timings
+trace FILE [--jsonl F] [--prometheus] run a spec file with span tracing on;
+                                      print the span tree and top spans,
+                                      optionally export JSONL / Prometheus
 fuzz [--seed N] [--budget N]          differential fuzzing of the four views;
                                       shrinks and reports any disagreement
 bench [--quick] [--out F] [--check F] time the dense fastpath kernels against
                                       the reference routes; write/gate a
                                       JSON report (see docs/PERFORMANCE.md)
+bench --obs [--out F]                 measure span-tracing overhead on the
+                                      same kernels; gate it below 5%
 zoo                                   print the canonical Figure-1 witnesses
 
 Global flags: ``--version``, ``--seed N`` (seeds ``random`` for
@@ -59,13 +66,48 @@ def cmd_classify(args: argparse.Namespace) -> int:
         print(session.render_results(report))
         print()
         print(session.render(report))
+        if args.explain:
+            print()
+            _explain_batch(report)
         return 1 if report.failures else 0
     if args.formula is None:
         print("error: provide a FORMULA or --batch FILE", file=sys.stderr)
         return 2
+    if args.explain:
+        from repro.obs.provenance import explain_formula
+
+        explanation = explain_formula(
+            parse_formula(args.formula), _alphabet_from(args.props)
+        )
+        print(explanation.render())
+        return 0
     report = classify_formula(parse_formula(args.formula), _alphabet_from(args.props))
     print(report.summary())
     return 0
+
+
+def _explain_batch(report) -> None:
+    """One explanation block per successful classify job in the batch."""
+    from repro.obs.provenance import explain_expression, explain_formula
+
+    first = True
+    for result in report.results:
+        if not result.ok:
+            continue
+        job = result.job
+        if job.kind == "classify-formula":
+            alphabet = None
+            if getattr(job, "props", None):
+                alphabet = _alphabet_from(",".join(job.props))
+            explanation = explain_formula(job.formula, alphabet)
+        elif job.kind == "classify-omega":
+            explanation = explain_expression(job.expression, job.letters)
+        else:  # monitor jobs have no class verdict to explain
+            continue
+        if not first:
+            print()
+        first = False
+        print(explanation.render())
 
 
 def cmd_engine(args: argparse.Namespace) -> int:
@@ -89,6 +131,47 @@ def cmd_engine(args: argparse.Namespace) -> int:
         print(session.render_results(report))
         print()
     print(session.render(report, verbose=args.verbose))
+    return 1 if report.failures else 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.engine.metrics import METRICS
+    from repro.engine.session import EngineSession, SpecSyntaxError
+    from repro.obs.export import (
+        prometheus_text,
+        render_span_tree,
+        render_top_spans,
+        validate_jsonl_file,
+        write_jsonl,
+    )
+    from repro.obs.spans import TRACER
+
+    session = EngineSession.create(executor=args.executor, max_workers=args.jobs)
+    TRACER.enable()
+    TRACER.clear()
+    try:
+        report = session.run_file(args.file)
+    except (OSError, SpecSyntaxError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        TRACER.disable()
+    spans = TRACER.finished()
+    print(render_span_tree(spans))
+    print()
+    print(render_top_spans(spans, limit=args.top))
+    if args.jsonl:
+        count = write_jsonl(spans, args.jsonl)
+        errors = validate_jsonl_file(args.jsonl)
+        if errors:
+            for error in errors:
+                print(f"schema error: {error}", file=sys.stderr)
+            return 1
+        print(f"\nwrote {count} spans to {args.jsonl} (schema valid)")
+    if args.prometheus:
+        print()
+        print(prometheus_text(METRICS))
+    TRACER.clear()
     return 1 if report.failures else 0
 
 
@@ -138,6 +221,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             known = ", ".join(BENCHMARKS)
             print(f"error: unknown kernel '{name}' (known: {known})", file=sys.stderr)
             return 2
+    if args.obs:
+        return _bench_obs(args)
     results = run_benchmarks(
         quick=args.quick, repeat=args.repeat, kernels=args.kernel or None
     )
@@ -160,6 +245,36 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if failures:
             return 1
         print(f"no kernel regressed more than 2x against {args.check}")
+    return 0
+
+
+def _bench_obs(args: argparse.Namespace) -> int:
+    from repro.bench.obs import (
+        MAX_OVERHEAD,
+        overhead_failures,
+        run_overhead_benchmarks,
+    )
+    from repro.bench.obs import render_table as render_obs_table
+    from repro.bench.obs import report_json as obs_report_json
+
+    limit = args.limit if args.limit is not None else MAX_OVERHEAD
+    results = run_overhead_benchmarks(
+        quick=args.quick, repeat=args.repeat, kernels=args.kernel or None
+    )
+    print(render_obs_table(results))
+    if args.out:
+        report = obs_report_json(
+            results, quick=args.quick, repeat=args.repeat, limit=limit
+        )
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    failures = overhead_failures(results, limit=limit)
+    for failure in failures:
+        print(f"overhead: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"tracing overhead within the {limit:.0%} budget on every kernel")
     return 0
 
 
@@ -220,7 +335,36 @@ def main(argv: list[str] | None = None) -> int:
         "--executor", choices=["serial", "thread", "process"], default="serial"
     )
     p_classify.add_argument("--jobs", type=int, default=None, help="pool size for --batch")
+    p_classify.add_argument(
+        "--explain",
+        action="store_true",
+        help="print classification provenance: deciding view, route, evidence",
+    )
     p_classify.set_defaults(func=cmd_classify)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a spec file with span tracing and print the span tree"
+    )
+    p_trace.add_argument("file", help="spec file: one formula / omega / monitor line each")
+    p_trace.add_argument(
+        "--executor", choices=["serial", "thread", "process"], default="serial"
+    )
+    p_trace.add_argument("--jobs", type=int, default=None, help="worker pool size")
+    p_trace.add_argument(
+        "--top", type=int, default=10, help="rows in the top-spans profile (default 10)"
+    )
+    p_trace.add_argument(
+        "--jsonl",
+        metavar="FILE",
+        default=None,
+        help="export spans as JSONL to FILE and schema-check the result",
+    )
+    p_trace.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="also print the metrics registry in Prometheus text format",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_engine = sub.add_parser(
         "engine", help="batch-evaluate a spec file through the caching engine"
@@ -299,6 +443,17 @@ def main(argv: list[str] | None = None) -> int:
         metavar="BASELINE",
         default=None,
         help="exit 1 if any kernel regressed >2x vs this baseline JSON",
+    )
+    p_bench.add_argument(
+        "--obs",
+        action="store_true",
+        help="measure span-tracing overhead instead of route speedups",
+    )
+    p_bench.add_argument(
+        "--limit",
+        type=float,
+        default=None,
+        help="overhead budget for --obs as a fraction (default 0.05)",
     )
     p_bench.set_defaults(func=cmd_bench)
 

@@ -1,8 +1,12 @@
-"""Benchmark harness for the dense fastpath kernels.
+"""Benchmark harness for the dense fastpath kernels and the tracing layer.
 
 ``python -m repro bench`` runs :func:`repro.bench.fastpath.run_benchmarks`
 and writes ``BENCH_fastpath.json``; the CI ``bench-smoke`` job re-runs a
 quick variant and gates on :func:`repro.bench.fastpath.regressions_against`.
+``python -m repro bench --obs`` runs
+:func:`repro.bench.obs.run_overhead_benchmarks` over the same workloads and
+writes ``BENCH_obs.json``, gating tracing overhead below
+:data:`repro.bench.obs.MAX_OVERHEAD`.
 """
 
 from repro.bench.fastpath import (
@@ -13,12 +17,22 @@ from repro.bench.fastpath import (
     report_json,
     run_benchmarks,
 )
+from repro.bench.obs import (
+    MAX_OVERHEAD,
+    ObsResult,
+    overhead_failures,
+    run_overhead_benchmarks,
+)
 
 __all__ = [
     "BENCHMARKS",
     "KernelResult",
+    "MAX_OVERHEAD",
+    "ObsResult",
+    "overhead_failures",
     "regressions_against",
     "render_table",
     "report_json",
     "run_benchmarks",
+    "run_overhead_benchmarks",
 ]

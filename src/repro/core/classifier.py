@@ -241,23 +241,27 @@ def classify_formula(formula: Formula, alphabet: Alphabet | None = None) -> Form
     import time
 
     from repro.engine.metrics import METRICS, trace
+    from repro.obs.spans import span
 
-    start = time.perf_counter()
-    alphabet = alphabet or default_alphabet(formula)
-    automaton = formula_to_automaton(formula, alphabet)
-    verdict = classify_automaton(automaton)
-    try:
-        uniform = is_uniform_liveness(automaton) if verdict.is_liveness else False
-    except ClassificationError:
-        uniform = None
-    elapsed = time.perf_counter() - start
-    METRICS.timer("classifier.classify_formula").observe(elapsed)
-    trace(
-        "classifier.classify_formula",
-        states=automaton.num_states,
-        canonical=verdict.canonical.value,
-        seconds=elapsed,
-    )
+    with span("classifier.classify_formula") as obs_span:
+        start = time.perf_counter()
+        alphabet = alphabet or default_alphabet(formula)
+        automaton = formula_to_automaton(formula, alphabet)
+        verdict = classify_automaton(automaton)
+        try:
+            uniform = is_uniform_liveness(automaton) if verdict.is_liveness else False
+        except ClassificationError:
+            uniform = None
+        elapsed = time.perf_counter() - start
+        METRICS.timer("classifier.classify_formula").observe(elapsed)
+        obs_span.set_attribute("states", automaton.num_states)
+        obs_span.set_attribute("canonical", verdict.canonical.value)
+        trace(
+            "classifier.classify_formula",
+            states=automaton.num_states,
+            canonical=verdict.canonical.value,
+            seconds=elapsed,
+        )
     return FormulaReport(
         formula=formula,
         alphabet=alphabet,

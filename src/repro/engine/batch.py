@@ -25,11 +25,13 @@ from __future__ import annotations
 import time
 from concurrent import futures
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Hashable, Sequence
 
 from repro.engine.cache import CACHES, CacheBank, CacheStats, cached_classify_formula, cached_omega_language
-from repro.engine.metrics import METRICS, MetricsRegistry, trace
+from repro.engine.metrics import METRICS, MetricsRegistry, snapshot_delta, trace
 from repro.logic.ast import Formula
+from repro.obs.spans import TRACER, SpanContext
 
 EXECUTORS = ("serial", "thread", "process")
 
@@ -287,6 +289,34 @@ def _evaluate_unique(job: Job) -> tuple[bool, Any, str | None, float]:
         return False, None, f"{type(exc).__name__}: {exc}", time.perf_counter() - start
 
 
+def _evaluate_unique_observed(
+    job: Job, parent: tuple[str, str] | None
+) -> tuple[bool, Any, str | None, float, list[dict] | None, dict | None]:
+    """Process-pool worker with observability: evaluate one job under the
+    worker-local tracer and return ``(outcome…, span payloads, metrics delta)``.
+
+    The parent process cannot see a worker's contextvars or registry, so the
+    worker ships both back as plain data: its spans (rooted at ``None``, to
+    be re-stitched under ``parent`` via :meth:`SpanTracer.adopt`) and the
+    per-job metrics snapshot delta.  Worker processes are reused within a
+    pool, hence the before/after slicing — each call returns only its own
+    spans and its own registry contribution.
+    """
+    if parent is None:
+        ok, value, error, seconds = _evaluate_unique(job)
+        return ok, value, error, seconds, None, None
+    if not TRACER.enabled:
+        TRACER.enable()
+    mark = len(TRACER)
+    before = METRICS.snapshot()
+    with TRACER.span("engine.job", kind=job.kind, executor="process") as span:
+        ok, value, error, seconds = _evaluate_unique(job)
+        if not ok:
+            span.set_attribute("error", error)
+    payloads = TRACER.export_payloads(since=mark)
+    return ok, value, error, seconds, payloads, snapshot_delta(before, METRICS.snapshot())
+
+
 class EvaluationEngine:
     """Batched, deduplicated, optionally parallel property evaluation.
 
@@ -325,6 +355,10 @@ class EvaluationEngine:
 
     def run(self, jobs: Sequence[Job]) -> BatchReport:
         """Evaluate a batch; one result per job, in input order."""
+        with TRACER.span("engine.batch", executor=self.executor, jobs=len(jobs)) as batch_span:
+            return self._run(jobs, batch_span)
+
+    def _run(self, jobs: Sequence[Job], batch_span) -> BatchReport:
         start = time.perf_counter()
         jobs = list(jobs)
 
@@ -367,6 +401,8 @@ class EvaluationEngine:
             )
 
         wall = time.perf_counter() - start
+        batch_span.set_attribute("unique", len(unique_order))
+        batch_span.set_attribute("executor_used", executor_used)
         self.metrics.timer("engine.batch").observe(wall)
         self.metrics.counter("engine.jobs").inc(len(jobs))
         self.metrics.counter("engine.jobs_deduplicated").inc(len(jobs) - len(unique_order))
@@ -389,26 +425,57 @@ class EvaluationEngine:
     # ------------------------------------------------------------ execution
 
     def _evaluate(self, unique_jobs: list[Job]) -> tuple[str, list[tuple]]:
+        # Pool worker threads/processes start with empty contextvars, so the
+        # batch span's context is captured here and re-established inside
+        # each worker — that is what keeps the span tree hierarchical across
+        # the executor boundary.
+        parent = TRACER.capture() if TRACER.enabled else None
         if self.executor == "serial" or len(unique_jobs) <= 1:
-            return "serial", [self._evaluate_one(job) for job in unique_jobs]
+            return "serial", [self._evaluate_one(job, parent) for job in unique_jobs]
         try:
             if self.executor == "thread":
                 with futures.ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                    return "thread", list(pool.map(self._evaluate_one, unique_jobs))
+                    return "thread", list(
+                        pool.map(partial(self._evaluate_one, parent=parent), unique_jobs)
+                    )
+            parent_tuple = (parent.trace_id, parent.span_id) if parent else None
             with futures.ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                return "process", list(pool.map(_evaluate_unique, unique_jobs))
+                outcomes = list(
+                    pool.map(
+                        partial(_evaluate_unique_observed, parent=parent_tuple),
+                        unique_jobs,
+                    )
+                )
+            return "process", [self._absorb_worker(outcome, parent) for outcome in outcomes]
         except Exception:  # noqa: BLE001 — pool creation/pickling can fail; degrade
             self.metrics.counter("engine.pool_fallbacks").inc()
-            return "serial", [self._evaluate_one(job) for job in unique_jobs]
+            return "serial", [self._evaluate_one(job, parent) for job in unique_jobs]
 
-    def _evaluate_one(self, job: Job) -> tuple[bool, Any, str | None, float]:
+    def _absorb_worker(self, outcome: tuple, parent: SpanContext | None) -> tuple:
+        """Re-stitch one process-pool outcome: adopt the worker's spans under
+        the batch span and merge its metrics delta into this registry."""
+        ok, value, error, seconds, payloads, metrics_delta = outcome
+        if payloads:
+            TRACER.adopt(payloads, parent)
+        if metrics_delta:
+            self.metrics.merge_snapshot(metrics_delta)
+        return ok, value, error, seconds
+
+    def _evaluate_one(
+        self, job: Job, parent: SpanContext | None = None
+    ) -> tuple[bool, Any, str | None, float]:
         start = time.perf_counter()
-        try:
-            value = job.evaluate(self.bank)
-            return True, value, None, time.perf_counter() - start
-        except Exception as exc:  # noqa: BLE001
-            self.metrics.counter("engine.job_errors").inc()
-            return False, None, f"{type(exc).__name__}: {exc}", time.perf_counter() - start
+        with TRACER.activate(parent), TRACER.span(
+            "engine.job", kind=job.kind, executor=self.executor
+        ) as span:
+            try:
+                value = job.evaluate(self.bank)
+                return True, value, None, time.perf_counter() - start
+            except Exception as exc:  # noqa: BLE001
+                self.metrics.counter("engine.job_errors").inc()
+                error = f"{type(exc).__name__}: {exc}"
+                span.set_attribute("error", error)
+                return False, None, error, time.perf_counter() - start
 
     # --------------------------------------------------------- conveniences
 

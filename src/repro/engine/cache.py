@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.engine.metrics import METRICS
+from repro.obs.spans import annotate
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,8 +87,10 @@ class LRUCache:
             if key in self._data:
                 self._hits += 1
                 self._data.move_to_end(key)
+                annotate(f"cache.{self.name}", "hit")
                 return self._data[key]
             self._misses += 1
+            annotate(f"cache.{self.name}", "miss")
             return default
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -103,8 +106,10 @@ class LRUCache:
             if key in self._data:
                 self._hits += 1
                 self._data.move_to_end(key)
+                annotate(f"cache.{self.name}", "hit")
                 return self._data[key]
             self._misses += 1
+        annotate(f"cache.{self.name}", "miss")
         value = compute()
         self.put(key, value)
         return value

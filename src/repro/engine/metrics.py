@@ -25,6 +25,7 @@ overhead on the hot paths is a few microseconds per event.
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
 from collections import deque
@@ -46,6 +47,11 @@ class Counter:
     def inc(self, amount: int = 1) -> None:
         with self._lock:
             self._value += amount
+
+    def reset(self) -> None:
+        """Zero the count in place; holders of the instrument keep it."""
+        with self._lock:
+            self._value = 0
 
     @property
     def value(self) -> int:
@@ -74,6 +80,24 @@ class Timer:
             self.total += seconds
             self.min = min(self.min, seconds)
             self.max = max(self.max, seconds)
+
+    def reset(self) -> None:
+        """Zero the accumulators in place; holders keep the instrument."""
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = float("inf")
+            self.max = 0.0
+
+    def merge(self, *, count: int, total: float, minimum: float, maximum: float) -> None:
+        """Fold another timer's accumulated observations into this one."""
+        if count <= 0:
+            return
+        with self._lock:
+            self.count += count
+            self.total += total
+            self.min = min(self.min, minimum)
+            self.max = max(self.max, maximum)
 
     @contextmanager
     def time(self):
@@ -107,13 +131,22 @@ class Histogram:
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
+        # Buckets are inclusive upper bounds, so the target is the first
+        # bound ≥ value — bisect_left, not a linear scan.
         with self._lock:
             self.observations += 1
-            for index, bound in enumerate(self.bounds):
-                if value <= bound:
-                    self.counts[index] += 1
-                    return
-            self.overflow += 1
+            index = bisect.bisect_left(self.bounds, value)
+            if index < len(self.bounds):
+                self.counts[index] += 1
+            else:
+                self.overflow += 1
+
+    def reset(self) -> None:
+        """Zero every bucket in place; holders keep the instrument."""
+        with self._lock:
+            self.counts = [0] * len(self.bounds)
+            self.overflow = 0
+            self.observations = 0
 
     def as_dict(self) -> dict[str, int]:
         with self._lock:
@@ -192,14 +225,26 @@ class MetricsRegistry:
     # --------------------------------------------------------------- traces
 
     def trace(self, event: str, **fields: object) -> TraceEvent:
-        """Record a structured event and fan it out to the installed hooks."""
+        """Record a structured event and fan it out to the installed hooks.
+
+        Hooks are observability plumbing, not part of the instrumented
+        computation: a hook that raises must neither propagate into the hot
+        path nor starve the hooks after it.  Failures are swallowed and
+        counted in ``trace.hook_errors``.
+        """
         record = TraceEvent(event, tuple(sorted(fields.items())), time.perf_counter())
         self.counter(f"trace.{event}").inc()
         with self._lock:
             self._trace.append(record)
             hooks = list(self._hooks)
+        failures = 0
         for hook in hooks:
-            hook(record)
+            try:
+                hook(record)
+            except Exception:  # noqa: BLE001 — a hook must never break the hot path
+                failures += 1
+        if failures:
+            self.counter("trace.hook_errors").inc(failures)
         return record
 
     def add_trace_hook(self, hook: TraceHook) -> None:
@@ -221,22 +266,95 @@ class MetricsRegistry:
     # ------------------------------------------------------------ reporting
 
     def snapshot(self) -> dict[str, object]:
-        """A plain-data view of every instrument (stable for tests/JSON)."""
+        """A plain-data view of every instrument (stable for tests/JSON).
+
+        ``min`` serializes as ``0.0`` for an empty timer — ``inf`` is the
+        in-memory sentinel, but JSON has no infinity and an empty timer's
+        minimum is morally "nothing observed", not "infinitely slow".
+        """
         with self._lock:
             counters = {name: c.value for name, c in self._counters.items()}
             timers = {
-                name: {"count": t.count, "total": t.total, "mean": t.mean}
+                name: {
+                    "count": t.count,
+                    "total": t.total,
+                    "mean": t.mean,
+                    "min": t.min if t.count else 0.0,
+                    "max": t.max,
+                }
                 for name, t in self._timers.items()
             }
             histograms = {name: h.as_dict() for name, h in self._histograms.items()}
         return {"counters": counters, "timers": timers, "histograms": histograms}
 
     def reset(self) -> None:
+        """Zero every instrument *in place* and drop buffered trace events.
+
+        The instrument objects survive: a hot path that looked up a
+        ``Counter``/``Timer`` once and kept the reference must keep
+        reporting into this registry after a reset, so the dicts are never
+        cleared — doing so would silently disconnect every cached
+        reference.
+        """
         with self._lock:
-            self._counters.clear()
-            self._timers.clear()
-            self._histograms.clear()
+            instruments: list = (
+                list(self._counters.values())
+                + list(self._timers.values())
+                + list(self._histograms.values())
+            )
             self._trace.events.clear()
+        for instrument in instruments:
+            instrument.reset()
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        This is how worker-process observability comes home: the engine's
+        process executor snapshots the worker-local registry per job and
+        merges the deltas here.  Counters and histogram buckets add;
+        timers combine count/total and extremes.  Histogram bucket labels
+        that do not line up with the local instrument's bounds are counted
+        in ``merge.histogram_mismatch`` rather than guessed at.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            if value:
+                self.counter(name).inc(value)
+        for name, data in snapshot.get("timers", {}).items():
+            self.timer(name).merge(
+                count=data.get("count", 0),
+                total=data.get("total", 0.0),
+                minimum=data.get("min", 0.0),
+                maximum=data.get("max", 0.0),
+            )
+        for name, data in snapshot.get("histograms", {}).items():
+            bounds = []
+            for label in data:
+                if label.startswith("le_"):
+                    try:
+                        bounds.append(float(label[3:]))
+                    except ValueError:
+                        bounds.append(None)
+            histogram = self.histogram(
+                name, [b for b in bounds if b is not None] or None
+            )
+            labels = {f"le_{bound:g}": index for index, bound in enumerate(histogram.bounds)}
+            with histogram._lock:
+                for label, count in data.items():
+                    if not count:
+                        continue
+                    if label == "overflow":
+                        histogram.overflow += count
+                        histogram.observations += count
+                    elif label in labels:
+                        histogram.counts[labels[label]] += count
+                        histogram.observations += count
+                    else:
+                        mismatch = True
+                        break
+                else:
+                    mismatch = False
+            if mismatch:
+                self.counter("merge.histogram_mismatch").inc()
 
     def report(self) -> str:
         """A human-readable multi-line summary (the CLI prints this)."""
@@ -282,3 +400,41 @@ def observe_sizes(name: str, sizes: Iterable[int], registry: MetricsRegistry | N
     histogram = (registry or METRICS).histogram(name)
     for size in sizes:
         histogram.observe(size)
+
+
+def snapshot_delta(before: dict, after: dict) -> dict:
+    """``after − before`` for two :meth:`MetricsRegistry.snapshot` values.
+
+    Used on the worker side of a process pool: snapshot around one job and
+    ship only that job's contribution, so merging per-job deltas never
+    double-counts work from earlier jobs in a reused worker.  Timer ``min``/
+    ``max`` cannot be differenced, so the delta keeps ``after``'s extremes —
+    an over-approximation that is exact for the common one-job-per-delta
+    case and merely widens the envelope otherwise.
+    """
+    counters = {}
+    for name, value in after.get("counters", {}).items():
+        delta = value - before.get("counters", {}).get(name, 0)
+        if delta:
+            counters[name] = delta
+    timers = {}
+    for name, data in after.get("timers", {}).items():
+        prior = before.get("timers", {}).get(name, {})
+        count = data["count"] - prior.get("count", 0)
+        if count:
+            timers[name] = {
+                "count": count,
+                "total": data["total"] - prior.get("total", 0.0),
+                "mean": (data["total"] - prior.get("total", 0.0)) / count,
+                "min": data.get("min", 0.0),
+                "max": data.get("max", 0.0),
+            }
+    histograms = {}
+    for name, data in after.get("histograms", {}).items():
+        prior = before.get("histograms", {}).get(name, {})
+        delta_buckets = {
+            label: count - prior.get(label, 0) for label, count in data.items()
+        }
+        if any(delta_buckets.values()):
+            histograms[name] = delta_buckets
+    return {"counters": counters, "timers": timers, "histograms": histograms}

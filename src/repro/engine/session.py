@@ -33,6 +33,7 @@ from repro.engine.batch import (
 )
 from repro.engine.cache import CACHES, CacheBank
 from repro.engine.metrics import METRICS
+from repro.obs.spans import span
 
 
 class SpecSyntaxError(ValueError):
@@ -112,10 +113,12 @@ class EngineSession:
         return report
 
     def run_text(self, text: str) -> BatchReport:
-        return self.run_jobs(parse_spec(text))
+        with span("session.run_text", lines=len(text.splitlines())):
+            return self.run_jobs(parse_spec(text))
 
     def run_file(self, path: str | Path) -> BatchReport:
-        return self.run_text(Path(path).read_text(encoding="utf-8"))
+        with span("session.run_file", path=str(path)):
+            return self.run_text(Path(path).read_text(encoding="utf-8"))
 
     # ------------------------------------------------------------- rendering
 

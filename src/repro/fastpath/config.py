@@ -25,6 +25,7 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from repro.engine.metrics import METRICS
+from repro.obs.spans import annotate
 
 MODE_ENV = "REPRO_FASTPATH"
 THRESHOLD_ENV = "REPRO_FASTPATH_THRESHOLD"
@@ -99,4 +100,5 @@ def kernel_selected(kernel: str, work: int) -> bool:
     else:
         chosen = work >= fastpath_threshold()
     METRICS.counter(f"fastpath.{kernel}.{'hit' if chosen else 'fallback'}").inc()
+    annotate(f"fastpath.{kernel}.route", "dense" if chosen else "reference")
     return chosen

@@ -206,6 +206,17 @@ def formula_to_nba(formula: Formula, alphabet: Alphabet) -> NBA:
     import time
 
     from repro.engine.metrics import METRICS, trace
+    from repro.obs.spans import span
+
+    with span("gpvw.translate") as obs_span:
+        result = _formula_to_nba(formula, alphabet, obs_span)
+    return result
+
+
+def _formula_to_nba(formula: Formula, alphabet: Alphabet, obs_span) -> NBA:
+    import time
+
+    from repro.engine.metrics import METRICS, trace
 
     start = time.perf_counter()
     skeleton, past_atoms = _extract_past_atoms(simplify(formula))
@@ -304,6 +315,8 @@ def formula_to_nba(formula: Formula, alphabet: Alphabet) -> NBA:
     ]
     elapsed = time.perf_counter() - start
     METRICS.timer("gpvw.translate").observe(elapsed)
+    obs_span.set_attribute("tableau_nodes", len(nodes))
+    obs_span.set_attribute("nba_states", len(order))
     trace(
         "gpvw.translate",
         tableau_nodes=len(nodes),

@@ -1,0 +1,287 @@
+"""Exporters: span JSONL, Prometheus text exposition, trees and profiles.
+
+Three consumers, three formats:
+
+* **JSONL** — one JSON object per line; the first line is a ``meta`` record
+  carrying the schema tag, every following line one span.  Lines are
+  emitted in *deterministic tree order* (parents before children, siblings
+  by start time then span id), so identical runs diff cleanly and a
+  streaming reader always sees a span's parent first.
+  :func:`validate_jsonl_lines` is the schema check the CI ``obs-smoke`` job
+  runs against the output.
+* **Prometheus text format** — :func:`prometheus_text` renders a
+  :class:`~repro.engine.metrics.MetricsRegistry` snapshot as
+  ``# TYPE``-annotated exposition lines (counters, timer summaries,
+  cumulative histogram buckets), ready for a scrape endpoint or a textfile
+  collector.
+* **Humans** — :func:`render_span_tree` draws the per-request call tree
+  with durations and attributes; :func:`render_top_spans` aggregates spans
+  by name into a "where did the time go" profile.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.engine.metrics import MetricsRegistry
+from repro.obs.spans import Span
+
+SCHEMA = "repro-obs-spans/1"
+
+#: Required span-line fields and the types the schema check enforces.
+_SPAN_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "name": str,
+    "span_id": str,
+    "trace_id": str,
+    "start": (int, float),
+    "duration": (int, float),
+    "status": str,
+    "attributes": dict,
+}
+
+
+# ---------------------------------------------------------------------------
+# Ordering
+# ---------------------------------------------------------------------------
+
+
+def tree_order(spans: Sequence[Span]) -> list[Span]:
+    """Spans in deterministic pre-order: parents first, siblings by
+    ``(start, span_id)``; orphans (parent not in the batch) rank as roots."""
+    by_id = {span.span_id: span for span in spans}
+    children: dict[str | None, list[Span]] = defaultdict(list)
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children[parent].append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda s: (s.start, s.span_id))
+
+    ordered: list[Span] = []
+
+    def visit(span: Span) -> None:
+        ordered.append(span)
+        for child in children.get(span.span_id, ()):
+            visit(child)
+
+    for root in children.get(None, ()):
+        visit(root)
+    return ordered
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def jsonl_lines(spans: Sequence[Span]) -> list[str]:
+    """The full JSONL document (meta line + one line per span), unjoined."""
+    ordered = tree_order(spans)
+    lines = [
+        json.dumps(
+            {"kind": "meta", "schema": SCHEMA, "spans": len(ordered)},
+            sort_keys=True,
+        )
+    ]
+    for span in ordered:
+        payload = span.as_payload()
+        payload["kind"] = "span"
+        lines.append(json.dumps(payload, sort_keys=True))
+    return lines
+
+
+def write_jsonl(spans: Sequence[Span], path: str | Path) -> int:
+    """Write the span JSONL to ``path``; returns the number of span lines."""
+    lines = jsonl_lines(spans)
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return len(lines) - 1
+
+
+def read_jsonl(path: str | Path) -> list[Span]:
+    """Load spans back from a JSONL file (skipping the meta line)."""
+    spans = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        payload = json.loads(line)
+        if payload.get("kind") == "span":
+            spans.append(Span.from_payload(payload))
+    return spans
+
+
+def validate_jsonl_lines(lines: Iterable[str]) -> list[str]:
+    """Schema-check a span JSONL document; returns human-readable errors.
+
+    An empty list means the document is valid: a correct meta header, every
+    span line carrying the required fields with the right types, unique
+    span ids, parents defined before their children, scalar attribute
+    values and non-negative durations.
+    """
+    errors: list[str] = []
+    seen_ids: set[str] = set()
+    span_count = 0
+    declared: int | None = None
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {number}: not JSON ({exc})")
+            continue
+        if number == 1:
+            if payload.get("kind") != "meta" or payload.get("schema") != SCHEMA:
+                errors.append(
+                    f"line 1: expected meta record with schema {SCHEMA!r}, got {payload!r}"
+                )
+            else:
+                declared = payload.get("spans")
+            continue
+        if payload.get("kind") != "span":
+            errors.append(f"line {number}: kind must be 'span', got {payload.get('kind')!r}")
+            continue
+        span_count += 1
+        for fieldname, kinds in _SPAN_FIELDS.items():
+            if fieldname not in payload:
+                errors.append(f"line {number}: missing field {fieldname!r}")
+                continue
+            value = payload[fieldname]
+            # No span field is legitimately boolean; without this check a
+            # bool would satisfy the (int, float) numeric fields.
+            if isinstance(value, bool) or not isinstance(value, kinds):
+                errors.append(
+                    f"line {number}: field {fieldname!r} has type {type(value).__name__}"
+                )
+        span_id = payload.get("span_id")
+        if isinstance(span_id, str):
+            if span_id in seen_ids:
+                errors.append(f"line {number}: duplicate span_id {span_id!r}")
+            seen_ids.add(span_id)
+        parent_id = payload.get("parent_id")
+        if parent_id is not None and parent_id not in seen_ids:
+            errors.append(
+                f"line {number}: parent_id {parent_id!r} not defined on an earlier line"
+            )
+        if isinstance(payload.get("duration"), (int, float)) and payload["duration"] < 0:
+            errors.append(f"line {number}: negative duration")
+        attributes = payload.get("attributes")
+        if isinstance(attributes, dict):
+            for key, value in attributes.items():
+                if value is not None and not isinstance(value, (bool, int, float, str)):
+                    errors.append(
+                        f"line {number}: attribute {key!r} is not a JSON scalar"
+                    )
+    if declared is not None and declared != span_count:
+        errors.append(f"meta declares {declared} spans but {span_count} lines follow")
+    return errors
+
+
+def validate_jsonl_file(path: str | Path) -> list[str]:
+    return validate_jsonl_lines(
+        Path(path).read_text(encoding="utf-8").splitlines()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    return f"repro_{cleaned}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry snapshot in the Prometheus text exposition format.
+
+    Counters map to ``counter`` samples, timers to a ``summary``-style
+    ``_seconds_count``/``_seconds_sum`` pair plus min/max gauges, histograms
+    to *cumulative* ``_bucket{le=…}`` samples with the conventional
+    ``+Inf`` bucket and ``_count`` total.
+    """
+    snap = registry.snapshot()
+    lines: list[str] = []
+    for name in sorted(snap["counters"]):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {snap['counters'][name]}")
+    for name in sorted(snap["timers"]):
+        data = snap["timers"][name]
+        metric = _prom_name(name) + "_seconds"
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {data['count']}")
+        lines.append(f"{metric}_sum {data['total']:.9f}")
+        lines.append(f"# TYPE {metric}_min gauge")
+        lines.append(f"{metric}_min {data['min']:.9f}")
+        lines.append(f"# TYPE {metric}_max gauge")
+        lines.append(f"{metric}_max {data['max']:.9f}")
+    for name in sorted(snap["histograms"]):
+        data = snap["histograms"][name]
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for label, count in data.items():
+            if not label.startswith("le_"):
+                continue
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{label[3:]}"}} {cumulative}')
+        cumulative += data.get("overflow", 0)
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_count {cumulative}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Human-readable rendering
+# ---------------------------------------------------------------------------
+
+
+def _attributes_inline(attributes: Mapping[str, Any]) -> str:
+    if not attributes:
+        return ""
+    body = ", ".join(f"{key}={value}" for key, value in sorted(attributes.items()))
+    return f"  {{{body}}}"
+
+
+def render_span_tree(spans: Sequence[Span]) -> str:
+    """The per-request call tree, one line per span, durations inline."""
+    ordered = tree_order(spans)
+    if not ordered:
+        return "(no spans recorded)"
+    by_id = {span.span_id: span for span in ordered}
+    depth: dict[str, int] = {}
+    lines = []
+    for span in ordered:
+        parent = span.parent_id if span.parent_id in by_id else None
+        level = 0 if parent is None else depth[parent] + 1
+        depth[span.span_id] = level
+        marker = "" if level == 0 else "  " * (level - 1) + "└─ "
+        flag = " !" if span.status == "error" else ""
+        lines.append(
+            f"{marker}{span.name}  {span.duration*1e3:.2f}ms{flag}"
+            f"{_attributes_inline(span.attributes)}"
+        )
+    return "\n".join(lines)
+
+
+def render_top_spans(spans: Sequence[Span], *, limit: int = 10) -> str:
+    """Aggregate spans by name: count, total, mean, max — sorted by total."""
+    if not spans:
+        return "(no spans recorded)"
+    totals: dict[str, list[float]] = defaultdict(list)
+    for span in spans:
+        totals[span.name].append(span.duration)
+    rows = sorted(
+        ((name, sum(ds), len(ds), max(ds)) for name, ds in totals.items()),
+        key=lambda row: -row[1],
+    )
+    lines = [f"{'span':36s} {'count':>6s} {'total':>10s} {'mean':>9s} {'max':>9s}"]
+    for name, total, count, worst in rows[:limit]:
+        lines.append(
+            f"{name:36s} {count:>6d} {total*1e3:>8.2f}ms {total/count*1e3:>7.3f}ms"
+            f" {worst*1e3:>7.3f}ms"
+        )
+    return "\n".join(lines)

@@ -133,6 +133,13 @@ def _safra_step(
 def determinize(nba: NBA) -> DetAutomaton:
     """Safra's construction; the result is a deterministic Rabin automaton
     accepting exactly the NBA's language."""
+    from repro.obs.spans import span
+
+    with span("safra.determinize", nba_states=nba.num_states) as obs_span:
+        return _determinize(nba, obs_span)
+
+
+def _determinize(nba: NBA, obs_span) -> DetAutomaton:
     import time
 
     from repro.engine.metrics import METRICS, trace
@@ -177,6 +184,8 @@ def determinize(nba: NBA) -> DetAutomaton:
     elapsed = time.perf_counter() - start
     METRICS.timer("safra.determinize").observe(elapsed)
     METRICS.histogram("safra.macrostates").observe(len(order))
+    obs_span.set_attribute("dra_states", len(order))
+    obs_span.set_attribute("pairs", len(pairs))
     trace(
         "safra.determinize",
         nba_states=nba.num_states,

@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Any, Sequence
 
 from repro.engine.metrics import METRICS, trace
+from repro.obs.spans import span
 from repro.qa.generate import GeneratorConfig, coerce_rng
 from repro.qa.oracles import ORACLES, Oracle, oracle_named
 
@@ -117,9 +118,38 @@ def run_fuzz(
     report = FuzzReport(seed=seed, budget=budget, oracle_names=names)
     start = time.perf_counter()
 
-    for case_index in range(budget):
+    with span("qa.fuzz.run", seed=seed, budget=budget) as run_span:
+        _run_cases(selected, rng, config, report, seed, shrink, write_corpus)
+        run_span.set_attribute("cases", report.cases)
+        run_span.set_attribute("disagreements", len(report.failures))
+
+    report.wall_seconds = time.perf_counter() - start
+    METRICS.timer("qa.fuzz.run").observe(report.wall_seconds)
+    trace(
+        "qa.fuzz.run",
+        seed=seed,
+        budget=budget,
+        cases=report.cases,
+        disagreements=len(report.failures),
+        seconds=report.wall_seconds,
+    )
+    return report
+
+
+def _run_cases(
+    selected: list[Oracle],
+    rng,
+    config: GeneratorConfig,
+    report: FuzzReport,
+    seed: int,
+    shrink: bool,
+    write_corpus: Path | str | None,
+) -> None:
+    for case_index in range(report.budget):
         oracle = selected[case_index % len(selected)]
-        with METRICS.timer("qa.fuzz.case").time():
+        with span("qa.fuzz.case", oracle=oracle.name, case=case_index), METRICS.timer(
+            "qa.fuzz.case"
+        ).time():
             subject = oracle.generate(rng, config)
             detail = oracle.check(subject)
         report.cases += 1
@@ -153,18 +183,6 @@ def run_fuzz(
             report.artifacts_written.append(
                 write_artifact(failure.shrunk_artifact, Path(write_corpus))
             )
-
-    report.wall_seconds = time.perf_counter() - start
-    METRICS.timer("qa.fuzz.run").observe(report.wall_seconds)
-    trace(
-        "qa.fuzz.run",
-        seed=seed,
-        budget=budget,
-        cases=report.cases,
-        disagreements=len(report.failures),
-        seconds=report.wall_seconds,
-    )
-    return report
 
 
 # ---------------------------------------------------------------------------

@@ -83,6 +83,56 @@ class TestTraces:
         assert len(seen) == 1
         assert seen[0].get("x") == 1
 
+    def test_failing_hook_is_isolated_and_counted(self):
+        """One broken hook must not break the hot path nor later hooks."""
+        registry = MetricsRegistry()
+        seen = []
+
+        def broken(_event):
+            raise RuntimeError("hook exploded")
+
+        registry.add_trace_hook(broken)
+        registry.add_trace_hook(seen.append)
+        event = registry.trace("unit.event", x=1)  # must not raise
+        assert event.get("x") == 1
+        assert len(seen) == 1  # the hook after the broken one still ran
+        assert registry.counter("trace.hook_errors").value == 1
+        registry.trace("unit.event", x=2)
+        assert registry.counter("trace.hook_errors").value == 2
+
+    def test_merge_snapshot_folds_worker_registry(self):
+        worker = MetricsRegistry()
+        worker.counter("jobs").inc(3)
+        worker.timer("t").observe(0.25)
+        worker.timer("t").observe(0.75)
+        worker.histogram("sizes", bounds=[10, 100]).observe(5)
+        worker.histogram("sizes", bounds=[10, 100]).observe(5000)
+
+        parent = MetricsRegistry()
+        parent.counter("jobs").inc(1)
+        parent.timer("t").observe(0.5)
+        parent.merge_snapshot(worker.snapshot())
+
+        snap = parent.snapshot()
+        assert snap["counters"]["jobs"] == 4
+        assert snap["timers"]["t"]["count"] == 3
+        assert snap["timers"]["t"]["total"] == 1.5
+        assert snap["timers"]["t"]["min"] == 0.25
+        assert snap["timers"]["t"]["max"] == 0.75
+        assert snap["histograms"]["sizes"] == {"le_10": 1, "le_100": 0, "overflow": 1}
+
+    def test_snapshot_delta_isolates_one_job(self):
+        from repro.engine.metrics import snapshot_delta
+
+        registry = MetricsRegistry()
+        registry.counter("work").inc(10)
+        before = registry.snapshot()
+        registry.counter("work").inc(2)
+        registry.timer("t").observe(0.1)
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["counters"] == {"work": 2}
+        assert delta["timers"]["t"]["count"] == 1
+
     def test_ring_buffer_is_bounded(self):
         registry = MetricsRegistry(trace_capacity=16)
         for index in range(100):
@@ -99,7 +149,54 @@ class TestTraces:
         assert snap["counters"]["c"] == 3
         assert snap["timers"]["t"]["count"] == 1
         registry.reset()
-        assert registry.snapshot() == {"counters": {}, "timers": {}, "histograms": {}}
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 0}
+        assert snap["timers"]["t"]["count"] == 0
+        assert snap["timers"]["t"]["total"] == 0.0
+
+    def test_reset_keeps_instrument_references_live(self):
+        """A hot path holding a Counter/Timer keeps reporting after reset()."""
+        registry = MetricsRegistry()
+        counter = registry.counter("held.counter")
+        timer = registry.timer("held.timer")
+        counter.inc(5)
+        timer.observe(0.2)
+        registry.reset()
+        # The held references must still feed the same registry instruments.
+        counter.inc(2)
+        timer.observe(0.5)
+        assert registry.counter("held.counter") is counter
+        assert registry.timer("held.timer") is timer
+        snap = registry.snapshot()
+        assert snap["counters"]["held.counter"] == 2
+        assert snap["timers"]["held.timer"] == {
+            "count": 1,
+            "total": 0.5,
+            "mean": 0.5,
+            "min": 0.5,
+            "max": 0.5,
+        }
+
+    def test_snapshot_serializes_empty_timer_min_as_zero(self):
+        registry = MetricsRegistry()
+        registry.timer("t")  # created, never observed
+        data = registry.snapshot()["timers"]["t"]
+        assert data["min"] == 0.0 and data["max"] == 0.0 and data["count"] == 0
+
+    def test_histogram_bisect_bucketing_matches_inclusive_bounds(self):
+        histogram = Histogram("h", bounds=[1, 2, 5])
+        for value in (0, 1, 1.5, 2, 2.1, 5, 6):
+            histogram.observe(value)
+        data = histogram.as_dict()
+        assert data == {"le_1": 2, "le_2": 2, "le_5": 2, "overflow": 1}
+
+    def test_histogram_reset_in_place(self):
+        histogram = Histogram("h", bounds=[10])
+        histogram.observe(3)
+        histogram.observe(30)
+        histogram.reset()
+        assert histogram.as_dict() == {"le_10": 0, "overflow": 0}
+        assert histogram.observations == 0
 
     def test_report_mentions_instruments(self):
         registry = MetricsRegistry()

@@ -1,0 +1,191 @@
+"""Unit tests for the exporters (repro.obs.export)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.metrics import MetricsRegistry
+from repro.obs.export import (
+    SCHEMA,
+    jsonl_lines,
+    prometheus_text,
+    read_jsonl,
+    render_span_tree,
+    render_top_spans,
+    tree_order,
+    validate_jsonl_file,
+    validate_jsonl_lines,
+    write_jsonl,
+)
+from repro.obs.spans import Span
+
+
+def _span(name, span_id, parent_id=None, start=0.0, duration=1.0, **attributes):
+    s = Span(
+        name=name,
+        span_id=span_id,
+        trace_id="t1",
+        parent_id=parent_id,
+        start=start,
+        end=start + duration,
+    )
+    s.attributes.update(attributes)
+    return s
+
+
+def test_tree_order_parents_before_children_siblings_by_start():
+    spans = [
+        _span("leaf-late", "c", parent_id="a", start=5.0),
+        _span("root", "a", start=0.0),
+        _span("leaf-early", "b", parent_id="a", start=1.0),
+    ]
+    ordered = [s.name for s in tree_order(spans)]
+    assert ordered == ["root", "leaf-early", "leaf-late"]
+
+
+def test_tree_order_orphans_rank_as_roots():
+    spans = [_span("orphan", "x", parent_id="gone", start=1.0), _span("root", "a")]
+    assert {s.name for s in tree_order(spans)} == {"orphan", "root"}
+
+
+def test_jsonl_meta_line_first_and_counts_spans():
+    lines = jsonl_lines([_span("a", "1"), _span("b", "2", parent_id="1", start=1.0)])
+    meta = json.loads(lines[0])
+    assert meta == {"kind": "meta", "schema": SCHEMA, "spans": 2}
+    assert all(json.loads(line)["kind"] == "span" for line in lines[1:])
+
+
+def test_jsonl_is_deterministic():
+    spans = [_span("a", "1"), _span("b", "2", parent_id="1", start=1.0)]
+    assert jsonl_lines(spans) == jsonl_lines(list(reversed(spans)))
+
+
+def test_write_read_round_trip(tmp_path):
+    spans = [_span("root", "1", route="dense"), _span("kid", "2", parent_id="1", start=1.0)]
+    path = tmp_path / "spans.jsonl"
+    assert write_jsonl(spans, path) == 2
+    restored = read_jsonl(path)
+    assert [s.name for s in restored] == ["root", "kid"]
+    assert restored[0].attributes == {"route": "dense"}
+    assert validate_jsonl_file(path) == []
+
+
+def test_validate_accepts_valid_document():
+    lines = jsonl_lines([_span("a", "1"), _span("b", "2", parent_id="1", start=1.0)])
+    assert validate_jsonl_lines(lines) == []
+
+
+def test_validate_rejects_missing_meta():
+    lines = jsonl_lines([_span("a", "1")])[1:]
+    errors = validate_jsonl_lines(lines)
+    assert any("meta" in e for e in errors)
+
+
+def test_validate_rejects_duplicate_span_ids():
+    lines = jsonl_lines([_span("a", "1")])
+    lines.append(lines[1])
+    errors = validate_jsonl_lines(lines)
+    assert any("duplicate" in e for e in errors)
+    assert any("declares" in e for e in errors)
+
+
+def test_validate_rejects_undefined_parent():
+    payload = _span("a", "1", parent_id=None).as_payload()
+    payload["kind"] = "span"
+    payload["parent_id"] = "never-seen"
+    lines = [
+        json.dumps({"kind": "meta", "schema": SCHEMA, "spans": 1}),
+        json.dumps(payload),
+    ]
+    errors = validate_jsonl_lines(lines)
+    assert any("parent_id" in e for e in errors)
+
+
+def test_validate_rejects_wrong_field_types():
+    payload = _span("a", "1").as_payload()
+    payload["kind"] = "span"
+    payload["duration"] = True  # bool must not satisfy the numeric check
+    lines = [
+        json.dumps({"kind": "meta", "schema": SCHEMA, "spans": 1}),
+        json.dumps(payload),
+    ]
+    errors = validate_jsonl_lines(lines)
+    assert any("duration" in e for e in errors)
+
+
+def test_validate_rejects_non_scalar_attributes():
+    payload = _span("a", "1").as_payload()
+    payload["kind"] = "span"
+    payload["attributes"] = {"bad": [1, 2]}
+    lines = [
+        json.dumps({"kind": "meta", "schema": SCHEMA, "spans": 1}),
+        json.dumps(payload),
+    ]
+    errors = validate_jsonl_lines(lines)
+    assert any("scalar" in e for e in errors)
+
+
+def test_render_span_tree_shows_hierarchy_and_attributes():
+    spans = [
+        _span("root", "1", jobs=2),
+        _span("child", "2", parent_id="1", start=1.0, route="dense"),
+    ]
+    text = render_span_tree(spans)
+    lines = text.splitlines()
+    assert lines[0].startswith("root")
+    assert "{jobs=2}" in lines[0]
+    assert lines[1].startswith("└─ child")
+    assert "route=dense" in lines[1]
+
+
+def test_render_span_tree_marks_errors():
+    failing = _span("bad", "1")
+    failing.status = "error"
+    assert " !" in render_span_tree([failing])
+
+
+def test_render_empty_inputs():
+    assert render_span_tree([]) == "(no spans recorded)"
+    assert render_top_spans([]) == "(no spans recorded)"
+
+
+def test_render_top_spans_sorted_by_total_and_limited():
+    spans = [_span("cheap", "1", duration=0.001)] + [
+        _span("hot", str(i + 2), duration=1.0) for i in range(3)
+    ]
+    text = render_top_spans(spans, limit=1)
+    body = text.splitlines()[1:]
+    assert len(body) == 1
+    assert body[0].startswith("hot")
+    assert "3" in body[0]
+
+
+def test_prometheus_counters_timers_histograms():
+    registry = MetricsRegistry()
+    registry.counter("requests.total").inc(5)
+    registry.timer("work.duration").observe(0.25)
+    histogram = registry.histogram("sizes", bounds=(1, 10))
+    histogram.observe(0)
+    histogram.observe(7)
+    histogram.observe(99)
+    text = prometheus_text(registry)
+    assert "# TYPE repro_requests_total counter" in text
+    assert "repro_requests_total 5" in text
+    assert "repro_work_duration_seconds_count 1" in text
+    assert "repro_work_duration_seconds_sum 0.250000000" in text
+    assert 'repro_sizes_bucket{le="1"} 1' in text
+    assert 'repro_sizes_bucket{le="10"} 2' in text
+    assert 'repro_sizes_bucket{le="+Inf"} 3' in text
+    assert "repro_sizes_count 3" in text
+
+
+def test_prometheus_empty_registry_is_empty_string():
+    assert prometheus_text(MetricsRegistry()) == ""
+
+
+def test_prometheus_sanitizes_metric_names():
+    registry = MetricsRegistry()
+    registry.counter("cache.formula-nba.hits").inc()
+    assert "repro_cache_formula_nba_hits 1" in prometheus_text(registry)

@@ -1,0 +1,112 @@
+"""Tests for explain mode (repro.obs.provenance)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classes import TemporalClass
+from repro.engine.cache import CacheBank
+from repro.logic import parse_formula
+from repro.obs.provenance import (
+    ROUTE_COBUCHI_PRODUCT,
+    ROUTE_LINGUISTIC,
+    ROUTE_OMEGA_REGEX,
+    ROUTE_SAFRA,
+    ROUTE_STREETT_PRODUCT,
+    class_reasons,
+    compile_route,
+    explain_expression,
+    explain_formula,
+)
+
+#: One formula per class, with the route its compilation must take.
+SIX_CLASSES = [
+    ("G p", TemporalClass.SAFETY, ROUTE_LINGUISTIC),
+    ("F p", TemporalClass.GUARANTEE, ROUTE_LINGUISTIC),
+    ("(G p) | (F q)", TemporalClass.OBLIGATION, ROUTE_COBUCHI_PRODUCT),
+    ("G F p", TemporalClass.RECURRENCE, ROUTE_LINGUISTIC),
+    ("F G p", TemporalClass.PERSISTENCE, ROUTE_LINGUISTIC),
+    ("(G F p -> G F q)", TemporalClass.REACTIVITY, ROUTE_SAFRA),
+]
+
+
+@pytest.mark.parametrize("text,expected,route", SIX_CLASSES)
+def test_explain_all_six_classes(text, expected, route):
+    explanation = explain_formula(text, bank=CacheBank())
+    assert explanation.canonical is expected
+    assert explanation.route == route
+    assert "view" in explanation.deciding_view
+    member = {r.temporal_class: r.member for r in explanation.reasons}
+    assert member[expected] is True
+
+
+def test_compile_route_replays_classifier_dispatch():
+    assert compile_route(parse_formula("G p"))[0] == ROUTE_LINGUISTIC
+    assert compile_route(parse_formula("(G F p) | (F G q)"))[0] == ROUTE_STREETT_PRODUCT
+    assert compile_route(parse_formula("(G p) | (F q)"))[0] == ROUTE_COBUCHI_PRODUCT
+    assert compile_route(parse_formula("p U (q U r)"))[0] == ROUTE_SAFRA
+
+
+def test_normal_form_input_decided_by_formula_view():
+    explanation = explain_formula("G p", bank=CacheBank())
+    assert explanation.deciding_view.startswith("formula view")
+    assert explanation.normal_form is TemporalClass.SAFETY
+
+
+def test_non_normal_form_input_decided_by_automaton_view():
+    explanation = explain_formula("(G F p -> G F q)", bank=CacheBank())
+    assert explanation.deciding_view.startswith("automaton view")
+
+
+def test_class_reasons_cover_all_six_classes():
+    from repro.core.classifier import formula_to_automaton
+
+    automaton = formula_to_automaton(parse_formula("G F p"))
+    reasons = class_reasons(automaton)
+    assert [r.temporal_class for r in reasons] == list(TemporalClass)
+    by_class = {r.temporal_class: r for r in reasons}
+    assert by_class[TemporalClass.RECURRENCE].member
+    assert "Wagner" in by_class[TemporalClass.RECURRENCE].reason
+    assert not by_class[TemporalClass.SAFETY].member
+    assert by_class[TemporalClass.REACTIVITY].member
+
+
+def test_evidence_carries_pairs_and_sizes():
+    explanation = explain_formula("G F p", bank=CacheBank())
+    evidence = explanation.evidence
+    assert evidence["states"] >= 1
+    assert evidence["reachable"] <= evidence["states"]
+    assert evidence["acceptance"] in {"streett", "rabin"}
+    for pair in evidence["pairs"]:
+        assert sorted(pair["recurrent"]) == pair["recurrent"]
+        assert sorted(pair["persistent"]) == pair["persistent"]
+
+
+def test_render_names_deciding_view_and_membership():
+    text = explain_formula("F p", bank=CacheBank()).render()
+    assert "deciding view:" in text
+    assert "compile route:" in text
+    assert "∈ guarantee" in text
+    assert "∉ safety" in text
+
+
+def test_explain_expression_uses_omega_route():
+    explanation = explain_expression("(b*a)w", "ab", bank=CacheBank())
+    assert explanation.route == ROUTE_OMEGA_REGEX
+    assert explanation.canonical is TemporalClass.RECURRENCE
+    assert explanation.deciding_view.startswith("automaton view")
+    assert "omega ab: (b*a)w" == explanation.subject
+
+
+def test_explain_accepts_parsed_formula_objects():
+    parsed = parse_formula("F p")
+    assert explain_formula(parsed, bank=CacheBank()).canonical is TemporalClass.GUARANTEE
+
+
+def test_explain_warms_the_shared_cache():
+    bank = CacheBank()
+    explain_formula("G p", bank=bank)
+    stats = bank.cache("classification").stats()
+    assert stats.misses == 1
+    explain_formula("G p", bank=bank)
+    assert bank.cache("classification").stats().hits == 1
