@@ -13,6 +13,11 @@ omega EXPRESSION --alphabet ab        classify an ω-regular expression
 engine FILE [--executor …]            batch-evaluate a spec file through the
                                       caching engine; report classes, cache
                                       stats and timings
+serve [--port P | --socket S]         run the long-lived classification
+      [--store F] [--window-ms N]     service: JSON-lines protocol, request
+      [--max-inflight N] [--quota N]  batching, persistent shared cache
+serve --smoke SPEC --store F          two-phase restart-durability smoke
+classify FORMULA --remote HOST:PORT   classify against a running server
 trace FILE [--jsonl F] [--prometheus] run a spec file with span tracing on;
                                       print the span tree and top spans,
                                       optionally export JSONL / Prometheus
@@ -23,6 +28,8 @@ bench [--quick] [--out F] [--check F] time the dense fastpath kernels against
                                       JSON report (see docs/PERFORMANCE.md)
 bench --obs [--out F]                 measure span-tracing overhead on the
                                       same kernels; gate it below 5%
+bench --serve [--out F] [--check F]   end-to-end service benchmark: rps and
+                                      p50/p99 latency over a warm store
 zoo                                   print the canonical Figure-1 witnesses
 
 Global flags: ``--version``, ``--seed N`` (seeds ``random`` for
@@ -37,6 +44,7 @@ import sys
 
 from repro import __version__
 from repro.core import classify_formula, formula_to_automaton
+from repro.errors import ReproError
 from repro.core.canonical import figure_1_zoo
 from repro.logic import parse_formula
 from repro.omega.classify import classify as classify_automaton
@@ -53,7 +61,32 @@ def _alphabet_from(props: str | None):
     return Alphabet.powerset_of_propositions([p.strip() for p in props.split(",") if p.strip()])
 
 
+def _parse_remote(remote: str) -> tuple[str, int]:
+    host, sep, port_text = remote.rpartition(":")
+    if not sep or not port_text.isdigit():
+        raise ValueError(f"--remote wants HOST:PORT, got {remote!r}")
+    return host or "127.0.0.1", int(port_text)
+
+
 def cmd_classify(args: argparse.Namespace) -> int:
+    if args.remote:
+        from repro.serve.client import ServeClient
+        from repro.serve.protocol import render_payload
+
+        if args.formula is None:
+            print("error: --remote needs a FORMULA", file=sys.stderr)
+            return 2
+        host, port = _parse_remote(args.remote)
+        props = None
+        if args.props:
+            props = [p.strip() for p in args.props.split(",") if p.strip()]
+        with ServeClient.connect(host, port) as client:
+            if args.explain:
+                payload = client.explain(args.formula, props=props)
+            else:
+                payload = client.classify(args.formula, props=props)
+        print(render_payload(payload))
+        return 0
     if args.batch:
         from repro.engine.session import EngineSession, SpecSyntaxError
 
@@ -223,6 +256,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 2
     if args.obs:
         return _bench_obs(args)
+    if args.serve:
+        return _bench_serve(args)
     results = run_benchmarks(
         quick=args.quick, repeat=args.repeat, kernels=args.kernel or None
     )
@@ -275,6 +310,91 @@ def _bench_obs(args: argparse.Namespace) -> int:
     if failures:
         return 1
     print(f"tracing overhead within the {limit:.0%} budget on every kernel")
+    return 0
+
+
+def _bench_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.serve import (
+        regressions_against as serve_regressions,
+        render_table as render_serve_table,
+        report_json as serve_report_json,
+        run_serve_benchmarks,
+    )
+
+    results = run_serve_benchmarks(quick=args.quick, repeat=args.repeat)
+    print(render_serve_table(results))
+    if args.out:
+        report = serve_report_json(results, quick=args.quick, repeat=args.repeat)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    if args.check:
+        try:
+            with open(args.check, encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read baseline {args.check}: {error}", file=sys.stderr)
+            return 1
+        failures = serve_regressions(results, baseline)
+        for failure in failures:
+            print(f"regression: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"no serve workload regressed more than 4x against {args.check}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import ClassificationServer, ServerConfig
+
+    if args.window_ms < 0:
+        print("error: --window-ms must be non-negative", file=sys.stderr)
+        return 2
+    if args.max_inflight < 1 or args.quota < 1:
+        print("error: --max-inflight and --quota must be at least 1", file=sys.stderr)
+        return 2
+    if args.smoke:
+        from repro.serve.smoke import run_smoke
+
+        if not args.store:
+            print("error: --smoke needs --store FILE", file=sys.stderr)
+            return 2
+        report = run_smoke(
+            args.smoke, args.store, executor=args.executor, window_ms=args.window_ms
+        )
+        print(report.render())
+        return 0 if report.ok else 1
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        store_path=args.store,
+        window_ms=args.window_ms,
+        max_inflight=args.max_inflight,
+        client_quota=args.quota,
+        executor=args.executor,
+        max_workers=args.jobs,
+    )
+
+    async def _main() -> None:
+        server = ClassificationServer(config)
+        await server.start()
+        print(f"serving on {server.address}  (Ctrl-C to stop)")
+        try:
+            await server.wait_stopped()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("interrupted — server shut down", file=sys.stderr)
     return 0
 
 
@@ -340,7 +460,60 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print classification provenance: deciding view, route, evidence",
     )
+    p_classify.add_argument(
+        "--remote",
+        metavar="HOST:PORT",
+        default=None,
+        help="send the request to a running classification server instead",
+    )
     p_classify.set_defaults(func=cmd_classify)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived classification service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7911, help="TCP port (0 = ephemeral; default 7911)"
+    )
+    p_serve.add_argument(
+        "--socket", metavar="PATH", default=None, help="serve on a unix socket instead"
+    )
+    p_serve.add_argument(
+        "--store",
+        metavar="FILE",
+        default=None,
+        help="persistent SQLite result store shared across restarts/processes",
+    )
+    p_serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=10.0,
+        help="batching window: how long the first request waits for company (default 10)",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        help="server-wide admitted-request cap; beyond it clients get a"
+        " retryable 'overloaded' frame (default 256)",
+    )
+    p_serve.add_argument(
+        "--quota",
+        type=int,
+        default=64,
+        help="per-connection inflight cap (retryable 'quota' frame; default 64)",
+    )
+    p_serve.add_argument(
+        "--executor", choices=["serial", "thread", "process"], default="serial"
+    )
+    p_serve.add_argument("--jobs", type=int, default=None, help="engine pool size")
+    p_serve.add_argument(
+        "--smoke",
+        metavar="SPEC",
+        default=None,
+        help="run the two-phase restart-durability smoke over SPEC and exit",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_trace = sub.add_parser(
         "trace", help="run a spec file with span tracing and print the span tree"
@@ -450,6 +623,11 @@ def main(argv: list[str] | None = None) -> int:
         help="measure span-tracing overhead instead of route speedups",
     )
     p_bench.add_argument(
+        "--serve",
+        action="store_true",
+        help="benchmark the classification service end to end (rps, p50/p99)",
+    )
+    p_bench.add_argument(
         "--limit",
         type=float,
         default=None,
@@ -478,7 +656,20 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.seed is not None:
         random.seed(args.seed)
-    return args.func(args)
+    # Every failure a user can cause from the command line — a formula that
+    # does not parse, a missing file, a refused connection — exits nonzero
+    # with one line on stderr.  Tracebacks are for bugs, not for typos.
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        return 1
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except (ReproError, OSError, ValueError) as error:
+        message = str(error).splitlines()[0] if str(error) else type(error).__name__
+        print(f"error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

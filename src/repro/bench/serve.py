@@ -1,0 +1,223 @@
+"""End-to-end service benchmark: requests/sec and latency percentiles.
+
+Unlike :mod:`repro.bench.fastpath` (kernel vs reference — a ratio, immune
+to machine speed) this measures the whole serving path: socket framing,
+admission, the batching window, engine dispatch and the persistent store.
+Per workload the harness starts a fresh server on an ephemeral port with a
+temporary store file, runs one untimed warm pass (fills the store and the
+bank — the steady state a long-lived server actually operates in), then
+times ``repeat`` measured passes and keeps the best.
+
+Two workloads:
+
+* ``classify_warm`` — pipelined ``classify`` over a mixed formula corpus,
+  answered from the persistent store (the restart-heavy steady state);
+* ``mixed_warm``  — alternating ``classify``/``explain`` over the same
+  corpus, the CI smoke's traffic shape.
+
+The committed baseline is ``BENCH_serve.json``; the CI ``serve-smoke`` job
+re-runs a quick variant and gates with :func:`regressions_against`.  The
+gate factor is 4× (looser than fastpath's 2×) because these are absolute
+wall-clock figures on shared runners, not machine-free ratios.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ServerConfig, start_in_thread
+
+SCHEMA = "repro-bench-serve/1"
+
+#: Regression gate: a workload fails if its requests/sec fall below
+#: baseline/FACTOR (absolute timings need a wide berth on shared runners).
+GATE_FACTOR = 4.0
+
+#: The benchmark corpus: one representative per hierarchy class plus
+#: pattern-style properties with shared subterms (cache-friendly traffic).
+FORMULAS = (
+    "G p",
+    "F p",
+    "(G p) | (F q)",
+    "G F p",
+    "F G p",
+    "(G F p) | (F G q)",
+    "G (p -> F q)",
+    "G (p -> X q)",
+    "p U q",
+    "G (p -> (q S r))",
+)
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One workload's measured serving performance."""
+
+    workload: str
+    description: str
+    requests: int
+    seconds: float
+    p50_ms: float
+    p99_ms: float
+    store_hit_rate: float
+
+    @property
+    def rps(self) -> float:
+        return self.requests / self.seconds if self.seconds else 0.0
+
+    def as_json(self) -> dict:
+        return {
+            "description": self.description,
+            "requests": self.requests,
+            "seconds": round(self.seconds, 4),
+            "rps": round(self.rps, 1),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "store_hit_rate": round(self.store_hit_rate, 4),
+        }
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _requests_for(workload: str, passes: int) -> list[tuple[str, dict]]:
+    requests: list[tuple[str, dict]] = []
+    for index, formula in enumerate(FORMULAS * passes):
+        if workload == "mixed_warm" and index % 2 == 1:
+            requests.append(("explain", {"formula": formula}))
+        else:
+            requests.append(("classify", {"formula": formula}))
+    return requests
+
+
+def _run_workload(
+    workload: str, description: str, *, passes: int, repeat: int
+) -> ServeResult:
+    fd, store_path = tempfile.mkstemp(prefix="repro-bench-serve-", suffix=".db")
+    os.close(fd)
+    os.unlink(store_path)
+    handle = start_in_thread(
+        ServerConfig(port=0, store_path=store_path, window_ms=2.0)
+    )
+    try:
+        requests = _requests_for(workload, passes)
+        best_seconds = float("inf")
+        best_latencies: list[float] = []
+        with ServeClient.connect(port=handle.port) as client:
+            # Warm pass: fill the store and the bank, untimed.
+            for verb, params in requests:
+                client.request(verb, **params)
+            for _ in range(repeat):
+                # Latency pass: one request at a time, per-request timing
+                # (each pays the batching window alone — the worst case).
+                latencies: list[float] = []
+                for verb, params in requests:
+                    t0 = time.perf_counter()
+                    client.request(verb, **params)
+                    latencies.append((time.perf_counter() - t0) * 1e3)
+                # Throughput pass: the whole workload pipelined on one
+                # connection, so batching windows amortize across requests.
+                start = time.perf_counter()
+                ids = [client.send(verb, **params) for verb, params in requests]
+                for request_id in ids:
+                    client.unwrap(client.recv_for(request_id))
+                elapsed = time.perf_counter() - start
+                if elapsed < best_seconds:
+                    best_seconds = elapsed
+                    best_latencies = latencies
+            stats = client.stats()
+        store = stats.get("store") or {}
+        hits, misses = store.get("hits", 0), store.get("misses", 0)
+        hit_rate = hits / (hits + misses) if hits + misses else 0.0
+        best_latencies.sort()
+        return ServeResult(
+            workload=workload,
+            description=description,
+            requests=len(requests),
+            seconds=best_seconds,
+            p50_ms=_percentile(best_latencies, 0.50),
+            p99_ms=_percentile(best_latencies, 0.99),
+            store_hit_rate=hit_rate,
+        )
+    finally:
+        handle.stop()
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(store_path + suffix)
+            except OSError:
+                pass
+
+
+def run_serve_benchmarks(*, quick: bool = False, repeat: int = 3) -> list[ServeResult]:
+    """Benchmark every serve workload against a fresh in-process server."""
+    passes = 2 if quick else 5
+    return [
+        _run_workload(
+            "classify_warm",
+            f"pipelined classify × {len(FORMULAS) * passes} over a warm store",
+            passes=passes,
+            repeat=repeat,
+        ),
+        _run_workload(
+            "mixed_warm",
+            f"alternating classify/explain × {len(FORMULAS) * passes} over a warm store",
+            passes=passes,
+            repeat=repeat,
+        ),
+    ]
+
+
+def regressions_against(
+    results: Sequence[ServeResult], baseline: Mapping, *, factor: float = GATE_FACTOR
+) -> list[str]:
+    """Workloads whose throughput fell below ``baseline/factor`` — the CI gate."""
+    failures = []
+    workloads = baseline.get("workloads", {})
+    for result in results:
+        entry = workloads.get(result.workload)
+        if entry is None:
+            continue
+        floor = entry.get("rps", 0.0) / factor
+        if result.rps < floor:
+            failures.append(
+                f"{result.workload}: {result.rps:.0f} req/s fell below"
+                f" {floor:.0f} req/s (baseline {entry['rps']:.0f} / {factor:g})"
+            )
+    return failures
+
+
+def report_json(results: Sequence[ServeResult], *, quick: bool, repeat: int) -> str:
+    payload = {
+        "schema": SCHEMA,
+        "command": f"python -m repro bench --serve{' --quick' if quick else ''}"
+        f" --repeat {repeat}",
+        "quick": quick,
+        "repeat": repeat,
+        "gate_factor": GATE_FACTOR,
+        "workloads": {result.workload: result.as_json() for result in results},
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def render_table(results: Sequence[ServeResult]) -> str:
+    lines = [
+        f"{'workload':16s} {'requests':>8s} {'req/s':>9s} {'p50':>9s}"
+        f" {'p99':>9s} {'store hits':>10s}"
+    ]
+    for result in results:
+        lines.append(
+            f"{result.workload:16s} {result.requests:>8d} {result.rps:>9.0f}"
+            f" {result.p50_ms:>7.2f}ms {result.p99_ms:>7.2f}ms"
+            f" {result.store_hit_rate:>9.1%}"
+        )
+    return "\n".join(lines)

@@ -129,7 +129,8 @@ class LRUCache:
             self._data.clear()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:
@@ -176,7 +177,8 @@ class Interner:
             return self._canon.setdefault(value, value)
 
     def __len__(self) -> int:
-        return len(self._canon)
+        with self._lock:
+            return len(self._canon)
 
     def clear(self) -> None:
         with self._lock:

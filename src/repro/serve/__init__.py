@@ -1,0 +1,59 @@
+"""``repro.serve`` — the long-lived classification service.
+
+PRs 1–4 built the prerequisites of a serving process — a deduplicating
+batch engine, structural caches, dense kernels, tracing — but classification
+still ran one library call per process.  This package promotes it to an
+always-on service:
+
+* :mod:`repro.serve.protocol` — the versioned JSON-lines wire format
+  (``classify`` / ``explain`` / ``stats`` / ``health`` verbs, typed error
+  frames with a ``retryable`` bit);
+* :mod:`repro.serve.store` — a persistent SQLite (WAL) result store keyed
+  by the engine's structural hashes and stamped with the store schema and
+  library version, so classifications survive restarts and are shared
+  across worker processes instead of re-derived per process;
+* :mod:`repro.serve.server` — the asyncio server core: batching windows
+  over the :class:`~repro.engine.batch.EvaluationEngine`, per-client
+  quotas, bounded inflight with retryable backpressure frames, and
+  graceful degradation to serial in-process evaluation;
+* :mod:`repro.serve.client` — the synchronous client the CLI
+  (``classify --remote``), the tests and the bench harness use.
+
+``python -m repro serve`` runs the server; see ``docs/SERVING.md`` for the
+protocol specification and the operations guide.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.serve.server import ClassificationServer, ServerConfig, start_in_thread
+from repro.serve.store import STORE_SCHEMA, PersistentStore, store_key
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "decode_frame",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "ClassificationServer",
+    "ServerConfig",
+    "start_in_thread",
+    "STORE_SCHEMA",
+    "PersistentStore",
+    "store_key",
+    "ServeClient",
+    "ServeError",
+]

@@ -1,0 +1,181 @@
+"""The synchronous client of the classification service.
+
+A thin, dependency-free (stdlib socket) speaker of the protocol in
+:mod:`repro.serve.protocol`, used by the CLI (``classify --remote``), the
+test suite and the bench harness.  Two levels of API:
+
+* :meth:`ServeClient.request` / the verb shorthands (``classify``,
+  ``explain``, ``stats``, ``health``) — one call, one result, errors raised
+  as :class:`ServeError` (with the frame's ``code`` and ``retryable`` bit);
+* :meth:`ServeClient.send` + :meth:`ServeClient.recv_for` — explicit
+  pipelining for callers that keep many requests in flight on one
+  connection (the bench harness, the quota tests).  Responses may arrive
+  out of send order; they are matched by id.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any
+
+from repro.errors import ReproError
+from repro.serve.protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION, decode_frame, encode_frame
+
+
+class ServeError(ReproError):
+    """An error frame from the server, surfaced as an exception."""
+
+    def __init__(self, code: str, message: str, *, retryable: bool = False) -> None:
+        self.code = code
+        self.retryable = retryable
+        super().__init__(f"[{code}] {message}")
+
+
+class ServeConnectionError(ServeError):
+    """The transport died before a response arrived (always retryable)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__("connection", message, retryable=True)
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.ClassificationServer`."""
+
+    def __init__(self, sock: socket.socket, *, timeout: float = 30.0) -> None:
+        sock.settimeout(timeout)
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        self._ids = itertools.count(1)
+        self._stash: dict[Any, dict] = {}
+        self._closed = False
+
+    @classmethod
+    def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        *,
+        socket_path: str | None = None,
+        timeout: float = 30.0,
+    ) -> ServeClient:
+        if socket_path:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(socket_path)
+        else:
+            if port is None:
+                raise ValueError("connect() needs a port (or a socket_path)")
+            sock = socket.create_connection((host, port), timeout=timeout)
+        return cls(sock, timeout=timeout)
+
+    # -------------------------------------------------------------- plumbing
+
+    def send(self, verb: str, **params: Any) -> Any:
+        """Write one request frame; returns its id (for :meth:`recv_for`)."""
+        request_id = next(self._ids)
+        frame = {"v": PROTOCOL_VERSION, "id": request_id, "verb": verb}
+        frame.update({key: value for key, value in params.items() if value is not None})
+        try:
+            self._file.write(encode_frame(frame))
+            self._file.flush()
+        except (OSError, ValueError) as error:
+            raise ServeConnectionError(f"send failed: {error}") from None
+        return request_id
+
+    def recv(self) -> dict:
+        """Read the next response frame off the wire, whatever its id."""
+        try:
+            line = self._file.readline(MAX_FRAME_BYTES + 2)
+        except (OSError, ValueError) as error:
+            raise ServeConnectionError(f"recv failed: {error}") from None
+        if not line:
+            raise ServeConnectionError("server closed the connection")
+        return decode_frame(line)
+
+    def recv_for(self, request_id: Any) -> dict:
+        """The response frame for ``request_id`` (stashing out-of-order ones)."""
+        if request_id in self._stash:
+            return self._stash.pop(request_id)
+        while True:
+            frame = self.recv()
+            if frame.get("id") == request_id:
+                return frame
+            self._stash[frame.get("id")] = frame
+
+    @staticmethod
+    def unwrap(frame: dict) -> dict:
+        """Result of an ok frame; :class:`ServeError` for an error frame."""
+        if frame.get("ok"):
+            return frame.get("result", {})
+        error = frame.get("error") or {}
+        raise ServeError(
+            error.get("code", "internal"),
+            error.get("message", "unknown server error"),
+            retryable=bool(error.get("retryable")),
+        )
+
+    def request(self, verb: str, **params: Any) -> dict:
+        """One request, one response: send, wait, unwrap."""
+        return self.unwrap(self.recv_for(self.send(verb, **params)))
+
+    # ----------------------------------------------------------------- verbs
+
+    def classify(
+        self,
+        formula: str | None = None,
+        *,
+        expression: str | None = None,
+        props: list[str] | None = None,
+        letters: str | None = None,
+    ) -> dict:
+        return self.request(
+            "classify",
+            formula=formula,
+            expression=expression,
+            props=props,
+            letters=letters,
+        )
+
+    def explain(
+        self,
+        formula: str | None = None,
+        *,
+        expression: str | None = None,
+        props: list[str] | None = None,
+        letters: str | None = None,
+    ) -> dict:
+        return self.request(
+            "explain",
+            formula=formula,
+            expression=expression,
+            props=props,
+            letters=letters,
+        )
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def health(self) -> dict:
+        return self.request("health")
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> ServeClient:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,285 @@
+"""The wire format of the classification service: JSON lines over a stream.
+
+One frame per line, UTF-8 JSON, ``\\n``-terminated.  Requests carry a
+protocol version, a caller-chosen correlation id, a verb and the verb's
+parameters; responses echo the id and carry either a ``result`` object or
+a typed ``error`` object.  The format is deliberately boring — any
+language with a socket and a JSON parser is a client.
+
+Requests::
+
+    {"v": 1, "id": 7, "verb": "classify", "formula": "G (p -> F q)"}
+    {"v": 1, "id": 8, "verb": "classify", "expression": ".*b(ab)w", "letters": "ab"}
+    {"v": 1, "id": 9, "verb": "explain",  "formula": "F G p"}
+    {"v": 1, "id": 10, "verb": "stats"}
+    {"v": 1, "id": 11, "verb": "health"}
+
+Responses::
+
+    {"v": 1, "id": 7, "ok": true,  "result": {"class": "recurrence", …}}
+    {"v": 1, "id": 8, "ok": false, "error": {"code": "overloaded",
+                                             "message": "…", "retryable": true}}
+
+Error frames are part of the contract: every failure mode has a stable
+``code``, and ``retryable`` tells well-behaved clients whether backing off
+and resending the same frame can succeed (backpressure, quotas, draining)
+or cannot (malformed input).  A request that never parsed far enough to
+yield an id is answered with ``"id": null``.
+
+The payload builders at the bottom turn the library's rich result objects
+(:class:`~repro.core.classifier.FormulaReport`,
+:class:`~repro.obs.provenance.Explanation`, classification verdicts) into
+plain JSON dicts; they are also what the persistent store persists, so a
+store hit and a fresh computation are byte-identical on the wire.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+
+#: Protocol version spoken by this build; bumped on incompatible changes.
+PROTOCOL_VERSION = 1
+
+#: Hard per-frame size limit (bytes, including the newline).  Formulas big
+#: enough to hit this would take hours to determinize anyway; the limit
+#: exists so one client cannot balloon server memory with a single line.
+MAX_FRAME_BYTES = 256 * 1024
+
+#: The verb set.  ``classify``/``explain`` do work; ``stats``/``health``
+#: are answered inline by the server without touching the engine.
+VERBS = ("classify", "explain", "stats", "health")
+
+#: error code → retryable.  Retryable means: the identical frame may
+#: succeed later (the server was loaded, draining, or rationing this
+#: client), so clients should back off and resend.  Non-retryable means
+#: the frame itself is wrong and resending is pointless.
+ERROR_CODES: dict[str, bool] = {
+    "bad-frame": False,      # not JSON / not an object / bad version or id
+    "bad-request": False,    # unparsable formula/expression, bad params
+    "unknown-verb": False,
+    "oversized": False,      # frame exceeded MAX_FRAME_BYTES
+    "overloaded": True,      # server-wide --max-inflight saturated
+    "quota": True,           # this client's inflight quota saturated
+    "draining": True,        # graceful shutdown in progress
+    "evaluation": False,     # the job itself raised (deterministic)
+    "internal": False,       # unexpected server-side failure
+}
+
+
+class ProtocolError(ReproError):
+    """A frame violated the wire contract (carries the error-frame code)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown protocol error code {code!r}")
+        self.code = code
+        self.retryable = ERROR_CODES[code]
+        super().__init__(message)
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One validated request frame."""
+
+    id: Any
+    verb: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(frame: dict[str, Any]) -> bytes:
+    """One frame → one newline-terminated JSON line."""
+    return json.dumps(frame, separators=(",", ":"), sort_keys=True).encode() + b"\n"
+
+
+def decode_frame(line: bytes | str) -> dict[str, Any]:
+    """One line → one frame dict, or :class:`ProtocolError` (``bad-frame``)."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_FRAME_BYTES:
+            raise ProtocolError("oversized", f"frame exceeds {MAX_FRAME_BYTES} bytes")
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError("bad-frame", f"frame is not UTF-8: {error}") from None
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError("bad-frame", f"frame is not JSON: {error.msg}") from None
+    if not isinstance(frame, dict):
+        raise ProtocolError("bad-frame", "frame must be a JSON object")
+    return frame
+
+
+def parse_request(frame: dict[str, Any]) -> Request:
+    """Validate a decoded frame into a :class:`Request`.
+
+    The id is extracted before anything else is checked so that even a
+    version-mismatched frame gets an error response the client can
+    correlate.  Ids must be JSON scalars (no objects/arrays) — they come
+    back verbatim in the response.
+    """
+    request_id = frame.get("id")
+    if request_id is not None and not isinstance(request_id, (str, int, float, bool)):
+        raise ProtocolError("bad-frame", "request id must be a JSON scalar")
+    version = frame.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "bad-frame",
+            f"unsupported protocol version {version!r} (this server speaks"
+            f" v{PROTOCOL_VERSION})",
+        )
+    verb = frame.get("verb")
+    if not isinstance(verb, str) or verb not in VERBS:
+        raise ProtocolError(
+            "unknown-verb", f"unknown verb {verb!r} (known: {', '.join(VERBS)})"
+        )
+    params = {
+        key: value for key, value in frame.items() if key not in ("v", "id", "verb")
+    }
+    if verb in ("classify", "explain"):
+        has_formula = isinstance(params.get("formula"), str)
+        has_expression = isinstance(params.get("expression"), str)
+        if has_formula == has_expression:  # neither, or both
+            raise ProtocolError(
+                "bad-request",
+                f"{verb} needs exactly one of 'formula' or 'expression' (a string)",
+            )
+        props = params.get("props")
+        if props is not None and not (
+            isinstance(props, list) and all(isinstance(p, str) for p in props)
+        ):
+            raise ProtocolError("bad-request", "'props' must be a list of strings")
+        letters = params.get("letters")
+        if letters is not None and not isinstance(letters, str):
+            raise ProtocolError("bad-request", "'letters' must be a string")
+    return Request(id=request_id, verb=verb, params=params)
+
+
+# ---------------------------------------------------------------------------
+# Response frames
+# ---------------------------------------------------------------------------
+
+
+def ok_response(request_id: Any, result: dict[str, Any]) -> dict[str, Any]:
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: Any, code: str, message: str) -> dict[str, Any]:
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown protocol error code {code!r}")
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message, "retryable": ERROR_CODES[code]},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Result payloads
+# ---------------------------------------------------------------------------
+
+
+def report_payload(report) -> dict[str, Any]:
+    """A :class:`~repro.core.classifier.FormulaReport` as plain JSON."""
+    from repro.core.classes import TemporalClass
+
+    canonical = report.canonical_class
+    syntactic = report.syntactic
+    return {
+        "kind": "classification",
+        "subject": repr(report.formula),
+        "class": canonical.value,
+        "borel": canonical.borel_name,
+        "memberships": [
+            c.value for c in TemporalClass if report.semantic.membership[c]
+        ],
+        "liveness": report.is_liveness,
+        "uniform_liveness": report.is_uniform_liveness,
+        "streett_index": report.streett_index,
+        "obligation_degree": report.obligation_degree,
+        "normal_form": syntactic.normal_form.value if syntactic.normal_form else None,
+        "syntactic_class": syntactic.fragment_class.value,
+        "automaton": {
+            "states": report.automaton.num_states,
+            "reachable": len(report.automaton.reachable),
+            "acceptance": report.automaton.acceptance.kind.name.lower(),
+            "pairs": len(report.automaton.acceptance.pairs),
+        },
+    }
+
+
+def verdict_payload(subject: str, verdict) -> dict[str, Any]:
+    """A bare classification :class:`~repro.core.classes.Verdict` as JSON
+    (the ``classify`` result for ω-regular expressions)."""
+    from repro.core.classes import TemporalClass
+
+    return {
+        "kind": "classification",
+        "subject": subject,
+        "class": verdict.canonical.value,
+        "borel": verdict.canonical.borel_name,
+        "memberships": [c.value for c in TemporalClass if verdict.membership[c]],
+        "liveness": verdict.is_liveness,
+    }
+
+
+def explanation_payload(explanation) -> dict[str, Any]:
+    """An :class:`~repro.obs.provenance.Explanation` as plain JSON."""
+    return {
+        "kind": "explanation",
+        "subject": explanation.subject,
+        "class": explanation.canonical.value,
+        "borel": explanation.canonical.borel_name,
+        "deciding_view": explanation.deciding_view,
+        "route": explanation.route,
+        "route_detail": explanation.route_detail,
+        "normal_form": explanation.normal_form.value if explanation.normal_form else None,
+        "liveness": explanation.is_liveness,
+        "streett_index": explanation.streett_index,
+        "obligation_degree": explanation.obligation_degree,
+        "evidence": explanation.evidence,
+        "reasons": [
+            {
+                "class": reason.temporal_class.value,
+                "member": reason.member,
+                "reason": reason.reason,
+            }
+            for reason in explanation.reasons
+        ],
+    }
+
+
+def render_payload(payload: dict[str, Any]) -> str:
+    """A human-readable rendering of a result payload (``classify --remote``)."""
+    lines = [
+        f"subject:        {payload.get('subject')}",
+        f"class:          {payload.get('class')} ({payload.get('borel')})",
+    ]
+    if payload.get("memberships"):
+        lines.append("memberships:    " + ", ".join(payload["memberships"]))
+    if "liveness" in payload:
+        lines.append(f"liveness:       {payload['liveness']}")
+    if payload.get("streett_index") is not None:
+        lines.append(f"streett index:  {payload['streett_index']}")
+    if payload.get("kind") == "explanation":
+        lines.append(f"deciding view:  {payload['deciding_view']}")
+        lines.append(f"compile route:  {payload['route']} — {payload['route_detail']}")
+        for reason in payload.get("reasons", ()):
+            mark = "∈" if reason["member"] else "∉"
+            lines.append(f"  {mark} {reason['class']:12s} {reason['reason']}")
+    automaton = payload.get("automaton")
+    if automaton:
+        lines.append(
+            f"automaton:      {automaton['states']} states,"
+            f" {automaton['acceptance']} acceptance, {automaton['pairs']} pair(s)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""The serve smoke test: restart durability, end to end.
+
+``python -m repro serve --smoke SPEC --store FILE`` (and the CI
+``serve-smoke`` job) runs the acceptance scenario for the persistent
+store:
+
+1. **Cold phase** — start a server (fresh in-memory cache bank) on an
+   ephemeral port with the given store file, run a mixed
+   ``classify``/``explain`` workload derived from the spec corpus through
+   :class:`~repro.serve.client.ServeClient`, assert every request
+   succeeds, and shut the server down cleanly.
+2. **Restart phase** — start a *new* server (fresh bank again — a real
+   restart keeps no process memory) on the same store file and replay the
+   identical workload.  Assert: every request succeeds, the persistent
+   store's hit rate is at least :data:`HIT_RATE_FLOOR`, and **zero** new
+   GPVW translations or Safra determinizations ran — repeated formulas
+   must be answered from disk, not re-derived.
+
+The workload alternates verbs per spec line, so both the ``classify`` and
+``explain`` result shapes exercise the store.  ``monitor`` spec lines are
+skipped (monitoring is stateful per word; it is not served).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.metrics import METRICS
+from repro.engine.session import parse_spec
+from repro.serve.client import ServeClient
+from repro.serve.server import ServerConfig, start_in_thread
+
+#: The restart phase must answer at least this share of requests from disk.
+HIT_RATE_FLOOR = 0.9
+
+
+@dataclass(frozen=True)
+class SmokeRequest:
+    """One workload request: a verb plus its protocol parameters."""
+
+    verb: str
+    params: dict
+
+
+@dataclass
+class SmokePhase:
+    """What one server lifetime did."""
+
+    label: str
+    requests: int = 0
+    failures: list[str] = field(default_factory=list)
+    store_hits: int = 0
+    store_misses: int = 0
+    safra_runs: int = 0
+    gpvw_runs: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.store_hits + self.store_misses
+        return self.store_hits / total if total else 0.0
+
+    def line(self) -> str:
+        return (
+            f"{self.label:8s} requests={self.requests} failures={len(self.failures)}"
+            f" store_hits={self.store_hits} store_misses={self.store_misses}"
+            f" hit_rate={self.hit_rate:.1%} gpvw={self.gpvw_runs} safra={self.safra_runs}"
+        )
+
+
+@dataclass
+class SmokeReport:
+    """The two phases plus the combined verdict."""
+
+    phases: list[SmokePhase]
+    problems: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def render(self) -> str:
+        lines = [phase.line() for phase in self.phases]
+        if self.problems:
+            lines.extend(f"FAIL: {problem}" for problem in self.problems)
+        else:
+            lines.append(
+                "ok: restart answered from the persistent store"
+                " (no GPVW/Safra re-derivation)"
+            )
+        return "\n".join(lines)
+
+
+def workload_from_spec(path: str | Path) -> list[SmokeRequest]:
+    """Spec corpus → mixed classify/explain workload (alternating verbs)."""
+    jobs = parse_spec(Path(path).read_text(encoding="utf-8"))
+    requests: list[SmokeRequest] = []
+    for job in jobs:
+        verb = "classify" if len(requests) % 2 == 0 else "explain"
+        if job.kind == "classify-formula":
+            requests.append(SmokeRequest(verb, {"formula": job.formula}))
+        elif job.kind == "classify-omega":
+            requests.append(
+                SmokeRequest(verb, {"expression": job.expression, "letters": job.letters})
+            )
+        # monitor jobs are not a serving verb; skip them
+    if not requests:
+        raise ValueError(f"spec {path} contains no classifiable lines")
+    return requests
+
+
+def _derivation_counts() -> tuple[int, int]:
+    snap = METRICS.snapshot()["timers"]
+    gpvw = snap.get("gpvw.translate", {}).get("count", 0)
+    safra = snap.get("safra.determinize", {}).get("count", 0)
+    return gpvw, safra
+
+
+def _run_phase(
+    label: str,
+    requests: list[SmokeRequest],
+    store_path: str,
+    *,
+    executor: str = "serial",
+    window_ms: float = 5.0,
+) -> SmokePhase:
+    phase = SmokePhase(label=label)
+    gpvw_before, safra_before = _derivation_counts()
+    config = ServerConfig(
+        port=0, store_path=store_path, window_ms=window_ms, executor=executor
+    )
+    handle = start_in_thread(config)
+    try:
+        with ServeClient.connect(port=handle.port) as client:
+            # Pipeline the whole workload: one window sees many requests.
+            ids = [client.send(req.verb, **req.params) for req in requests]
+            for req, request_id in zip(requests, ids):
+                frame = client.recv_for(request_id)
+                phase.requests += 1
+                if not frame.get("ok"):
+                    error = frame.get("error", {})
+                    phase.failures.append(
+                        f"{req.verb} {req.params}: [{error.get('code')}]"
+                        f" {error.get('message')}"
+                    )
+            stats = client.stats()
+        store = stats.get("store") or {}
+        phase.store_hits = store.get("hits", 0)
+        phase.store_misses = store.get("misses", 0)
+    finally:
+        handle.stop()
+    gpvw_after, safra_after = _derivation_counts()
+    phase.gpvw_runs = gpvw_after - gpvw_before
+    phase.safra_runs = safra_after - safra_before
+    return phase
+
+
+def run_smoke(
+    spec_path: str | Path,
+    store_path: str | Path,
+    *,
+    executor: str = "serial",
+    window_ms: float = 5.0,
+    hit_rate_floor: float = HIT_RATE_FLOOR,
+) -> SmokeReport:
+    """The two-phase restart-durability scenario (see module docstring)."""
+    requests = workload_from_spec(spec_path)
+    store_path = str(store_path)
+    cold = _run_phase(
+        "cold", requests, store_path, executor=executor, window_ms=window_ms
+    )
+    restart = _run_phase(
+        "restart", requests, store_path, executor=executor, window_ms=window_ms
+    )
+    problems: list[str] = []
+    for phase in (cold, restart):
+        for failure in phase.failures:
+            problems.append(f"{phase.label}: {failure}")
+    if restart.hit_rate < hit_rate_floor:
+        problems.append(
+            f"restart store hit rate {restart.hit_rate:.1%} below the"
+            f" {hit_rate_floor:.0%} floor"
+        )
+    if restart.store_hits == 0:
+        problems.append("restart phase had zero persistent-store hits")
+    if restart.gpvw_runs or restart.safra_runs:
+        problems.append(
+            f"restart re-derived work: {restart.gpvw_runs} GPVW translations,"
+            f" {restart.safra_runs} Safra determinizations (expected 0)"
+        )
+    return SmokeReport(phases=[cold, restart], problems=problems)

@@ -1,0 +1,135 @@
+"""Every user-causable CLI failure exits nonzero with one line on stderr.
+
+The contract (satellite of the serve PR): a formula that does not parse, a
+missing file, a refused connection — none of them may print a traceback.
+Each subcommand's failure path is exercised through ``main()`` directly.
+"""
+
+import socket
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out, err = capsys.readouterr()
+    return code, out, err
+
+
+def assert_one_line_error(code, err):
+    assert code != 0
+    lines = err.strip().splitlines()
+    assert len(lines) == 1, f"expected one stderr line, got: {err!r}"
+    assert lines[0].startswith("error:")
+    assert "Traceback" not in err
+
+
+def closed_port() -> int:
+    """A port that was just bound and released — nothing listens on it."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestClassify:
+    def test_unparsable_formula(self, capsys):
+        code, _, err = run(capsys, "classify", "G (p ->")
+        assert_one_line_error(code, err)
+
+    def test_no_formula_no_batch(self, capsys):
+        code, _, err = run(capsys, "classify")
+        assert_one_line_error(code, err)
+
+    def test_batch_file_missing(self, capsys):
+        code, _, err = run(capsys, "classify", "--batch", "/no/such/spec.txt")
+        assert_one_line_error(code, err)
+
+    def test_remote_bad_address(self, capsys):
+        code, _, err = run(capsys, "classify", "G p", "--remote", "not-an-address")
+        assert_one_line_error(code, err)
+
+    def test_remote_connection_refused(self, capsys):
+        code, _, err = run(
+            capsys, "classify", "G p", "--remote", f"127.0.0.1:{closed_port()}"
+        )
+        assert_one_line_error(code, err)
+
+    def test_remote_without_formula(self, capsys):
+        code, _, err = run(capsys, "classify", "--remote", "127.0.0.1:7911")
+        assert_one_line_error(code, err)
+
+
+class TestOtherSubcommands:
+    def test_lint_unparsable_formula(self, capsys):
+        code, _, err = run(capsys, "lint", "G (p ->")
+        assert_one_line_error(code, err)
+
+    def test_automaton_unparsable_formula(self, capsys):
+        code, _, err = run(capsys, "automaton", "((((")
+        assert_one_line_error(code, err)
+
+    def test_omega_unparsable_expression(self, capsys):
+        code, _, err = run(capsys, "omega", "((((")
+        assert_one_line_error(code, err)
+
+    def test_engine_file_missing(self, capsys):
+        code, _, err = run(capsys, "engine", "/no/such/spec.txt")
+        assert_one_line_error(code, err)
+
+    def test_engine_bad_repeat(self, capsys):
+        code, _, err = run(capsys, "engine", "spec.txt", "--repeat", "0")
+        assert_one_line_error(code, err)
+
+    def test_trace_file_missing(self, capsys):
+        code, _, err = run(capsys, "trace", "/no/such/spec.txt")
+        assert_one_line_error(code, err)
+
+    def test_fuzz_bad_budget(self, capsys):
+        code, _, err = run(capsys, "fuzz", "--budget", "0")
+        assert_one_line_error(code, err)
+
+    def test_fuzz_unknown_oracle(self, capsys):
+        code, _, err = run(capsys, "fuzz", "--oracle", "nonsense")
+        assert_one_line_error(code, err)
+
+    def test_bench_unknown_kernel(self, capsys):
+        code, _, err = run(capsys, "bench", "--kernel", "nonsense")
+        assert_one_line_error(code, err)
+
+    def test_bench_bad_repeat(self, capsys):
+        code, _, err = run(capsys, "bench", "--repeat", "0")
+        assert_one_line_error(code, err)
+
+
+class TestServe:
+    def test_negative_window(self, capsys):
+        code, _, err = run(capsys, "serve", "--window-ms", "-1")
+        assert_one_line_error(code, err)
+
+    def test_zero_max_inflight(self, capsys):
+        code, _, err = run(capsys, "serve", "--max-inflight", "0")
+        assert_one_line_error(code, err)
+
+    def test_smoke_without_store(self, capsys):
+        code, _, err = run(capsys, "serve", "--smoke", "examples/hierarchy.spec")
+        assert_one_line_error(code, err)
+
+    def test_smoke_spec_missing(self, capsys, tmp_path):
+        code, _, err = run(
+            capsys,
+            "serve",
+            "--smoke",
+            "/no/such/spec.txt",
+            "--store",
+            str(tmp_path / "s.db"),
+        )
+        assert_one_line_error(code, err)
+
+
+class TestArgparseLevel:
+    def test_unknown_command(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code != 0

@@ -1,0 +1,144 @@
+"""Unit tests for the serve wire format: framing, validation, payloads."""
+
+import json
+
+import pytest
+
+from repro.core import classify_formula
+from repro.logic import parse_formula
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    parse_request,
+    render_payload,
+    report_payload,
+)
+
+
+def frame(**kwargs):
+    base = {"v": PROTOCOL_VERSION, "id": 1}
+    base.update(kwargs)
+    return base
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        original = frame(verb="classify", formula="G p")
+        assert decode_frame(encode_frame(original)) == original
+
+    def test_encode_is_one_line(self):
+        encoded = encode_frame(frame(verb="stats"))
+        assert encoded.endswith(b"\n")
+        assert encoded.count(b"\n") == 1
+
+    def test_not_json(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(b"this is not json\n")
+        assert excinfo.value.code == "bad-frame"
+        assert not excinfo.value.retryable
+
+    def test_not_an_object(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(b"[1, 2, 3]\n")
+        assert excinfo.value.code == "bad-frame"
+
+    def test_not_utf8(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(b"\xff\xfe{}\n")
+        assert excinfo.value.code == "bad-frame"
+
+    def test_oversized(self):
+        big = json.dumps({"v": 1, "formula": "p" * MAX_FRAME_BYTES}).encode()
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(big)
+        assert excinfo.value.code == "oversized"
+
+
+class TestParseRequest:
+    def test_classify_formula(self):
+        request = parse_request(frame(verb="classify", formula="G p"))
+        assert request.verb == "classify"
+        assert request.params["formula"] == "G p"
+        assert request.id == 1
+
+    def test_classify_expression(self):
+        request = parse_request(
+            frame(verb="classify", expression=".*b(ab)w", letters="ab")
+        )
+        assert request.params["expression"] == ".*b(ab)w"
+
+    def test_wrong_version(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request({"v": 99, "id": 1, "verb": "classify", "formula": "p"})
+        assert excinfo.value.code == "bad-frame"
+
+    def test_missing_version(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request({"id": 1, "verb": "stats"})
+        assert excinfo.value.code == "bad-frame"
+
+    def test_unknown_verb(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(frame(verb="determinize"))
+        assert excinfo.value.code == "unknown-verb"
+
+    def test_compound_id_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request({"v": 1, "id": [1, 2], "verb": "stats"})
+        assert excinfo.value.code == "bad-frame"
+
+    def test_classify_needs_exactly_one_subject(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(frame(verb="classify"))
+        assert excinfo.value.code == "bad-request"
+        with pytest.raises(ProtocolError):
+            parse_request(frame(verb="classify", formula="p", expression="a*"))
+
+    def test_bad_props_type(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(frame(verb="classify", formula="p", props="p,q"))
+        assert excinfo.value.code == "bad-request"
+
+    def test_stats_and_health_take_no_subject(self):
+        assert parse_request(frame(verb="stats")).params == {}
+        assert parse_request(frame(verb="health")).verb == "health"
+
+
+class TestResponses:
+    def test_ok_response(self):
+        response = ok_response(7, {"class": "safety"})
+        assert response["ok"] is True
+        assert response["id"] == 7
+        assert response["v"] == PROTOCOL_VERSION
+
+    def test_error_response_retryable_bit(self):
+        for code, retryable in ERROR_CODES.items():
+            response = error_response(None, code, "message")
+            assert response["ok"] is False
+            assert response["error"]["code"] == code
+            assert response["error"]["retryable"] is retryable
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            error_response(1, "no-such-code", "message")
+
+
+class TestPayloads:
+    def test_report_payload_is_json_safe(self):
+        report = classify_formula(parse_formula("G F p"))
+        payload = report_payload(report)
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["class"] == "recurrence"
+        assert "recurrence" in payload["memberships"]
+        assert payload["automaton"]["states"] >= 1
+
+    def test_render_payload_mentions_class(self):
+        report = classify_formula(parse_formula("F p"))
+        text = render_payload(report_payload(report))
+        assert "guarantee" in text

@@ -1,0 +1,114 @@
+"""Tests for the persistent result store: durability, version stamps, keys."""
+
+import sqlite3
+import threading
+
+from repro.engine.metrics import MetricsRegistry
+from repro.serve.store import PersistentStore, canonical_text, store_key
+
+
+class TestCanonicalKeys:
+    def test_frozenset_rendered_sorted(self):
+        assert canonical_text(frozenset({"b", "a"})) == canonical_text(
+            frozenset({"a", "b"})
+        )
+        assert canonical_text(frozenset({"a", "b"})) == '{"a","b"}'
+
+    def test_tuple_order_preserved(self):
+        assert canonical_text(("a", "b")) != canonical_text(("b", "a"))
+
+    def test_nested_structures(self):
+        key = canonical_text((frozenset({"q", "p"}), ("x",), 3))
+        assert key == '({"p","q"},("x",),3)' or key == '({"p","q"},("x"),3)'
+
+    def test_store_key_is_deterministic(self):
+        assert store_key("classify", "G p", ("p",)) == store_key(
+            "classify", "G p", ("p",)
+        )
+        assert store_key("classify", "G p") != store_key("explain", "G p")
+
+
+class TestPersistentStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        with PersistentStore(tmp_path / "s.db", metrics=MetricsRegistry()) as store:
+            key = store_key("classify", "G p")
+            assert store.get(key) is None
+            store.put(key, "classify", {"class": "safety"})
+            assert store.get(key) == {"class": "safety"}
+            stats = store.stats()
+            assert (stats.hits, stats.misses, stats.writes) == (1, 1, 1)
+
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "s.db"
+        key = store_key("classify", "F p")
+        with PersistentStore(path, metrics=MetricsRegistry()) as store:
+            store.put(key, "classify", {"class": "guarantee"})
+        with PersistentStore(path, metrics=MetricsRegistry()) as store:
+            assert store.get(key) == {"class": "guarantee"}
+            assert len(store) == 1
+
+    def test_version_mismatch_rejected_and_deleted(self, tmp_path):
+        path = tmp_path / "s.db"
+        key = store_key("classify", "G p")
+        with PersistentStore(
+            path, version="0.0.0-old", metrics=MetricsRegistry()
+        ) as old:
+            old.put(key, "classify", {"class": "safety"})
+        metrics = MetricsRegistry()
+        with PersistentStore(path, metrics=metrics) as store:
+            # Stale row: rejected, deleted, counted — then recomputable.
+            assert store.get(key) is None
+            assert len(store) == 0
+            assert store.stats().version_mismatches == 1
+            assert metrics.counter("serve.store.version_mismatch").value == 1
+            store.put(key, "classify", {"class": "safety"})
+            assert store.get(key) == {"class": "safety"}
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "s.db"
+        key = store_key("classify", "G p")
+        with PersistentStore(path, schema=99, metrics=MetricsRegistry()) as future:
+            future.put(key, "classify", {"class": "safety"})
+        with PersistentStore(path, metrics=MetricsRegistry()) as store:
+            assert store.get(key) is None
+            assert store.stats().version_mismatches == 1
+
+    def test_corrupt_payload_is_a_miss(self, tmp_path):
+        path = tmp_path / "s.db"
+        key = store_key("classify", "G p")
+        with PersistentStore(path, metrics=MetricsRegistry()) as store:
+            store.put(key, "classify", {"class": "safety"})
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE classifications SET payload = ? WHERE key = ?", ("{oops", key)
+        )
+        conn.commit()
+        conn.close()
+        metrics = MetricsRegistry()
+        with PersistentStore(path, metrics=metrics) as store:
+            assert store.get(key) is None
+            assert metrics.counter("serve.store.errors").value == 1
+
+    def test_concurrent_threads(self, tmp_path):
+        store = PersistentStore(tmp_path / "s.db", metrics=MetricsRegistry())
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(50):
+                    key = store_key("classify", f"f{worker_id % 4}-{i % 10}")
+                    if store.get(key) is None:
+                        store.put(key, "classify", {"w": worker_id, "i": i})
+            except Exception as error:  # pragma: no cover - failure detail
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(store) == 40
+        stats = store.stats()
+        assert stats.hits + stats.misses == 400
+        store.close()
