@@ -30,6 +30,11 @@ bench --obs [--out F]                 measure span-tracing overhead on the
                                       same kernels; gate it below 5%
 bench --serve [--out F] [--check F]   end-to-end service benchmark: rps and
                                       p50/p99 latency over a warm store
+bench --fleet [--out F] [--check F]   vectorized monitor fleet vs a scalar
+                                      monitor loop (streams·events/sec)
+monitor FORMULA --streams N           run a monitor fleet over JSONL event
+        [--stream F] [--backend B]    batches (file or stdin); exit 1 if any
+                                      stream ends VIOLATED
 zoo                                   print the canonical Figure-1 witnesses
 
 Global flags: ``--version``, ``--seed N`` (seeds ``random`` for
@@ -258,6 +263,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return _bench_obs(args)
     if args.serve:
         return _bench_serve(args)
+    if args.fleet:
+        return _bench_fleet(args)
     results = run_benchmarks(
         quick=args.quick, repeat=args.repeat, kernels=args.kernel or None
     )
@@ -344,6 +351,80 @@ def _bench_serve(args: argparse.Namespace) -> int:
             return 1
         print(f"no serve workload regressed more than 4x against {args.check}")
     return 0
+
+
+def _bench_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.fleet import (
+        regressions_against as fleet_regressions,
+        render_table as render_fleet_table,
+        report_json as fleet_report_json,
+        run_fleet_benchmarks,
+    )
+
+    results = run_fleet_benchmarks(
+        quick=args.quick, repeat=args.repeat, backend=args.backend
+    )
+    print(render_fleet_table(results))
+    if args.out:
+        report = fleet_report_json(results, quick=args.quick, repeat=args.repeat)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    if args.check:
+        try:
+            with open(args.check, encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read baseline {args.check}: {error}", file=sys.stderr)
+            return 1
+        failures = fleet_regressions(results, baseline)
+        for failure in failures:
+            print(f"regression: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"no fleet workload regressed more than 4x against {args.check}")
+    return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.fleet import MonitorFleet, run_stream
+    from repro.fleet.compile import CompiledMonitor, VIOLATED
+
+    if args.streams < 1:
+        print("error: --streams must be at least 1", file=sys.stderr)
+        return 2
+    if args.omega:
+        alphabet = Alphabet.from_letters(args.alphabet)
+        compiled = CompiledMonitor(
+            quotient_reduce(omega_language(args.formula, alphabet))
+        )
+    else:
+        compiled = CompiledMonitor.for_formula(
+            parse_formula(args.formula), _alphabet_from(args.props)
+        )
+    fleet = MonitorFleet(compiled, args.streams, backend=args.backend)
+    classification = compiled.classification()
+    print(
+        f"property:   {args.formula}  [{classification.canonical.value};"
+        f" can_violate={compiled.can_violate} can_satisfy={compiled.can_satisfy}]"
+    )
+
+    def per_batch(index: int, current: MonitorFleet) -> None:
+        print(f"batch {index:4d}: {current.counts().line()}")
+
+    callback = per_batch if args.per_batch else None
+    if args.stream == "-":
+        report = run_stream(fleet, sys.stdin, on_batch=callback)
+    else:
+        with open(args.stream, encoding="utf-8") as handle:
+            report = run_stream(fleet, handle, on_batch=callback)
+    print(report.render())
+    if args.verdicts:
+        marks = {0: "?", 1: "V", 2: "S"}
+        print("".join(marks[code] for code in fleet.verdict_codes()))
+    return 1 if report.counts.violated else 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -628,6 +709,17 @@ def main(argv: list[str] | None = None) -> int:
         help="benchmark the classification service end to end (rps, p50/p99)",
     )
     p_bench.add_argument(
+        "--fleet",
+        action="store_true",
+        help="benchmark the vectorized monitor fleet vs a scalar monitor loop",
+    )
+    p_bench.add_argument(
+        "--backend",
+        choices=["auto", "numpy", "pure"],
+        default="auto",
+        help="fleet backend for --fleet (default auto)",
+    )
+    p_bench.add_argument(
         "--limit",
         type=float,
         default=None,
@@ -649,6 +741,43 @@ def main(argv: list[str] | None = None) -> int:
     p_omega.add_argument("expression")
     p_omega.add_argument("--alphabet", default="ab", help="letters, e.g. 'abc'")
     p_omega.set_defaults(func=cmd_omega)
+
+    p_monitor = sub.add_parser(
+        "monitor", help="run a vectorized monitor fleet over JSONL event batches"
+    )
+    p_monitor.add_argument("formula", help="temporal formula (or ω-regex with --omega)")
+    p_monitor.add_argument("--props", help="comma-separated proposition universe")
+    p_monitor.add_argument(
+        "--omega",
+        action="store_true",
+        help="treat FORMULA as an ω-regular expression over --alphabet",
+    )
+    p_monitor.add_argument(
+        "--alphabet", default="ab", help="letters for --omega (default 'ab')"
+    )
+    p_monitor.add_argument(
+        "--streams", type=int, default=1, help="number of concurrent streams"
+    )
+    p_monitor.add_argument(
+        "--stream",
+        metavar="FILE",
+        default="-",
+        help="JSONL batch file, '-' for stdin (default)",
+    )
+    p_monitor.add_argument(
+        "--backend", choices=["auto", "numpy", "pure"], default="auto"
+    )
+    p_monitor.add_argument(
+        "--per-batch",
+        action="store_true",
+        help="print the verdict tally after every batch",
+    )
+    p_monitor.add_argument(
+        "--verdicts",
+        action="store_true",
+        help="print one character per stream at the end (V/S/?)",
+    )
+    p_monitor.set_defaults(func=cmd_monitor)
 
     p_zoo = sub.add_parser("zoo", help="print the canonical Figure-1 witnesses")
     p_zoo.set_defaults(func=cmd_zoo)

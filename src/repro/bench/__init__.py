@@ -7,6 +7,11 @@ quick variant and gates on :func:`repro.bench.fastpath.regressions_against`.
 :func:`repro.bench.obs.run_overhead_benchmarks` over the same workloads and
 writes ``BENCH_obs.json``, gating tracing overhead below
 :data:`repro.bench.obs.MAX_OVERHEAD`.
+``python -m repro bench --fleet`` runs
+:func:`repro.bench.fleet.run_fleet_benchmarks` (vectorized fleet vs scalar
+monitor loop, streams·events/sec) and writes ``BENCH_fleet.json``; the CI
+``fleet-smoke`` job gates with
+:func:`repro.bench.fleet.regressions_against`.
 """
 
 from repro.bench.fastpath import (
@@ -17,6 +22,7 @@ from repro.bench.fastpath import (
     report_json,
     run_benchmarks,
 )
+from repro.bench.fleet import FleetResult, run_fleet_benchmarks
 from repro.bench.obs import (
     MAX_OVERHEAD,
     ObsResult,
@@ -26,10 +32,12 @@ from repro.bench.obs import (
 
 __all__ = [
     "BENCHMARKS",
+    "FleetResult",
     "KernelResult",
     "MAX_OVERHEAD",
     "ObsResult",
     "overhead_failures",
+    "run_fleet_benchmarks",
     "regressions_against",
     "render_table",
     "report_json",

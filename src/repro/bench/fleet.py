@@ -1,0 +1,279 @@
+"""Fleet benchmark: streams·events/sec, vectorized fleet vs scalar loop.
+
+The workload the fleet exists for: one property, N concurrent streams, event
+batches arriving for all of them.  Per workload the harness compiles the
+property once, builds a :class:`repro.fleet.fleet.MonitorFleet` and a list
+of N scalar :class:`repro.core.monitor.PrefixMonitor`\\ s over the *same*
+compilation, and times both routes over identical batch sequences —
+interleaved, best-of-``repeat``, ``gc.collect()`` before every timed region
+(the :mod:`repro.bench.fastpath` methodology).  Every repeat re-checks that
+the two routes end with identical verdict vectors and positions before its
+timing is accepted.
+
+Two workloads:
+
+* ``aligned_rows``   — one symbol per stream per batch, rows arriving as
+  plain strings (the vectorized byte-LUT encode path); N=10 000 streams in
+  the full run, the size the ≥10× acceptance gate is stated at;
+* ``sparse_events``  — sparse columnar batches (ids + symbol string, the
+  JSONL ``{"ids": …, "symbols": …}`` shape) with duplicate stream ids,
+  exercising the occurrence-split gather rounds.
+
+The committed baseline is ``BENCH_fleet.json``; the CI ``fleet-smoke`` job
+re-runs a quick variant and gates with :func:`regressions_against`.  The
+gate gives speedups a 4× berth (like serve, unlike fastpath's 2×): the
+ratio is machine-free, but the scalar side is a pure-Python loop whose
+relative speed against numpy swings with the interpreter build.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import random
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.fleet.compile import CompiledMonitor
+from repro.fleet.fleet import MonitorFleet, scalar_monitors
+from repro.omega.omega_regex import omega_language
+from repro.words.alphabet import Alphabet
+
+SCHEMA = "repro-bench-fleet/1"
+
+#: Regression gate: a workload fails if its fleet/scalar speedup falls
+#: below baseline/FACTOR.
+GATE_FACTOR = 4.0
+
+#: The benchmark property: "at most one b" over Σ = {a, b} — a safety
+#: property whose VIOLATED region is reachable (second b) but not instant,
+#: so most streams stay live through the run and every step does real work.
+_EXPRESSION = "aw | a*baw"
+_LETTERS = "ab"
+
+_CHECKS_MSG = "fleet and scalar routes disagreed on benchmark workload"
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """One workload's interleaved timing: scalar loop vs fleet."""
+
+    workload: str
+    description: str
+    streams: int
+    events: int
+    scalar_ms: float
+    fleet_ms: float
+    backend: str
+
+    @property
+    def speedup(self) -> float:
+        return self.scalar_ms / self.fleet_ms if self.fleet_ms else 0.0
+
+    @property
+    def fleet_events_per_sec(self) -> float:
+        return self.events / (self.fleet_ms / 1e3) if self.fleet_ms else 0.0
+
+    @property
+    def scalar_events_per_sec(self) -> float:
+        return self.events / (self.scalar_ms / 1e3) if self.scalar_ms else 0.0
+
+    def as_json(self) -> dict:
+        return {
+            "description": self.description,
+            "streams": self.streams,
+            "events": self.events,
+            "backend": self.backend,
+            "scalar_ms": round(self.scalar_ms, 3),
+            "fleet_ms": round(self.fleet_ms, 3),
+            "fleet_events_per_sec": round(self.fleet_events_per_sec),
+            "speedup": round(self.speedup, 2),
+        }
+
+
+def _compiled() -> CompiledMonitor:
+    return CompiledMonitor(omega_language(_EXPRESSION, Alphabet.from_letters(_LETTERS)))
+
+
+def _aligned_batches(rng: random.Random, streams: int, batches: int) -> list[str]:
+    # b is rare (1 in 8) so a stream needs two hits to die: verdict vectors
+    # keep changing through the whole run instead of saturating on batch 1.
+    return [
+        "".join("b" if rng.random() < 0.125 else "a" for _ in range(streams))
+        for _ in range(batches)
+    ]
+
+
+def _sparse_batches(
+    rng: random.Random, streams: int, batches: int, events_per_batch: int
+) -> list[tuple[list[int], str]]:
+    # Columnar, exactly as the JSONL {"ids": …, "symbols": …} shape parses:
+    # ids as a plain list of ints, symbols as one string.
+    return [
+        (
+            [rng.randrange(streams) for _ in range(events_per_batch)],
+            "".join(
+                "b" if rng.random() < 0.125 else "a"
+                for _ in range(events_per_batch)
+            ),
+        )
+        for _ in range(batches)
+    ]
+
+
+def _agree(fleet: MonitorFleet, monitors) -> bool:
+    return fleet.verdicts() == [m.verdict for m in monitors] and fleet.positions() == [
+        m.position for m in monitors
+    ]
+
+
+def _time_routes(
+    fleet: MonitorFleet,
+    monitors,
+    run_fleet,
+    run_scalar,
+    repeat: int,
+    description: str,
+) -> tuple[float, float]:
+    """Best-of-``repeat`` per route, alternating routes run to run."""
+    best_scalar = best_fleet = float("inf")
+    for _ in range(repeat):
+        for monitor in monitors:
+            monitor.reset()
+        gc.collect()
+        start = time.perf_counter()
+        run_scalar()
+        best_scalar = min(best_scalar, time.perf_counter() - start)
+        fleet.reset()
+        gc.collect()
+        start = time.perf_counter()
+        run_fleet()
+        best_fleet = min(best_fleet, time.perf_counter() - start)
+        if not _agree(fleet, monitors):
+            raise AssertionError(f"{_CHECKS_MSG}: {description}")
+    return best_scalar * 1e3, best_fleet * 1e3
+
+
+def _aligned_workload(quick: bool, repeat: int, backend: str) -> FleetResult:
+    streams = 2_000 if quick else 10_000
+    batches = 10 if quick else 25
+    rows = _aligned_batches(random.Random(7), streams, batches)
+    compiled = _compiled()
+    fleet = MonitorFleet(compiled, streams, backend=backend)
+    monitors = scalar_monitors(compiled, streams)
+    description = f"{batches} aligned string rows × {streams} streams"
+
+    def run_fleet() -> None:
+        for row in rows:
+            fleet.step_aligned(row)
+
+    def run_scalar() -> None:
+        for row in rows:
+            for monitor, symbol in zip(monitors, row):
+                monitor.step(symbol)
+
+    scalar_ms, fleet_ms = _time_routes(
+        fleet, monitors, run_fleet, run_scalar, repeat, description
+    )
+    return FleetResult(
+        workload="aligned_rows",
+        description=description,
+        streams=streams,
+        events=streams * batches,
+        scalar_ms=scalar_ms,
+        fleet_ms=fleet_ms,
+        backend=fleet.backend,
+    )
+
+
+def _sparse_workload(quick: bool, repeat: int, backend: str) -> FleetResult:
+    streams = 2_000 if quick else 10_000
+    batches = 10 if quick else 25
+    per_batch = streams // 2  # duplicates are likely; that is the point
+    event_batches = _sparse_batches(random.Random(11), streams, batches, per_batch)
+    compiled = _compiled()
+    fleet = MonitorFleet(compiled, streams, backend=backend)
+    monitors = scalar_monitors(compiled, streams)
+    description = (
+        f"{batches} sparse batches × {per_batch} events over {streams} streams"
+    )
+
+    def run_fleet() -> None:
+        for ids, symbols in event_batches:
+            fleet.step_events_columns(ids, symbols)
+
+    def run_scalar() -> None:
+        for ids, symbols in event_batches:
+            for stream, symbol in zip(ids, symbols):
+                monitors[stream].step(symbol)
+
+    scalar_ms, fleet_ms = _time_routes(
+        fleet, monitors, run_fleet, run_scalar, repeat, description
+    )
+    return FleetResult(
+        workload="sparse_events",
+        description=description,
+        streams=streams,
+        events=batches * per_batch,
+        scalar_ms=scalar_ms,
+        fleet_ms=fleet_ms,
+        backend=fleet.backend,
+    )
+
+
+def run_fleet_benchmarks(
+    *, quick: bool = False, repeat: int = 3, backend: str = "auto"
+) -> list[FleetResult]:
+    """Time both fleet workloads against the scalar monitor loop."""
+    return [
+        _aligned_workload(quick, repeat, backend),
+        _sparse_workload(quick, repeat, backend),
+    ]
+
+
+def regressions_against(
+    results: Sequence[FleetResult], baseline: Mapping, *, factor: float = GATE_FACTOR
+) -> list[str]:
+    """Workloads whose speedup fell below ``baseline/factor`` — the CI gate."""
+    failures = []
+    workloads = baseline.get("workloads", {})
+    for result in results:
+        entry = workloads.get(result.workload)
+        if entry is None:
+            continue
+        floor = entry.get("speedup", 0.0) / factor
+        if result.speedup < floor:
+            failures.append(
+                f"{result.workload}: speedup {result.speedup:.2f}x fell below"
+                f" {floor:.2f}x (baseline {entry['speedup']:.2f}x / {factor:g})"
+            )
+    return failures
+
+
+def report_json(results: Sequence[FleetResult], *, quick: bool, repeat: int) -> str:
+    payload = {
+        "schema": SCHEMA,
+        "command": f"python -m repro bench --fleet{' --quick' if quick else ''}"
+        f" --repeat {repeat}",
+        "quick": quick,
+        "repeat": repeat,
+        "gate_factor": GATE_FACTOR,
+        "property": f"{_EXPRESSION} over {_LETTERS}",
+        "workloads": {result.workload: result.as_json() for result in results},
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def render_table(results: Sequence[FleetResult]) -> str:
+    lines = [
+        f"{'workload':16s} {'streams':>8s} {'events':>9s} {'scalar':>11s}"
+        f" {'fleet':>11s} {'speedup':>8s} {'events/s':>12s}"
+    ]
+    for result in results:
+        lines.append(
+            f"{result.workload:16s} {result.streams:>8d} {result.events:>9d}"
+            f" {result.scalar_ms:>9.2f}ms {result.fleet_ms:>9.2f}ms"
+            f" {result.speedup:>7.2f}x {result.fleet_events_per_sec:>12,.0f}"
+        )
+    return "\n".join(lines)

@@ -17,16 +17,31 @@ The hierarchy predicts the monitor's power, and the test suite verifies it:
 * guarantee Π:  every satisfying word has a finite SATISFIED witness;
 * clopen Π:     every word reaches a final verdict;
 * recurrence/persistence Π may stay PENDING forever (non-monitorable tail).
+
+A :class:`PrefixMonitor` is the N=1 view of the fleet compiler: it holds
+one stream state over a :class:`repro.fleet.compile.CompiledMonitor`, the
+same dense transition table and per-state verdict codes that
+:class:`repro.fleet.fleet.MonitorFleet` steps for a million streams at
+once.  The qa ``fleet`` oracle holds the two views to identical verdict
+vectors.
+
+Unknown-symbol contract: :meth:`PrefixMonitor.step` with a symbol outside
+the property's alphabet raises :class:`repro.errors.AlphabetError` and
+leaves the monitor unchanged — state, verdict and ``position`` all keep
+their pre-step values (see :mod:`repro.fleet.compile`).
 """
 
 from __future__ import annotations
 
 from enum import Enum
+from typing import TYPE_CHECKING
 
 from repro.logic.ast import Formula
 from repro.omega.automaton import DetAutomaton
-from repro.omega.emptiness import nonempty_states
 from repro.words.alphabet import Alphabet, Symbol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fleet imports us)
+    from repro.fleet.compile import CompiledMonitor
 
 
 class Verdict3(Enum):
@@ -49,14 +64,15 @@ class PrefixMonitor:
         *,
         live: frozenset[int] | None = None,
         colive: frozenset[int] | None = None,
+        compiled: CompiledMonitor | None = None,
     ) -> None:
-        self.automaton = automaton
-        self._live = nonempty_states(automaton) if live is None else live
-        self._colive = (
-            nonempty_states(automaton.complement()) if colive is None else colive
-        )
-        self._state = automaton.initial
-        self._history: list[Symbol] = []
+        if compiled is None:
+            from repro.fleet.compile import CompiledMonitor
+
+            compiled = CompiledMonitor(automaton, live=live, colive=colive)
+        self._compiled = compiled
+        self._state = compiled.initial
+        self._position = 0
 
     @classmethod
     def for_formula(
@@ -68,25 +84,33 @@ class PrefixMonitor:
     ) -> PrefixMonitor:
         """Build a monitor for a formula.
 
-        With ``use_cache`` (the default) the compilation and the residual
-        live/colive analyses go through the engine's caches, so a fleet of
-        monitors for the same property shares one construction.
+        With ``use_cache`` (the default) the whole compilation — automaton,
+        both residual analyses, and the dense table — goes through the
+        engine's locked ``monitor_compiled`` cache, so a fleet of monitors
+        for the same property (even built concurrently from many threads)
+        shares one construction.
         """
-        if use_cache:
-            from repro.engine.cache import (
-                cached_formula_to_automaton,
-                cached_nonempty_states,
-            )
+        from repro.fleet.compile import CompiledMonitor
 
-            automaton = cached_formula_to_automaton(formula, alphabet)
-            return cls(
-                automaton,
-                live=cached_nonempty_states(automaton),
-                colive=cached_nonempty_states(automaton.complement()),
-            )
-        from repro.core.classifier import formula_to_automaton
+        compiled = CompiledMonitor.for_formula(formula, alphabet, use_cache=use_cache)
+        return cls(compiled.automaton, compiled=compiled)
 
-        return cls(formula_to_automaton(formula, alphabet))
+    @property
+    def compiled(self) -> CompiledMonitor:
+        """The shared compilation this monitor is the N=1 view of."""
+        return self._compiled
+
+    @property
+    def automaton(self) -> DetAutomaton:
+        return self._compiled.automaton
+
+    @property
+    def _live(self) -> frozenset[int]:
+        return self._compiled.live
+
+    @property
+    def _colive(self) -> frozenset[int]:
+        return self._compiled.colive
 
     @property
     def state(self) -> int:
@@ -97,17 +121,13 @@ class PrefixMonitor:
 
     @property
     def verdict(self) -> Verdict3:
-        dead = self._state not in self._live
-        codead = self._state not in self._colive
-        if dead:
-            return Verdict3.VIOLATED
-        if codead:
-            return Verdict3.SATISFIED
-        return Verdict3.PENDING
+        return self._compiled.verdict_at(self._state)
 
     def step(self, symbol: Symbol) -> Verdict3:
-        self._state = self.automaton.step(self._state, symbol)
-        self._history.append(symbol)
+        # index_of validates first, so an unknown symbol raises before any
+        # mutation and the monitor is left exactly as it was.
+        self._state = self._compiled.step(self._state, symbol)
+        self._position += 1
         return self.verdict
 
     def feed(self, symbols) -> Verdict3:
@@ -116,12 +136,12 @@ class PrefixMonitor:
         return self.verdict
 
     def reset(self) -> None:
-        self._state = self.automaton.initial
-        self._history.clear()
+        self._state = self._compiled.initial
+        self._position = 0
 
     @property
     def position(self) -> int:
-        return len(self._history)
+        return self._position
 
     # ------------------------------------------------------------- analysis
 

@@ -196,6 +196,7 @@ class CacheBank:
         "dfa_minimal": 256,
         "nonempty": 512,
         "omega_expression": 256,
+        "monitor_compiled": 256,
     }
 
     def __init__(self, capacities: dict[str, int] | None = None) -> None:

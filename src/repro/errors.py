@@ -56,3 +56,7 @@ class UnsupportedFragmentError(ReproError):
 
 class ClassificationError(ReproError):
     """A classification query could not be answered."""
+
+
+class MonitorError(ReproError):
+    """A monitor stream is malformed (bad JSONL batch line, bad payload)."""

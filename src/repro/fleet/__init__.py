@@ -1,0 +1,62 @@
+"""Vectorized monitor fleets: one property, compiled once, N streams.
+
+The paper decides the lower hierarchy on *prefixes* — a safety violation
+and a guarantee satisfaction are both witnessed by a finite prefix — which
+is exactly what a runtime monitor exploits.  This package scales that
+machinery from one stream to millions:
+
+* :class:`~repro.fleet.compile.CompiledMonitor` — a property (formula or
+  deterministic ω-automaton) compiled **once** into a flat dense transition
+  table plus a per-state verdict code array (the live/colive analysis baked
+  in);
+* :class:`~repro.fleet.fleet.MonitorFleet` — N concurrent stream states as
+  one integer array, stepped per event batch with a single gather
+  (``table[states, symbols]``), verdicts extracted as vectorized sticky
+  masks; a pure-Python fallback runs everywhere numpy does not;
+* :mod:`~repro.fleet.stream` — the JSONL event-batch format behind
+  ``python -m repro monitor`` and the stream driver with obs spans.
+
+:class:`repro.core.monitor.PrefixMonitor` is the N=1 view of the same
+compiler — both run the same table and the same verdict codes, and the qa
+``fleet`` oracle holds them to bit-identical verdict vectors.
+
+See ``docs/MONITORING.md`` for the API, the stream format, and the verdict
+semantics per hierarchy class.
+"""
+
+from repro.fleet.compile import (
+    CODE_TO_VERDICT,
+    HAVE_NUMPY,
+    PENDING,
+    SATISFIED,
+    VIOLATED,
+    CompiledMonitor,
+)
+from repro.fleet.fleet import FleetCounts, MonitorFleet
+from repro.fleet.stream import (
+    Batch,
+    StreamReport,
+    apply_batch,
+    parse_batch,
+    run_stream,
+    symbol_from_json,
+    symbol_to_json,
+)
+
+__all__ = [
+    "Batch",
+    "CODE_TO_VERDICT",
+    "CompiledMonitor",
+    "FleetCounts",
+    "HAVE_NUMPY",
+    "MonitorFleet",
+    "PENDING",
+    "SATISFIED",
+    "StreamReport",
+    "VIOLATED",
+    "apply_batch",
+    "parse_batch",
+    "run_stream",
+    "symbol_from_json",
+    "symbol_to_json",
+]

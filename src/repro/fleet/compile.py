@@ -1,0 +1,286 @@
+"""Compile a property once into a dense monitor table.
+
+A :class:`CompiledMonitor` is everything a prefix monitor needs, flattened
+into arrays indexed by small ints:
+
+* ``table`` — the complete deterministic transition structure as one flat
+  row-major list of ``n·|Σ|`` ints (:func:`repro.fastpath.tables.flat_table`);
+* ``verdict_codes`` — one code per state from the residual-language
+  analysis: ``VIOLATED`` where the residual is empty (no extension can
+  satisfy Π), ``SATISFIED`` where the residual complement is empty (every
+  extension satisfies Π), ``PENDING`` elsewhere.  The two decided regions
+  are successor-closed, so a verdict read off the current state is
+  automatically sticky.
+
+Compilation is the expensive part (formula → NBA → Safra → residual
+emptiness twice); stepping is two array reads per event.  One compiled
+object therefore serves any number of monitors — the scalar
+:class:`repro.core.monitor.PrefixMonitor` holds one stream state over it,
+a :class:`repro.fleet.fleet.MonitorFleet` holds a million.
+
+The ``for_formula`` compile cache is a locked
+:class:`repro.engine.cache.LRUCache` (the ``monitor_compiled`` bank entry),
+so concurrent fleets for the same property share one construction; the
+concurrency stress tests in ``tests/test_monitor_concurrency.py`` hammer
+exactly this seam.
+
+Unknown-symbol contract
+-----------------------
+
+Stepping with a symbol outside the property's alphabet raises
+:class:`repro.errors.AlphabetError` naming the symbol, and the monitor or
+fleet is left **unchanged** (state, verdicts and positions all keep their
+pre-step values).  Symbols are validated before any state mutation; there
+is no implicit ``KeyError`` and no partial batch application.
+"""
+
+from __future__ import annotations
+
+from repro.core.monitor import Verdict3
+from repro.engine.metrics import METRICS
+from repro.errors import AlphabetError
+from repro.fastpath.tables import flat_table
+from repro.obs.spans import span
+from repro.omega.automaton import DetAutomaton
+from repro.omega.emptiness import nonempty_states
+from repro.words.alphabet import Alphabet, Symbol
+
+try:  # pragma: no cover - exercised implicitly by every numpy-backend test
+    import numpy as _np
+except ImportError:  # pragma: no cover - container without numpy
+    _np = None
+
+#: Whether the vectorized fleet backend may be used at all.
+HAVE_NUMPY = _np is not None
+
+#: Verdict codes, chosen so a fresh ``zeros`` array means "all pending".
+PENDING, VIOLATED, SATISFIED = 0, 1, 2
+
+#: Code → the scalar monitor's enum (index = code).
+CODE_TO_VERDICT = (Verdict3.PENDING, Verdict3.VIOLATED, Verdict3.SATISFIED)
+
+
+class CompiledMonitor:
+    """One property, compiled once, ready to step any number of streams."""
+
+    __slots__ = (
+        "automaton",
+        "live",
+        "colive",
+        "num_states",
+        "num_symbols",
+        "table",
+        "verdict_codes",
+        "np_table",
+        "np_verdicts",
+        "_byte_lut",
+        "_np_byte_lut",
+        "_classification",
+    )
+
+    def __init__(
+        self,
+        automaton: DetAutomaton,
+        *,
+        live: frozenset[int] | None = None,
+        colive: frozenset[int] | None = None,
+    ) -> None:
+        with span("fleet.compile", states=automaton.num_states):
+            self.automaton = automaton
+            self.live = nonempty_states(automaton) if live is None else live
+            self.colive = (
+                nonempty_states(automaton.complement()) if colive is None else colive
+            )
+            self.num_states = automaton.num_states
+            self.num_symbols = len(automaton.alphabet)
+            self.table: list[int] = flat_table(automaton._delta)  # noqa: SLF001
+            # Dead beats codead, matching the scalar verdict order (a state
+            # can never be both: the two residuals cannot both be empty).
+            self.verdict_codes: list[int] = [
+                VIOLATED
+                if state not in self.live
+                else SATISFIED
+                if state not in self.colive
+                else PENDING
+                for state in range(self.num_states)
+            ]
+            # Single-character string alphabets (the language-theoretic view)
+            # get a 256-entry byte lookup table, so a whole row arriving as a
+            # string encodes with one vectorized gather instead of one dict
+            # probe per stream.
+            lut: list[int] | None = [-1] * 256
+            for index, symbol in enumerate(automaton.alphabet):
+                if isinstance(symbol, str) and len(symbol) == 1 and ord(symbol) < 256:
+                    lut[ord(symbol)] = index
+                else:
+                    lut = None
+                    break
+            self._byte_lut = lut
+            # The numpy twins are built eagerly: lazy initialization would
+            # need its own lock once fleets step from worker threads.
+            if HAVE_NUMPY:
+                self.np_table = _np.asarray(self.table, dtype=_np.int64).reshape(
+                    self.num_states, self.num_symbols
+                )
+                self.np_verdicts = _np.asarray(self.verdict_codes, dtype=_np.int8)
+                self._np_byte_lut = (
+                    _np.asarray(lut, dtype=_np.int64) if lut is not None else None
+                )
+            else:
+                self.np_table = None
+                self.np_verdicts = None
+                self._np_byte_lut = None
+            self._classification = None
+            METRICS.counter("fleet.compile").inc()
+
+    # ------------------------------------------------------------- construction
+
+    @classmethod
+    def for_formula(
+        cls,
+        formula,
+        alphabet: Alphabet | None = None,
+        *,
+        use_cache: bool = True,
+    ) -> CompiledMonitor:
+        """Compile a formula, sharing one construction per ``(φ, Σ)``.
+
+        With ``use_cache`` (the default) the automaton, both residual
+        analyses and the compiled table itself go through the engine's
+        locked caches, so a fleet of monitors for the same property — even
+        built concurrently from many threads — shares one compilation.
+        """
+        if use_cache:
+            from repro.engine.cache import (
+                CACHES,
+                cached_formula_to_automaton,
+                cached_nonempty_states,
+                formula_key,
+            )
+            from repro.core.classifier import default_alphabet
+
+            alphabet = alphabet or default_alphabet(formula)
+            cache = CACHES.cache("monitor_compiled")
+
+            def compute() -> CompiledMonitor:
+                automaton = cached_formula_to_automaton(formula, alphabet)
+                return cls(
+                    automaton,
+                    live=cached_nonempty_states(automaton),
+                    colive=cached_nonempty_states(automaton.complement()),
+                )
+
+            return cache.get_or_compute(formula_key(formula, alphabet), compute)
+        from repro.core.classifier import formula_to_automaton
+
+        return cls(formula_to_automaton(formula, alphabet))
+
+    # ------------------------------------------------------------------ stepping
+
+    @property
+    def initial(self) -> int:
+        return self.automaton.initial
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return self.automaton.alphabet
+
+    def index_of(self, symbol: Symbol) -> int:
+        """The symbol's column index; :class:`AlphabetError` when unknown."""
+        return self.automaton.alphabet.index(symbol)
+
+    def step(self, state: int, symbol: Symbol) -> int:
+        """One scalar transition through the flat table."""
+        return self.table[state * self.num_symbols + self.index_of(symbol)]
+
+    def verdict_code(self, state: int) -> int:
+        return self.verdict_codes[state]
+
+    def verdict_at(self, state: int) -> Verdict3:
+        return CODE_TO_VERDICT[self.verdict_codes[state]]
+
+    # ------------------------------------------------------------------ encoding
+
+    def encode_row(self, row):
+        """Encode a row of symbols (one per stream) into column indices.
+
+        A plain string over a single-character alphabet is the fast path:
+        one vectorized byte-table gather for the whole row.  Any other
+        sequence encodes symbol by symbol.  Unknown symbols raise
+        :class:`AlphabetError` before anything is mutated.
+        """
+        if (
+            isinstance(row, str)
+            and self._byte_lut is not None
+            and self._np_byte_lut is not None
+        ):
+            try:
+                raw = _np.frombuffer(row.encode("latin-1"), dtype=_np.uint8)
+            except UnicodeEncodeError:
+                raw = None  # non-latin-1 char: let the slow path name it
+            if raw is not None:
+                codes = self._np_byte_lut[raw]
+                if (codes < 0).any():
+                    bad = row[int(_np.argmax(codes < 0))]
+                    raise AlphabetError(
+                        f"symbol {bad!r} not in alphabet {self.automaton.alphabet}"
+                    )
+                return codes
+        if (
+            isinstance(row, (list, tuple))
+            and self._byte_lut is not None
+            and self._np_byte_lut is not None
+        ):
+            # A sequence of single-character symbols joins into a string at
+            # C speed; the length check proves every element was exactly one
+            # character, so the vectorized string path above applies.
+            try:
+                joined = "".join(row)
+            except TypeError:
+                joined = None
+            if joined is not None and len(joined) == len(row):
+                return self.encode_row(joined)
+        if isinstance(row, str) and self._byte_lut is not None:
+            lut = self._byte_lut
+            codes = []
+            for char in row:
+                code = lut[ord(char)] if ord(char) < 256 else -1
+                if code < 0:
+                    raise AlphabetError(
+                        f"symbol {char!r} not in alphabet {self.automaton.alphabet}"
+                    )
+                codes.append(code)
+            return codes
+        return [self.index_of(symbol) for symbol in row]
+
+    # ------------------------------------------------------------------ analysis
+
+    @property
+    def can_violate(self) -> bool:
+        """Is a finite VIOLATED witness reachable at all?"""
+        return any(s not in self.live for s in self.automaton.reachable)
+
+    @property
+    def can_satisfy(self) -> bool:
+        """Is a finite SATISFIED witness reachable at all?"""
+        return any(s not in self.colive for s in self.automaton.reachable)
+
+    def classification(self):
+        """The property's hierarchy verdict (computed lazily, then kept).
+
+        Safety properties can only ever add VIOLATED verdicts, guarantee
+        properties only SATISFIED ones, clopen properties always decide;
+        see ``docs/MONITORING.md`` for the full table.
+        """
+        if self._classification is None:
+            from repro.omega.classify import classify
+
+            self._classification = classify(self.automaton)
+        return self._classification
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledMonitor(states={self.num_states},"
+            f" symbols={self.num_symbols},"
+            f" decided={sum(1 for c in self.verdict_codes if c != PENDING)})"
+        )

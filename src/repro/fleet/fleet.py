@@ -1,0 +1,350 @@
+"""N concurrent monitored streams stepped as one array operation.
+
+A :class:`MonitorFleet` holds the states of ``num_streams`` independent
+prefix monitors for **one** compiled property.  Per event batch it performs
+a single gather — ``table[states, symbols]`` on the numpy backend, one flat
+list read per stream on the pure-Python fallback — and folds the per-state
+verdict codes into a sticky verdict vector: once a stream leaves PENDING
+its verdict never changes, exactly matching
+:class:`repro.core.monitor.Verdict3` semantics (the qa ``fleet`` oracle
+holds the two implementations to identical vectors at every batch
+boundary).
+
+Batch shapes
+------------
+
+* :meth:`step_broadcast` — one symbol, every stream;
+* :meth:`step_aligned` — one symbol **per** stream (a row; a plain string
+  over a single-character alphabet is the vectorized fast path);
+* :meth:`step_events` — a sparse batch of ``(stream, symbol)`` pairs.  A
+  stream may appear several times in one batch; its events apply in list
+  order (the batch is split into gather rounds by occurrence index);
+* :meth:`step_events_columns` — the same sparse batch as two parallel
+  columns (ids + symbols).  This is the high-throughput form: a string of
+  symbols encodes with one vectorized gather and no per-event Python
+  objects ever exist.
+
+All three validate symbols and stream ids **before** mutating anything, so
+a failed batch leaves the fleet untouched (see the unknown-symbol contract
+in :mod:`repro.fleet.compile`).
+
+Backends
+--------
+
+``backend="auto"`` (the default) picks numpy when importable, else the
+pure-Python fallback; ``"numpy"``/``"pure"`` force one (forcing numpy
+without numpy installed raises ``ValueError``).  Both backends are
+exercised against each other by the differential oracle whenever numpy is
+present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.monitor import Verdict3
+from repro.engine.metrics import METRICS
+from repro.fleet.compile import (
+    CODE_TO_VERDICT,
+    HAVE_NUMPY,
+    PENDING,
+    SATISFIED,
+    VIOLATED,
+    CompiledMonitor,
+)
+from repro.words.alphabet import Symbol
+
+if HAVE_NUMPY:  # pragma: no branch - module-level constant
+    import numpy as _np
+
+_BACKENDS = ("auto", "numpy", "pure")
+
+
+@dataclass(frozen=True, slots=True)
+class FleetCounts:
+    """How many streams sit in each verdict region right now."""
+
+    violated: int
+    satisfied: int
+    pending: int
+
+    @property
+    def total(self) -> int:
+        return self.violated + self.satisfied + self.pending
+
+    def line(self) -> str:
+        return (
+            f"violated={self.violated} satisfied={self.satisfied}"
+            f" pending={self.pending}"
+        )
+
+
+class MonitorFleet:
+    """One compiled property monitoring ``num_streams`` concurrent streams."""
+
+    def __init__(
+        self,
+        compiled: CompiledMonitor,
+        num_streams: int,
+        *,
+        backend: str = "auto",
+    ) -> None:
+        if num_streams < 1:
+            raise ValueError("a fleet needs at least one stream")
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        if backend == "numpy" and not HAVE_NUMPY:
+            raise ValueError("numpy backend requested but numpy is not importable")
+        self.compiled = compiled
+        self.num_streams = num_streams
+        self.backend = (
+            ("numpy" if HAVE_NUMPY else "pure") if backend == "auto" else backend
+        )
+        self.batches_seen = 0
+        self.events_seen = 0
+        self._init_state()
+        METRICS.counter("fleet.fleets").inc()
+
+    def _init_state(self) -> None:
+        initial = self.compiled.initial
+        code = self.compiled.verdict_codes[initial]
+        if self.backend == "numpy":
+            self._states = _np.full(self.num_streams, initial, dtype=_np.int64)
+            self._verdicts = _np.full(self.num_streams, code, dtype=_np.int8)
+            self._positions = _np.zeros(self.num_streams, dtype=_np.int64)
+        else:
+            self._states = [initial] * self.num_streams
+            self._verdicts = [code] * self.num_streams
+            self._positions = [0] * self.num_streams
+
+    @classmethod
+    def for_formula(
+        cls,
+        formula,
+        num_streams: int,
+        alphabet=None,
+        *,
+        backend: str = "auto",
+        use_cache: bool = True,
+    ) -> MonitorFleet:
+        return cls(
+            CompiledMonitor.for_formula(formula, alphabet, use_cache=use_cache),
+            num_streams,
+            backend=backend,
+        )
+
+    # ---------------------------------------------------------------- stepping
+
+    def step_broadcast(self, symbol: Symbol) -> None:
+        """Feed the same symbol to every stream."""
+        column = self.compiled.index_of(symbol)
+        if self.backend == "numpy":
+            self._states = self.compiled.np_table[self._states, column]
+            self._positions += 1
+            self._sticky_update_all()
+        else:
+            table, k = self.compiled.table, self.compiled.num_symbols
+            self._states = [table[s * k + column] for s in self._states]
+            self._positions = [p + 1 for p in self._positions]
+            self._sticky_update_all()
+        self._count_batch(self.num_streams)
+
+    def step_aligned(self, row) -> None:
+        """Feed one symbol per stream (``len(row) == num_streams``)."""
+        if len(row) != self.num_streams:
+            raise ValueError(
+                f"aligned row has {len(row)} symbols for {self.num_streams} streams"
+            )
+        columns = self.compiled.encode_row(row)
+        if self.backend == "numpy":
+            columns = _np.asarray(columns, dtype=_np.int64)
+            self._states = self.compiled.np_table[self._states, columns]
+            self._positions += 1
+            self._sticky_update_all()
+        else:
+            table, k = self.compiled.table, self.compiled.num_symbols
+            self._states = [
+                table[s * k + c] for s, c in zip(self._states, columns)
+            ]
+            self._positions = [p + 1 for p in self._positions]
+            self._sticky_update_all()
+        self._count_batch(self.num_streams)
+
+    def step_events(self, events: Sequence[tuple[int, Symbol]]) -> None:
+        """Apply a sparse batch of ``(stream, symbol)`` events.
+
+        Events for one stream apply in list order; different streams are
+        independent.  An empty batch is a no-op that still counts as a
+        batch.  Everything is validated before any mutation.
+        """
+        if not len(events):
+            self._count_batch(0)
+            return
+        # zip(*) unzips at C speed; the columnar path takes it from there.
+        raw_ids, symbols = zip(*events)
+        self.step_events_columns(raw_ids, symbols)
+
+    def step_events_columns(self, ids, symbols) -> None:
+        """Apply a sparse batch given as parallel columns.
+
+        ``ids`` is a sequence of stream indices, ``symbols`` the matching
+        sequence of symbols (a plain string over a single-character
+        alphabet is the vectorized fast path — this is the high-throughput
+        wire format, skipping per-event Python objects entirely).  Same
+        ordering and validation semantics as :meth:`step_events`.
+        """
+        if len(ids) != len(symbols):
+            raise ValueError(
+                f"columnar batch has {len(ids)} ids for {len(symbols)} symbols"
+            )
+        if not len(ids):
+            self._count_batch(0)
+            return
+        if self.backend == "numpy":
+            try:
+                id_array = _np.fromiter(ids, dtype=_np.int64, count=len(ids))
+            except (TypeError, ValueError):
+                id_array = _np.asarray([int(s) for s in ids], dtype=_np.int64)
+            out_of_range = (id_array < 0) | (id_array >= self.num_streams)
+            if out_of_range.any():
+                bad = int(id_array[int(_np.argmax(out_of_range))])
+                raise ValueError(
+                    f"stream id {bad} out of range for fleet of {self.num_streams}"
+                )
+            columns = _np.asarray(
+                self.compiled.encode_row(symbols), dtype=_np.int64
+            )
+            self._apply_events_numpy(id_array, columns)
+            self._count_batch(len(ids))
+            return
+        ids_list: list[int] = []
+        columns_list: list[int] = []
+        for stream, symbol in zip(ids, symbols):
+            if not 0 <= stream < self.num_streams:
+                raise ValueError(
+                    f"stream id {stream} out of range for fleet of {self.num_streams}"
+                )
+            ids_list.append(stream)
+            columns_list.append(self.compiled.index_of(symbol))
+        self._apply_events_pure(ids_list, columns_list)
+        self._count_batch(len(ids_list))
+
+    # ------------------------------------------------------------ numpy kernels
+
+    def _sticky_update_all(self) -> None:
+        if self.backend == "numpy":
+            fresh = self.compiled.np_verdicts[self._states]
+            _np.copyto(self._verdicts, fresh, where=self._verdicts == PENDING)
+        else:
+            codes = self.compiled.verdict_codes
+            self._verdicts = [
+                v if v != PENDING else codes[s]
+                for v, s in zip(self._verdicts, self._states)
+            ]
+
+    def _apply_events_numpy(self, ids, columns) -> None:
+        # Occurrence split: the r-th event of each stream lands in round r,
+        # so one stream's repeated events apply in order while every round
+        # remains a single duplicate-free gather.
+        order = _np.argsort(ids, kind="stable")
+        sorted_ids = ids[order]
+        arange = _np.arange(ids.size, dtype=_np.int64)
+        group_start = _np.empty(ids.size, dtype=bool)
+        group_start[0] = True
+        group_start[1:] = sorted_ids[1:] != sorted_ids[:-1]
+        anchors = _np.maximum.accumulate(_np.where(group_start, arange, 0))
+        occurrence = _np.empty(ids.size, dtype=_np.int64)
+        occurrence[order] = arange - anchors
+        table, verdicts = self.compiled.np_table, self.compiled.np_verdicts
+        for round_index in range(int(occurrence.max()) + 1):
+            pick = occurrence == round_index
+            touched = ids[pick]
+            self._states[touched] = table[self._states[touched], columns[pick]]
+            fresh = verdicts[self._states[touched]]
+            current = self._verdicts[touched]
+            self._verdicts[touched] = _np.where(
+                current == PENDING, fresh, current
+            )
+        _np.add.at(self._positions, ids, 1)
+
+    def _apply_events_pure(self, ids: list[int], columns: list[int]) -> None:
+        table, k = self.compiled.table, self.compiled.num_symbols
+        codes = self.compiled.verdict_codes
+        states, verdicts, positions = self._states, self._verdicts, self._positions
+        for stream, column in zip(ids, columns):
+            state = table[states[stream] * k + column]
+            states[stream] = state
+            if verdicts[stream] == PENDING:
+                verdicts[stream] = codes[state]
+            positions[stream] += 1
+
+    def _count_batch(self, events: int) -> None:
+        self.batches_seen += 1
+        self.events_seen += events
+        METRICS.counter("fleet.batches").inc()
+        if events:
+            METRICS.counter("fleet.events").inc(events)
+
+    # ----------------------------------------------------------------- reading
+
+    def verdict_codes(self) -> list[int]:
+        """The sticky verdict vector as raw codes (a fresh list)."""
+        return [int(v) for v in self._verdicts]
+
+    def verdicts(self) -> list[Verdict3]:
+        """The sticky verdict vector as :class:`Verdict3` values."""
+        return [CODE_TO_VERDICT[int(v)] for v in self._verdicts]
+
+    def states(self) -> list[int]:
+        return [int(s) for s in self._states]
+
+    def positions(self) -> list[int]:
+        """Events consumed per stream (the scalar monitor's ``position``)."""
+        return [int(p) for p in self._positions]
+
+    def counts(self) -> FleetCounts:
+        if self.backend == "numpy":
+            tally = _np.bincount(self._verdicts, minlength=3)
+            return FleetCounts(
+                violated=int(tally[VIOLATED]),
+                satisfied=int(tally[SATISFIED]),
+                pending=int(tally[PENDING]),
+            )
+        return FleetCounts(
+            violated=sum(1 for v in self._verdicts if v == VIOLATED),
+            satisfied=sum(1 for v in self._verdicts if v == SATISFIED),
+            pending=sum(1 for v in self._verdicts if v == PENDING),
+        )
+
+    def reset(self) -> None:
+        """Return every stream to the initial state and verdict."""
+        self.batches_seen = 0
+        self.events_seen = 0
+        self._init_state()
+
+    def __len__(self) -> int:
+        return self.num_streams
+
+    def __repr__(self) -> str:
+        return (
+            f"MonitorFleet(streams={self.num_streams}, backend={self.backend},"
+            f" {self.counts().line()})"
+        )
+
+
+def scalar_monitors(compiled: CompiledMonitor, num_streams: int) -> list:
+    """``num_streams`` independent scalar monitors over one compilation.
+
+    The reference route for the differential oracle and the benchmark: the
+    per-stream :class:`~repro.core.monitor.PrefixMonitor` loop the fleet
+    must agree with (and outrun).
+    """
+    from repro.core.monitor import PrefixMonitor
+
+    return [
+        PrefixMonitor(
+            compiled.automaton, live=compiled.live, colive=compiled.colive
+        )
+        for _ in range(num_streams)
+    ]

@@ -15,6 +15,11 @@ The four oracles mirror the paper's four coinciding views:
   Wagner index duality and the HOA round-trip on random Streett/Rabin
   automata.
 
+Two more cover the execution engines rather than the views: ``fastpath``
+(dense kernels vs. the audited reference routes) and ``fleet`` (the
+vectorized monitor fleet vs. a loop of scalar ``PrefixMonitor``\\ s,
+verdict vectors compared at every batch boundary).
+
 Each oracle knows how to generate a subject, check it, serialize it to a
 JSON artifact (for ``qa/corpus/``), replay an artifact, and shrink a
 failing subject — everything the fuzz runner and the regression replay
@@ -607,6 +612,193 @@ class FastpathOracle(Oracle):
 
 
 # ---------------------------------------------------------------------------
+# 6. Vectorized fleet vs. per-stream scalar monitors
+# ---------------------------------------------------------------------------
+
+
+class FleetOracle(Oracle):
+    """The vectorized fleet against a loop of scalar monitors, batch by batch.
+
+    One generated formula, N streams, a random sequence of event batches in
+    every shape the fleet accepts (broadcast, aligned row, sparse pairs,
+    sparse columns — with duplicate stream ids and empty batches included).
+    After *every* batch the pure-Python fleet, the numpy fleet (when numpy
+    is importable) and N independent :class:`PrefixMonitor`\\ s must agree
+    on the full verdict vector and on every stream's position.  This is the
+    sticky-verdict contract: the fleet freezes a stream's verdict the
+    moment it decides, the scalar monitor re-derives it from the state, and
+    the two only coincide because the decided regions are successor-closed.
+    """
+
+    name = "fleet"
+    routes = (
+        "per-stream PrefixMonitor loop",
+        "pure-python fleet",
+        "numpy fleet (when importable)",
+    )
+
+    _KINDS = ("all", "row", "events", "columns")
+
+    def generate(self, rng: random.Random, config: GeneratorConfig):
+        formula = random_formula(rng, config.propositions, config.max_depth)
+        props = tuple(config.propositions)
+        symbols = tuple(Alphabet.powerset_of_propositions(list(props)))
+        streams = rng.randrange(2, 6)
+        batches = []
+        for _ in range(rng.randrange(1, 7)):
+            kind = rng.choice(self._KINDS)
+            if kind == "all":
+                batches.append(("all", rng.choice(symbols)))
+            elif kind == "row":
+                batches.append(
+                    ("row", tuple(rng.choice(symbols) for _ in range(streams)))
+                )
+            else:
+                count = rng.randrange(0, 2 * streams + 1)
+                ids = tuple(rng.randrange(streams) for _ in range(count))
+                syms = tuple(rng.choice(symbols) for _ in range(count))
+                if kind == "events":
+                    batches.append(("events", tuple(zip(ids, syms))))
+                else:
+                    batches.append(("columns", (ids, syms)))
+        return formula, props, streams, tuple(batches)
+
+    @staticmethod
+    def _apply_scalar(monitors, kind, payload) -> None:
+        if kind == "all":
+            for monitor in monitors:
+                monitor.step(payload)
+        elif kind == "row":
+            for monitor, symbol in zip(monitors, payload):
+                monitor.step(symbol)
+        elif kind == "events":
+            for stream, symbol in payload:
+                monitors[stream].step(symbol)
+        else:
+            for stream, symbol in zip(*payload):
+                monitors[stream].step(symbol)
+
+    @staticmethod
+    def _apply_fleet(fleet, kind, payload) -> None:
+        if kind == "all":
+            fleet.step_broadcast(payload)
+        elif kind == "row":
+            fleet.step_aligned(payload)
+        elif kind == "events":
+            fleet.step_events(payload)
+        else:
+            fleet.step_events_columns(*payload)
+
+    def check(self, subject) -> str | None:
+        from repro.fleet.compile import HAVE_NUMPY, CompiledMonitor
+        from repro.fleet.fleet import MonitorFleet
+
+        formula, props, streams, batches = subject
+        alphabet = Alphabet.powerset_of_propositions(list(props))
+        compiled = CompiledMonitor(formula_to_automaton(formula, alphabet))
+        monitors = [
+            PrefixMonitor(compiled.automaton, compiled=compiled)
+            for _ in range(streams)
+        ]
+        fleets = {"pure": MonitorFleet(compiled, streams, backend="pure")}
+        if HAVE_NUMPY:
+            fleets["numpy"] = MonitorFleet(compiled, streams, backend="numpy")
+        for index, (kind, payload) in enumerate(batches):
+            self._apply_scalar(monitors, kind, payload)
+            expected_verdicts = [monitor.verdict for monitor in monitors]
+            expected_positions = [monitor.position for monitor in monitors]
+            for backend, fleet in fleets.items():
+                self._apply_fleet(fleet, kind, payload)
+                if fleet.verdicts() != expected_verdicts:
+                    return (
+                        f"{formula!r}: {backend} fleet verdicts"
+                        f" {[v.value for v in fleet.verdicts()]} != scalar"
+                        f" {[v.value for v in expected_verdicts]} after"
+                        f" batch {index} ({kind})"
+                    )
+                if fleet.positions() != expected_positions:
+                    return (
+                        f"{formula!r}: {backend} fleet positions"
+                        f" {fleet.positions()} != scalar {expected_positions}"
+                        f" after batch {index} ({kind})"
+                    )
+        return None
+
+    def shrink(self, subject):
+        formula, props, streams, batches = subject
+        # Drop batches greedily from the end, then shrink the formula.
+        kept = list(batches)
+        index = len(kept) - 1
+        while index >= 0 and len(kept) > 1:
+            candidate = kept[:index] + kept[index + 1 :]
+            if self.check((formula, props, streams, tuple(candidate))) is not None:
+                kept = candidate
+            index -= 1
+        shrunk = shrink_formula(
+            formula, lambda f: self.check((f, props, streams, tuple(kept))) is not None
+        )
+        return shrunk, props, streams, tuple(kept)
+
+    def to_artifact(self, subject) -> dict[str, Any]:
+        from repro.fleet.stream import symbol_to_json
+
+        formula, props, streams, batches = subject
+        encoded = []
+        for kind, payload in batches:
+            if kind == "all":
+                encoded.append(["all", symbol_to_json(payload)])
+            elif kind == "row":
+                encoded.append(["row", [symbol_to_json(s) for s in payload]])
+            elif kind == "events":
+                encoded.append(
+                    ["events", [[i, symbol_to_json(s)] for i, s in payload]]
+                )
+            else:
+                ids, syms = payload
+                encoded.append(
+                    ["columns", [list(ids), [symbol_to_json(s) for s in syms]]]
+                )
+        return {
+            "formula": repr(formula),
+            "props": list(props),
+            "streams": streams,
+            "batches": encoded,
+        }
+
+    def from_artifact(self, artifact):
+        from repro.fleet.stream import symbol_from_json
+
+        batches = []
+        for kind, payload in artifact["batches"]:
+            if kind == "all":
+                batches.append(("all", symbol_from_json(payload)))
+            elif kind == "row":
+                batches.append(("row", tuple(symbol_from_json(s) for s in payload)))
+            elif kind == "events":
+                batches.append(
+                    ("events", tuple((i, symbol_from_json(s)) for i, s in payload))
+                )
+            else:
+                ids, syms = payload
+                batches.append(
+                    (
+                        "columns",
+                        (tuple(ids), tuple(symbol_from_json(s) for s in syms)),
+                    )
+                )
+        return (
+            parse_formula(artifact["formula"]),
+            tuple(artifact["props"]),
+            artifact["streams"],
+            tuple(batches),
+        )
+
+    def describe(self, subject) -> str:
+        formula, _props, streams, batches = subject
+        return f"{formula!r} × {streams} streams × {len(batches)} batch(es)"
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -618,6 +810,7 @@ ORACLES: dict[str, Oracle] = {
         LinguisticOracle(),
         AutomatonOracle(),
         FastpathOracle(),
+        FleetOracle(),
     )
 }
 

@@ -1,0 +1,360 @@
+"""The vectorized monitor fleet: compilation, stepping, streams, JSONL.
+
+Every behavioral test runs on both backends (``pure`` always, ``numpy``
+when importable) via the ``backend`` fixture — the pure-Python fallback is
+a first-class implementation, not a degraded mode.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.core.monitor import PrefixMonitor, Verdict3
+from repro.errors import AlphabetError, MonitorError
+from repro.finitary import FinitaryLanguage
+from repro.fleet import (
+    HAVE_NUMPY,
+    PENDING,
+    SATISFIED,
+    VIOLATED,
+    CompiledMonitor,
+    MonitorFleet,
+    parse_batch,
+    run_stream,
+    symbol_from_json,
+    symbol_to_json,
+)
+from repro.fleet.fleet import scalar_monitors
+from repro.logic import parse_formula
+from repro.omega import a_of, e_of
+from repro.words import Alphabet
+
+AB = Alphabet.from_letters("ab")
+PQ = Alphabet.powerset_of_propositions(["p", "q"])
+
+BACKENDS = ["pure"] + (["numpy"] if HAVE_NUMPY else [])
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+def lang(regex: str) -> FinitaryLanguage:
+    return FinitaryLanguage.from_regex(regex, AB)
+
+
+def safety() -> CompiledMonitor:
+    """a⁺b* as a safety property: VIOLATED once a 'b' is followed by 'a'."""
+    return CompiledMonitor(a_of(lang("a+b*")))
+
+
+def guarantee() -> CompiledMonitor:
+    """At least two b's: SATISFIED finitely."""
+    return CompiledMonitor(e_of(lang(".*b.*b")))
+
+
+class TestCompiledMonitor:
+    def test_verdict_codes_match_scalar_monitor(self):
+        compiled = safety()
+        monitor = PrefixMonitor(compiled.automaton)
+        # Walk every reachable state and compare the code against the
+        # scalar dead/codead derivation.
+        for state in compiled.automaton.reachable:
+            code = compiled.verdict_code(state)
+            dead = state not in monitor._live
+            codead = state not in monitor._colive
+            expected = VIOLATED if dead else SATISFIED if codead else PENDING
+            assert code == expected
+
+    def test_flat_table_matches_automaton_step(self):
+        compiled = guarantee()
+        for state in range(compiled.num_states):
+            for symbol in compiled.alphabet:
+                assert compiled.step(state, symbol) == compiled.automaton.step(
+                    state, symbol
+                )
+
+    def test_encode_row_string_and_list_agree(self):
+        compiled = safety()
+        row = "abba"
+        assert list(compiled.encode_row(row)) == list(
+            compiled.encode_row(list(row))
+        )
+
+    def test_encode_row_unknown_symbol_raises(self):
+        compiled = safety()
+        with pytest.raises(AlphabetError):
+            compiled.encode_row("abz")
+        with pytest.raises(AlphabetError):
+            compiled.encode_row(["a", "z"])
+        with pytest.raises(AlphabetError):
+            compiled.encode_row("abı")  # non-latin-1, not silently mapped
+
+    def test_for_formula_is_cached(self):
+        formula = parse_formula("G (p -> F q)")
+        first = CompiledMonitor.for_formula(formula, PQ)
+        second = CompiledMonitor.for_formula(formula, PQ)
+        assert first is second
+        uncached = CompiledMonitor.for_formula(formula, PQ, use_cache=False)
+        assert uncached is not first
+        assert uncached.verdict_codes == first.verdict_codes
+
+    def test_can_violate_can_satisfy(self):
+        assert safety().can_violate and not safety().can_satisfy
+        assert guarantee().can_satisfy and not guarantee().can_violate
+
+    def test_classification_is_lazy_and_kept(self):
+        compiled = safety()
+        verdict = compiled.classification()
+        assert verdict.membership is not None
+        assert compiled.classification() is verdict
+
+
+class TestFleetStepping:
+    def test_broadcast_matches_scalars(self, backend):
+        compiled = safety()
+        fleet = MonitorFleet(compiled, 4, backend=backend)
+        monitors = scalar_monitors(compiled, 4)
+        for symbol in "abab":
+            fleet.step_broadcast(symbol)
+            for monitor in monitors:
+                monitor.step(symbol)
+            assert fleet.verdicts() == [m.verdict for m in monitors]
+            assert fleet.positions() == [m.position for m in monitors]
+
+    def test_aligned_rows_differentiate_streams(self, backend):
+        fleet = MonitorFleet(safety(), 3, backend=backend)
+        fleet.step_aligned("aba")
+        fleet.step_aligned("aab")
+        # stream 0 saw "aa" (pending), stream 1 saw "ba" (a leading b is
+        # already outside a⁺b*: violated), stream 2 saw "ab" (pending).
+        assert fleet.verdicts() == [
+            Verdict3.PENDING,
+            Verdict3.VIOLATED,
+            Verdict3.PENDING,
+        ]
+        assert fleet.positions() == [2, 2, 2]
+
+    def test_aligned_row_length_mismatch(self, backend):
+        fleet = MonitorFleet(safety(), 3, backend=backend)
+        with pytest.raises(ValueError, match="2 symbols for 3 streams"):
+            fleet.step_aligned("ab")
+
+    def test_sparse_events_with_duplicates_apply_in_order(self, backend):
+        compiled = guarantee()
+        fleet = MonitorFleet(compiled, 3, backend=backend)
+        # Stream 0 gets b,b in ONE batch: must end SATISFIED (two b's).
+        fleet.step_events([(0, "b"), (2, "a"), (0, "b")])
+        assert fleet.verdicts()[0] is Verdict3.SATISFIED
+        assert fleet.verdicts()[1] is Verdict3.PENDING
+        assert fleet.positions() == [2, 0, 1]
+
+    def test_sparse_columns_match_pairs(self, backend):
+        compiled = safety()
+        a = MonitorFleet(compiled, 4, backend=backend)
+        b = MonitorFleet(compiled, 4, backend=backend)
+        events = [(1, "b"), (1, "a"), (3, "a"), (1, "b")]
+        a.step_events(events)
+        b.step_events_columns([e[0] for e in events], "".join(e[1] for e in events))
+        assert a.verdict_codes() == b.verdict_codes()
+        assert a.states() == b.states()
+        assert a.positions() == b.positions()
+
+    def test_empty_batch_is_a_counted_noop(self, backend):
+        fleet = MonitorFleet(safety(), 2, backend=backend)
+        fleet.step_events([])
+        fleet.step_events_columns([], "")
+        assert fleet.batches_seen == 2
+        assert fleet.events_seen == 0
+        assert fleet.positions() == [0, 0]
+
+    def test_unknown_symbol_leaves_fleet_unchanged(self, backend):
+        fleet = MonitorFleet(safety(), 3, backend=backend)
+        fleet.step_aligned("aba")
+        snapshot = (fleet.states(), fleet.verdict_codes(), fleet.positions())
+        with pytest.raises(AlphabetError):
+            fleet.step_broadcast("z")
+        with pytest.raises(AlphabetError):
+            fleet.step_aligned("azb")
+        with pytest.raises(AlphabetError):
+            fleet.step_events([(0, "a"), (1, "z")])
+        assert (fleet.states(), fleet.verdict_codes(), fleet.positions()) == snapshot
+
+    def test_out_of_range_stream_id_raises_before_mutation(self, backend):
+        fleet = MonitorFleet(safety(), 2, backend=backend)
+        with pytest.raises(ValueError, match="out of range"):
+            fleet.step_events([(0, "a"), (5, "a")])
+        with pytest.raises(ValueError, match="out of range"):
+            fleet.step_events_columns([-1], "a")
+        assert fleet.positions() == [0, 0]
+
+    def test_sticky_verdicts_survive_any_suffix(self, backend):
+        fleet = MonitorFleet(guarantee(), 2, backend=backend)
+        fleet.step_events([(0, "b"), (0, "b")])
+        assert fleet.verdicts()[0] is Verdict3.SATISFIED
+        for symbol in "abababab":
+            fleet.step_broadcast(symbol)
+            assert fleet.verdicts()[0] is Verdict3.SATISFIED
+
+    def test_counts_and_len(self, backend):
+        fleet = MonitorFleet(safety(), 5, backend=backend)
+        fleet.step_aligned("babaa")
+        counts = fleet.counts()
+        assert counts.violated == 2
+        assert counts.pending == 3
+        assert counts.satisfied == 0
+        assert counts.total == len(fleet) == 5
+
+    def test_reset(self, backend):
+        fleet = MonitorFleet(safety(), 3, backend=backend)
+        fleet.step_aligned("bbb")
+        assert fleet.counts().violated == 3
+        fleet.reset()
+        assert fleet.counts().pending == 3
+        assert fleet.positions() == [0, 0, 0]
+        assert fleet.batches_seen == 0 and fleet.events_seen == 0
+
+    def test_initially_decided_property_starts_decided(self, backend):
+        from repro.finitary.dfa import DFA
+
+        compiled = CompiledMonitor(a_of(FinitaryLanguage(DFA.empty_language(AB))))
+        fleet = MonitorFleet(compiled, 3, backend=backend)
+        assert fleet.verdicts() == [Verdict3.VIOLATED] * 3
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="at least one stream"):
+            MonitorFleet(safety(), 0)
+        with pytest.raises(ValueError, match="backend"):
+            MonitorFleet(safety(), 1, backend="gpu")
+
+    def test_backends_agree_on_powerset_alphabet(self):
+        if not HAVE_NUMPY:
+            pytest.skip("numpy backend unavailable")
+        compiled = CompiledMonitor.for_formula(parse_formula("G (p -> F q)"), PQ)
+        pure = MonitorFleet(compiled, 3, backend="pure")
+        vec = MonitorFleet(compiled, 3, backend="numpy")
+        rows = [
+            (frozenset({"p"}), frozenset(), frozenset({"p", "q"})),
+            (frozenset({"q"}), frozenset({"p"}), frozenset()),
+        ]
+        for row in rows:
+            pure.step_aligned(row)
+            vec.step_aligned(row)
+        assert pure.verdict_codes() == vec.verdict_codes()
+        assert pure.states() == vec.states()
+
+
+class TestStreamFormat:
+    def test_symbol_json_round_trip(self):
+        assert symbol_from_json(symbol_to_json("a")) == "a"
+        sym = frozenset({"p", "q"})
+        assert symbol_from_json(symbol_to_json(sym)) == sym
+        assert symbol_to_json(sym) == ["p", "q"]  # sorted, deterministic
+
+    def test_parse_batch_shapes(self):
+        assert parse_batch('{"all": "a"}').kind == "all"
+        assert parse_batch('{"row": "ab"}').payload == "ab"
+        events = parse_batch('{"events": [[0, "a"], [1, ["p"]]]}')
+        assert events.payload == [(0, "a"), (1, frozenset({"p"}))]
+        columns = parse_batch('{"ids": [0, 1], "symbols": "ab"}')
+        assert columns.kind == "columns"
+        assert columns.payload == ([0, 1], "ab")
+
+    def test_blank_and_comment_lines_skipped(self):
+        assert parse_batch("") is None
+        assert parse_batch("   \n") is None
+        assert parse_batch("# comment") is None
+
+    def test_malformed_lines_raise_monitor_error(self):
+        for bad in (
+            "not json",
+            "[1, 2]",
+            '{"all": "a", "row": "b"}',
+            '{"frobnicate": 1}',
+            '{"row": 7}',
+            '{"events": 3}',
+            '{"events": [[0]]}',
+            '{"events": [["x", "a"]]}',
+            '{"ids": [0], "symbols": "ab"}',
+            '{"ids": ["x"], "symbols": "a"}',
+            '{"all": 17}',
+        ):
+            with pytest.raises(MonitorError):
+                parse_batch(bad, line_number=3)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(MonitorError, match="line 42"):
+            parse_batch("nope", line_number=42)
+
+    def test_run_stream_end_to_end(self, backend):
+        fleet = MonitorFleet(safety(), 3, backend=backend)
+        lines = io.StringIO(
+            "# three streams over a+b*\n"
+            '{"row": "aab"}\n'
+            "\n"
+            '{"all": "b"}\n'
+            '{"events": [[0, "a"]]}\n'
+            '{"ids": [1], "symbols": "b"}\n'
+        )
+        report = run_stream(fleet, lines)
+        assert report.batches == 4
+        assert report.events == 3 + 3 + 1 + 1
+        # stream 0 saw "aba" (b then a: violated), stream 1 saw "abb"
+        # (pending), stream 2 led with "b" (violated immediately).
+        assert report.counts.violated == 2
+        assert report.counts.pending == 1
+        assert "violated=2" in report.render()
+
+    def test_run_stream_per_batch_callback(self, backend):
+        fleet = MonitorFleet(safety(), 2, backend=backend)
+        seen = []
+        run_stream(
+            fleet,
+            ['{"row": "ab"}', '{"row": "ab"}'],
+            on_batch=lambda i, f: seen.append((i, f.counts().pending)),
+        )
+        assert seen == [(1, 1), (2, 1)]  # stream 1 led with b: violated at once
+
+    def test_failed_line_preserves_prior_batches(self, backend):
+        fleet = MonitorFleet(safety(), 2, backend=backend)
+        with pytest.raises(MonitorError):
+            run_stream(fleet, ['{"row": "ab"}', "garbage"])
+        assert fleet.positions() == [1, 1]  # first batch landed, second refused
+
+    def test_formula_stream_with_proposition_symbols(self, backend):
+        fleet = MonitorFleet.for_formula(
+            parse_formula("G !p"), 2, PQ, backend=backend
+        )
+        report = run_stream(
+            fleet, ['{"all": []}', '{"events": [[1, ["p"]]]}']
+        )
+        assert report.counts.violated == 1
+        assert fleet.verdicts() == [Verdict3.PENDING, Verdict3.VIOLATED]
+
+
+class TestMetrics:
+    def test_fleet_metrics_counted(self, backend):
+        from repro.engine.metrics import METRICS
+
+        batches_before = METRICS.counter("fleet.batches").value
+        events_before = METRICS.counter("fleet.events").value
+        fleet = MonitorFleet(safety(), 2, backend=backend)
+        fleet.step_aligned("ab")
+        fleet.step_events([(0, "a")])
+        assert METRICS.counter("fleet.batches").value == batches_before + 2
+        assert METRICS.counter("fleet.events").value == events_before + 3
+
+    def test_compile_span_emitted(self):
+        from repro.obs.spans import TRACER
+
+        TRACER.enable()
+        TRACER.clear()
+        try:
+            safety()
+            names = [span.name for span in TRACER.finished()]
+        finally:
+            TRACER.disable()
+            TRACER.clear()
+        assert "fleet.compile" in names

@@ -185,3 +185,62 @@ class TestEdgeCases:
         uncached = PrefixMonitor.for_formula(formula, PQ, use_cache=False)
         for symbol in letters("p", "", "q", "p", "p"):
             assert cached.step(symbol) is uncached.step(symbol)
+
+    def test_empty_feed_changes_nothing(self):
+        monitor = PrefixMonitor(a_of(lang("a+b*")))
+        before = (monitor.state, monitor.verdict, monitor.position)
+        assert monitor.feed("") is Verdict3.PENDING
+        assert (monitor.state, monitor.verdict, monitor.position) == before
+
+    def test_unknown_symbol_raises_and_leaves_monitor_unchanged(self):
+        # The documented contract: AlphabetError, not KeyError, and the
+        # failed step must not consume the symbol.
+        from repro.errors import AlphabetError
+
+        monitor = PrefixMonitor(a_of(lang("a+b*")))
+        monitor.feed("ab")
+        state, verdict, position = monitor.state, monitor.verdict, monitor.position
+        with pytest.raises(AlphabetError):
+            monitor.step("z")
+        assert monitor.state == state
+        assert monitor.verdict is verdict
+        assert monitor.position == position
+        # The monitor still works after the failed step.
+        monitor.step("a")
+        assert monitor.verdict is Verdict3.VIOLATED
+
+    def test_unknown_symbol_mid_feed_keeps_consumed_prefix(self):
+        from repro.errors import AlphabetError
+
+        monitor = PrefixMonitor(e_of(lang(".*b.*b")))
+        with pytest.raises(AlphabetError):
+            monitor.feed("abzb")
+        assert monitor.position == 2  # "ab" consumed, "z" refused
+
+    def test_reset_after_final_verdict_restores_pending(self):
+        monitor = PrefixMonitor(e_of(lang(".*b.*b")))
+        monitor.feed("abb")
+        assert monitor.verdict is Verdict3.SATISFIED
+        assert monitor.position == 3
+        monitor.reset()
+        assert monitor.position == 0
+        assert monitor.verdict is Verdict3.PENDING
+        assert monitor.state == monitor.automaton.initial
+        monitor.feed("bb")
+        assert monitor.verdict is Verdict3.SATISFIED
+
+    def test_monitor_is_the_n1_view_of_the_fleet_compiler(self):
+        # PrefixMonitor and CompiledMonitor must run the same table and the
+        # same verdict codes — the monitor is one stream state over it.
+        from repro.fleet.compile import CompiledMonitor
+
+        automaton = a_of(lang("a+b*"))
+        monitor = PrefixMonitor(automaton)
+        compiled = monitor.compiled
+        assert isinstance(compiled, CompiledMonitor)
+        state = compiled.initial
+        for symbol in "aabab":
+            monitor.step(symbol)
+            state = compiled.step(state, symbol)
+            assert monitor.state == state
+            assert monitor.verdict is compiled.verdict_at(state)

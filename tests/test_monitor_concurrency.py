@@ -1,0 +1,120 @@
+"""Thread-safety of the monitor compile cache and shared compilations.
+
+``PrefixMonitor.for_formula`` / ``CompiledMonitor.for_formula`` go through
+the engine bank's locked ``monitor_compiled`` LRU (the PR 5 lock-fix
+pattern of ``tests/test_engine_cache_concurrency.py``): many threads
+building monitors for the same property must share one compilation and
+never observe a torn one.  The compiled object itself is immutable after
+construction (eager numpy twins, no lazy init in the step path except the
+lock-irrelevant ``classification()``), so sharing it across stepping
+threads is safe as long as each thread owns its own stream state.
+"""
+
+import threading
+
+from repro.core.monitor import PrefixMonitor, Verdict3
+from repro.engine.cache import CACHES
+from repro.fleet import CompiledMonitor, MonitorFleet
+from repro.logic import parse_formula
+from repro.words import Alphabet
+
+PQ = Alphabet.powerset_of_propositions(["p", "q"])
+
+
+def hammer(threads, worker):
+    errors = []
+
+    def wrapped(worker_id):
+        try:
+            worker(worker_id)
+        except Exception as error:  # pragma: no cover - failure detail
+            errors.append(error)
+
+    pool = [threading.Thread(target=wrapped, args=(n,)) for n in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert not errors, errors
+
+
+class TestForFormulaCacheConcurrency:
+    def test_many_threads_share_one_compilation(self):
+        CACHES.clear()
+        formulas = ["G p", "F q", "G (p -> F q)", "p U q"]
+        compiled_seen: dict[str, set[int]] = {f: set() for f in formulas}
+        lock = threading.Lock()
+
+        def worker(worker_id):
+            for i in range(40):
+                text = formulas[(worker_id + i) % len(formulas)]
+                monitor = PrefixMonitor.for_formula(parse_formula(text), PQ)
+                with lock:
+                    compiled_seen[text].add(id(monitor.compiled))
+
+        hammer(8, worker)
+        # The dogpile window allows a few concurrent first computes, but
+        # steady state must converge on one shared object per formula.
+        for text, objects in compiled_seen.items():
+            assert len(objects) <= 8, text
+            final = CompiledMonitor.for_formula(parse_formula(text), PQ)
+            assert id(final) in objects, text
+
+    def test_monitors_built_concurrently_agree(self):
+        CACHES.clear()
+        formula = parse_formula("G (p -> F q)")
+        word = [frozenset({"p"}), frozenset(), frozenset({"q"}), frozenset({"p"})]
+        verdicts = []
+        lock = threading.Lock()
+
+        def worker(_worker_id):
+            for _ in range(25):
+                monitor = PrefixMonitor.for_formula(formula, PQ)
+                result = monitor.feed(word)
+                with lock:
+                    verdicts.append(result)
+
+        hammer(8, worker)
+        assert set(verdicts) == {Verdict3.PENDING}
+
+    def test_cache_eviction_races_with_for_formula(self):
+        CACHES.clear()
+
+        def worker(worker_id):
+            for i in range(30):
+                if worker_id == 0 and i % 10 == 0:
+                    CACHES.cache("monitor_compiled").clear()
+                else:
+                    text = f"G (p -> F q)" if i % 2 else "F p"
+                    monitor = PrefixMonitor.for_formula(parse_formula(text), PQ)
+                    assert monitor.verdict in tuple(Verdict3)
+
+        hammer(8, worker)
+
+
+class TestSharedCompilationStepping:
+    def test_one_compilation_many_stepping_threads(self):
+        # 8 threads step 8 *independent* fleets over one shared compiled
+        # object: per-thread results must match the single-threaded run.
+        compiled = CompiledMonitor.for_formula(parse_formula("G !p"), PQ)
+        rows = [
+            (frozenset(), frozenset({"p"}), frozenset()),
+            (frozenset(), frozenset(), frozenset({"p"})),
+        ]
+        reference = MonitorFleet(compiled, 3, backend="pure")
+        for row in rows:
+            reference.step_aligned(row)
+        expected = reference.verdict_codes()
+        results = []
+        lock = threading.Lock()
+
+        def worker(_worker_id):
+            for _ in range(50):
+                fleet = MonitorFleet(compiled, 3, backend="pure")
+                for row in rows:
+                    fleet.step_aligned(row)
+                with lock:
+                    results.append(fleet.verdict_codes())
+
+        hammer(8, worker)
+        assert all(result == expected for result in results)

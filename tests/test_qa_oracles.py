@@ -19,13 +19,14 @@ from repro.qa.shrink import formula_size
 
 
 class TestOracleRegistry:
-    def test_five_oracles_registered(self):
+    def test_six_oracles_registered(self):
         assert set(ORACLES) == {
             "formula-lasso",
             "formula-class",
             "linguistic",
             "automaton",
             "fastpath",
+            "fleet",
         }
 
     def test_every_oracle_has_at_least_two_routes(self):
