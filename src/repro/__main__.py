@@ -281,7 +281,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         except (OSError, json.JSONDecodeError) as error:
             print(f"error: cannot read baseline {args.check}: {error}", file=sys.stderr)
             return 1
-        failures = regressions_against(results, baseline)
+        failures = regressions_against(results, baseline, expect_all=not args.kernel)
         for failure in failures:
             print(f"regression: {failure}", file=sys.stderr)
         if failures:

@@ -184,6 +184,46 @@ def _nonempty_workload(quick: bool) -> _Workload:
     )
 
 
+def _classify_workload(quick: bool) -> _Workload:
+    from repro.core.classifier import classify_formula
+    from repro.logic.parser import parse_formula
+    from repro.words.alphabet import Alphabet
+
+    # End-to-end pipeline: GPVW tableau → Safra → quotient → Wagner
+    # classification.  Powerset alphabets with an unused proposition are the
+    # representative shape: label compression halves the stepped symbols,
+    # and every stage crosses its auto threshold.
+    texts = ["G (a -> F b) & (G F b -> G F a)"]
+    if not quick:
+        texts.append("(F a & F b) | G (a -> X b)")
+    alphabet = Alphabet.powerset_of_propositions("abc")
+    formulas = [parse_formula(text) for text in texts]
+
+    def run():
+        return [classify_formula(formula, alphabet) for formula in formulas]
+
+    def view(report):
+        return (
+            report.semantic,
+            report.syntactic,
+            report.streett_index,
+            report.obligation_degree,
+            report.is_uniform_liveness,
+            report.automaton._delta,  # noqa: SLF001 — structural identity
+            report.automaton.initial,
+            report.automaton.acceptance,
+        )
+
+    return _Workload(
+        description=(
+            f"classify_formula on {len(texts)} formula(s) over 2^{{a,b,c}}"
+            " (full GPVW→Safra→quotient→Wagner pipeline)"
+        ),
+        run=run,
+        agree=lambda a, b: all(view(x) == view(y) for x, y in zip(a, b)),
+    )
+
+
 #: Kernel name → workload factory, in report order.  The first two named
 #: kernels are the acceptance-gated ones.
 BENCHMARKS: Mapping[str, Callable[[bool], _Workload]] = {
@@ -192,6 +232,7 @@ BENCHMARKS: Mapping[str, Callable[[bool], _Workload]] = {
     "minimize": _minimize_workload,
     "dfa_product": _dfa_product_workload,
     "nonempty": _nonempty_workload,
+    "classify": _classify_workload,
 }
 
 
@@ -251,16 +292,26 @@ def render_table(results: Sequence[KernelResult]) -> str:
 
 
 def regressions_against(
-    results: Sequence[KernelResult], baseline: Mapping, *, factor: float = 2.0
+    results: Sequence[KernelResult],
+    baseline: Mapping,
+    *,
+    factor: float = 2.0,
+    expect_all: bool = False,
 ) -> list[str]:
     """Kernels whose speedup fell below ``baseline/factor`` — the CI gate.
 
     Only kernels present in both runs are compared, so a ``--quick`` run can
     be checked against the committed full baseline: sizes differ but a real
-    kernel regression shows up in the ratio long before the 2× gate.
+    kernel regression shows up in the ratio long before the 2× gate.  Each
+    failure line names the kernel and quantifies the regression (measured
+    vs. baseline speedup, plus the measured route timings).  With
+    ``expect_all`` — set when the run was not filtered to a kernel subset —
+    baseline kernels absent from the results are reported too, so a renamed
+    or dropped workload cannot silently stop being gated.
     """
     failures = []
     kernels = baseline.get("kernels", {})
+    measured = {result.kernel for result in results}
     for result in results:
         entry = kernels.get(result.kernel)
         if entry is None:
@@ -269,6 +320,15 @@ def regressions_against(
         if result.speedup < floor:
             failures.append(
                 f"{result.kernel}: speedup {result.speedup:.2f}x fell below "
-                f"{floor:.2f}x (baseline {entry['speedup']:.2f}x / {factor:g})"
+                f"{floor:.2f}x (baseline {entry['speedup']:.2f}x / {factor:g}; "
+                f"measured {result.reference_ms:.2f}ms reference vs "
+                f"{result.fastpath_ms:.2f}ms fastpath)"
             )
+    if expect_all:
+        for name in kernels:
+            if name not in measured:
+                failures.append(
+                    f"{name}: present in the baseline but not measured — "
+                    "the kernel is no longer being gated"
+                )
     return failures

@@ -14,7 +14,13 @@ structures:
 * bitset state sets — Python ``int`` masks, so union/intersection/
   complement are single big-int operations and membership is a shift;
 * an array-based Hopcroft partition-refinement minimizer;
-* iterative Tarjan SCC + mask-based Streett/Rabin pruning for emptiness.
+* iterative Tarjan SCC + mask-based Streett/Rabin pruning for emptiness;
+* a flat-node, bitmask-labelled Safra determinization twin and an
+  interned-signature GPVW tableau twin for the ω-side translations;
+* Spot-style alphabet/label compression (``labels``): transition-equal
+  symbols are partitioned into classes once per automaton so step-shaped
+  kernels pay one successor computation per class, not per symbol;
+* a signature-interning quotient-reduction (bisimulation) twin.
 
 The kernels are wired transparently behind the public entry points
 (:meth:`repro.finitary.nfa.NFA.determinize`,
@@ -44,12 +50,23 @@ from repro.fastpath.config import (
     forced,
     kernel_selected,
 )
+from repro.fastpath.gpvw import enumerate_dense, valuation_partition
+from repro.fastpath.labels import (
+    LabelPartition,
+    compress_det,
+    det_partition,
+    ensure_alphabet,
+    expand_det,
+    nba_partition,
+)
 from repro.fastpath.minimize import minimized_dense
 from repro.fastpath.product import (
     dfa_product_dense,
     explore_pair_dense,
     explore_vector_dense,
 )
+from repro.fastpath.reduce import quotient_blocks_dense
+from repro.fastpath.safra import determinize_dense as safra_determinize_dense
 from repro.fastpath.scc import (
     nonempty_states_dense,
     streett_good_masks,
@@ -58,8 +75,14 @@ from repro.fastpath.subset import determinize_dense
 
 __all__ = [
     "DEFAULT_THRESHOLD",
+    "LabelPartition",
+    "compress_det",
+    "det_partition",
     "determinize_dense",
     "dfa_product_dense",
+    "ensure_alphabet",
+    "enumerate_dense",
+    "expand_det",
     "explore_pair_dense",
     "explore_vector_dense",
     "fastpath_mode",
@@ -67,6 +90,10 @@ __all__ = [
     "forced",
     "kernel_selected",
     "minimized_dense",
+    "nba_partition",
     "nonempty_states_dense",
+    "quotient_blocks_dense",
+    "safra_determinize_dense",
     "streett_good_masks",
+    "valuation_partition",
 ]

@@ -1,0 +1,153 @@
+"""Dense GPVW enumeration: valuation-classed symbols, memoized closures.
+
+The reference route (:func:`repro.logic.translate._enumerate_reference`)
+re-runs the past tester and re-filters the tableau candidates for every
+(state, symbol) pair.  Both computations depend on the symbol only through
+the valuation of a small set of *relevant* propositions — the props named
+by tableau literals plus the props read by the past tester — so symbols
+with equal valuations are interchangeable.  This twin:
+
+* partitions the alphabet by relevant-prop valuation once
+  (:class:`repro.fastpath.labels.LabelPartition`), stepping each state once
+  per class instead of once per symbol;
+* memoizes ``PastTester.advance`` per (class, memory) and the filtered
+  candidate tuple per (tableau node, class, memory) across the whole
+  enumeration — set-free bookkeeping instead of per-step set churn.
+
+Parity contract (enforced by the qa ``fastpath`` oracle and
+``tests/test_fastpath_safra_gpvw.py``): the produced state order,
+transition relation, and accepting set are *bit-identical* to the
+reference.  Classes are numbered by first symbol occurrence, and targets
+are interned at each class's first symbol, so the breadth-first discovery
+order is exactly the per-symbol order.
+"""
+
+from __future__ import annotations
+
+from repro.fastpath.labels import LabelPartition, ensure_alphabet
+from repro.logic.ast import Formula, Not, Prop
+from repro.logic.semantics import PastTester, prop_holds
+from repro.words.alphabet import Alphabet, Symbol
+
+#: cache-miss sentinel (``None`` marks a computed-empty row).
+_MISS = object()
+
+
+def _relevant_props(literals_of, tester: PastTester, past_atoms) -> list[str]:
+    """Prop names whose valuation can influence a step: literal props that
+    are not past atoms (those route through the tester), plus every prop the
+    tester itself reads."""
+    names: set[str] = set()
+    for literals in literals_of:
+        for literal in literals:
+            target = literal.operand if isinstance(literal, Not) else literal
+            if isinstance(target, Prop) and target.name not in past_atoms:
+                names.add(target.name)
+    for node in tester.pure_past:
+        if isinstance(node, Prop):
+            names.add(node.name)
+    return sorted(names)
+
+
+def valuation_partition(
+    alphabet: Alphabet, names: list[str]
+) -> LabelPartition:
+    """Partition symbols by their valuation over ``names``."""
+    columns = [
+        tuple(prop_holds(name, symbol) for name in names) for symbol in alphabet
+    ]
+    return LabelPartition.from_columns(alphabet, columns)
+
+
+def enumerate_dense(
+    alphabet: Alphabet,
+    entry_points: list[int],
+    successors_of: dict[int, list[int]],
+    literals_of: list[list[Formula]],
+    acceptance_sets,
+    tester: PastTester,
+    past_atoms: dict[str, Formula],
+) -> tuple[list[object], dict[tuple[int, Symbol], frozenset[int]], list[int]]:
+    """Drop-in twin of ``_enumerate_reference`` over valuation classes."""
+    from repro.logic.translate import _literal_satisfied
+
+    alphabet = ensure_alphabet(alphabet)
+    k = len(acceptance_sets)
+    partition = valuation_partition(
+        alphabet, _relevant_props(literals_of, tester, past_atoms)
+    )
+    class_of = partition.class_of
+    representatives = partition.representatives()
+    symbols = alphabet.symbols
+
+    state_index: dict[object, int] = {"nba-init": 0}
+    order: list[object] = ["nba-init"]
+    transitions: dict[tuple[int, Symbol], frozenset[int]] = {}
+    #: (class, memory) → (new memory, past-atom values).
+    advance_cache: dict = {}
+    #: (tableau node | -1, class, memory) → passing candidate positions.
+    candidate_cache: dict = {}
+
+    head = 0
+    while head < len(order):
+        state = order[head]
+        source = head
+        head += 1
+        if state == "nba-init":
+            memory, owner = PastTester.START, -1
+            candidates = entry_points
+            new_counter = 0
+        else:
+            owner, memory, counter = state
+            candidates = successors_of[owner]
+            new_counter = (
+                (counter + 1) % k if owner in acceptance_sets[counter] else counter
+            )
+        per_class: dict = {}
+        for position, symbol in enumerate(symbols):
+            cls = class_of[position]
+            row = per_class.get(cls, _MISS)
+            if row is _MISS:
+                advance_key = (cls, memory)
+                advanced = advance_cache.get(advance_key)
+                if advanced is None:
+                    new_memory, values = tester.advance(memory, representatives[cls])
+                    advanced = (
+                        new_memory,
+                        {name: values[past] for name, past in past_atoms.items()},
+                    )
+                    advance_cache[advance_key] = advanced
+                new_memory, past_values = advanced
+                candidate_key = (owner, cls, memory)
+                passing = candidate_cache.get(candidate_key)
+                if passing is None:
+                    representative = representatives[cls]
+                    passing = tuple(
+                        target_position
+                        for target_position in candidates
+                        if all(
+                            _literal_satisfied(lit, representative, past_values)
+                            for lit in literals_of[target_position]
+                        )
+                    )
+                    candidate_cache[candidate_key] = passing
+                targets = []
+                for target_position in passing:
+                    target = (target_position, new_memory, new_counter)
+                    slot = state_index.get(target)
+                    if slot is None:
+                        slot = len(order)
+                        state_index[target] = slot
+                        order.append(target)
+                    targets.append(slot)
+                row = frozenset(targets) if targets else None
+                per_class[cls] = row
+            if row is not None:
+                transitions[(source, symbol)] = row
+
+    accepting = [
+        index
+        for index, state in enumerate(order)
+        if state != "nba-init" and state[2] == 0 and state[0] in acceptance_sets[0]
+    ]
+    return order, transitions, accepting

@@ -20,6 +20,10 @@ from repro.fastpath.tables import flat_table, flat_table_over
 
 _BUILD_LIMIT = 2_000_000
 
+#: Largest code space for which the pair kernel trades the interning dict
+#: for a flat slot array (4M entries ≈ 32 MB of small-int pointers).
+_FLAT_INDEX_LIMIT = 1 << 22
+
 
 def explore_pair_dense(
     table_a,
@@ -32,23 +36,66 @@ def explore_pair_dense(
     *,
     state_limit: int = _BUILD_LIMIT,
 ) -> tuple[list[list[int]], list[tuple[int, int]]]:
-    """BFS product of two flat tables; returns (rows, order-of-pairs)."""
+    """BFS product of two flat tables; returns (rows, order-of-pairs).
+
+    The reachable code space ``n_a·n_b`` is usually small enough to intern
+    through a flat slot array — one list index per probe instead of hashing
+    every successor code — with per-symbol successor codes produced by
+    zipping the two table row slices.
+    """
     scaled_a = [target * n_b for target in table_a]
     initial = initial_a * n_b + initial_b
-    index: dict[int, int] = {initial: 0}
+    total = n_a * n_b
+    if total <= _FLAT_INDEX_LIMIT:
+        from repro.fastpath import vector
+        from repro.fastpath.config import vector_enabled
+
+        if vector.HAVE_VECTOR and vector_enabled():
+            return _explore_pair_vector(
+                scaled_a, table_b, n_b, k, initial, total, state_limit
+            )
     order: list[int] = [initial]
     rows: list[list[int]] = []
     head = 0
+    if total <= _FLAT_INDEX_LIMIT:
+        slots = [-1] * total
+        slots[initial] = 0
+        while head < len(order):
+            code = order[head]
+            head += 1
+            base_a = (code // n_b) * k
+            base_b = (code % n_b) * k
+            row: list[int] = []
+            append = row.append
+            for successor_a, successor_b in zip(
+                scaled_a[base_a : base_a + k], table_b[base_b : base_b + k]
+            ):
+                successor = successor_a + successor_b
+                slot = slots[successor]
+                if slot < 0:
+                    if len(order) >= state_limit:
+                        raise AutomatonError(
+                            f"automaton construction exceeded {state_limit} states"
+                        )
+                    slot = len(order)
+                    slots[successor] = slot
+                    order.append(successor)
+                append(slot)
+            rows.append(row)
+        return rows, [divmod(code, n_b) for code in order]
+
+    index: dict[int, int] = {initial: 0}
     while head < len(order):
         code = order[head]
         head += 1
-        p, q = divmod(code, n_b)
-        base_a = p * k
-        base_b = q * k
-        row: list[int] = []
+        base_a = (code // n_b) * k
+        base_b = (code % n_b) * k
+        row = []
         append = row.append
-        for a in range(k):
-            successor = scaled_a[base_a + a] + table_b[base_b + a]
+        for successor_a, successor_b in zip(
+            scaled_a[base_a : base_a + k], table_b[base_b : base_b + k]
+        ):
+            successor = successor_a + successor_b
             slot = index.get(successor)
             if slot is None:
                 if len(order) >= state_limit:
@@ -61,6 +108,47 @@ def explore_pair_dense(
             append(slot)
         rows.append(row)
     return rows, [divmod(code, n_b) for code in order]
+
+
+def _explore_pair_vector(
+    scaled_a, table_b, n_b: int, k: int, initial: int, total: int, state_limit: int
+) -> tuple[list[list[int]], list[tuple[int, int]]]:
+    """Level-synchronous BFS of the pair product in numpy.
+
+    Processing one whole frontier at a time is equivalent to the sequential
+    queue: the tables are static, frontier states sit in slot order, and new
+    codes are numbered by first occurrence in the row-major successor matrix
+    — exactly the order the per-state loop would discover them in.
+    """
+    import numpy as _np
+
+    rows_a = _np.asarray(scaled_a, dtype=_np.int64).reshape(-1, k)
+    rows_b = _np.asarray(table_b, dtype=_np.int64).reshape(-1, k)
+    slots = _np.full(total, -1, dtype=_np.int64)
+    slots[initial] = 0
+    count = 1
+    frontier = _np.asarray([initial], dtype=_np.int64)
+    level_codes = [frontier]
+    row_chunks = []
+    while frontier.size:
+        successors = rows_a[frontier // n_b] + rows_b[frontier % n_b]
+        flat = successors.ravel()
+        undiscovered = flat[slots[flat] < 0]
+        values, first_position = _np.unique(undiscovered, return_index=True)
+        fresh = values[_np.argsort(first_position, kind="stable")]
+        if count + fresh.size > state_limit:
+            raise AutomatonError(
+                f"automaton construction exceeded {state_limit} states"
+            )
+        slots[fresh] = _np.arange(count, count + fresh.size)
+        count += fresh.size
+        row_chunks.append(slots[successors])
+        level_codes.append(fresh)
+        frontier = fresh
+    rows = _np.concatenate(row_chunks).tolist()
+    codes = _np.concatenate(level_codes)
+    order = list(zip((codes // n_b).tolist(), (codes % n_b).tolist()))
+    return rows, order
 
 
 def explore_vector_dense(

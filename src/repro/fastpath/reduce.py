@@ -1,0 +1,46 @@
+"""Dense partition refinement for the bisimulation quotient.
+
+The reference refinement loop in :func:`repro.omega.reduce.quotient_reduce`
+recomputes every successor through ``DetAutomaton.step`` — an
+``alphabet.index`` probe plus two tuple reads per edge, repeated each
+round.  This twin works on the raw transition rows with list-indexed block
+arrays, so a refinement round is one list read per edge.
+
+Block ids are assigned by first occurrence of each signature while scanning
+states ``0..n-1`` — exactly the reference's ``setdefault`` order over the
+same state iteration — so the final partition (and hence the quotient
+automaton built from it) is bit-identical.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def quotient_blocks_dense(
+    delta: Sequence[Sequence[int]],
+    colors: Sequence[tuple],
+) -> list[int]:
+    """Coarsest color-respecting bisimulation blocks, as ``block[state]``.
+
+    ``delta`` holds one successor row per state (symbol-indexed), ``colors``
+    the per-state acceptance profile seeding the partition.
+    """
+    n = len(delta)
+    rows = [list(row) for row in delta]
+    signatures: dict = {}
+    block = [signatures.setdefault(color, len(signatures)) for color in colors]
+
+    while True:
+        new_signatures: dict = {}
+        setdefault = new_signatures.setdefault
+        new_block = [
+            setdefault(
+                (block[state], *[block[target] for target in rows[state]]),
+                len(new_signatures),
+            )
+            for state in range(n)
+        ]
+        if new_block == block:
+            return block
+        block = new_block

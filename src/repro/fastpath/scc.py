@@ -182,6 +182,8 @@ def streett_good_masks(
     initial_mask: int,
     adjacency: Sequence[Sequence[int]],
     pairs: Sequence[tuple[int, int]],
+    *,
+    scratch: "_TarjanScratch | None" = None,
 ) -> list[int]:
     """Maximal accepting sub-SCC masks under Streett pairs ``(left, right)``.
 
@@ -194,7 +196,6 @@ def streett_good_masks(
     """
     delta = _vector_delta(num_states, adjacency)
     pair_bools = None
-    scratch = None
     good: list[int] = []
     pending: list = [unpack_positions(initial_mask)]
     while pending:

@@ -115,6 +115,9 @@ class _Tableau:
     def __init__(self, formula: Formula) -> None:
         self.counter = itertools.count()
         self.nodes: list[_Node] = []
+        # (old, nxt) → the node that owns the pair; a completed node's old
+        # and nxt sets never change afterwards, so the index stays valid.
+        self._by_sets: dict[tuple[frozenset, frozenset], _Node] = {}
         seed = _Node(name=next(self.counter), incoming={_INIT}, new={formula})
         self.expand(seed)
 
@@ -123,10 +126,12 @@ class _Tableau:
 
     def expand(self, node: _Node) -> None:
         if not node.new:
-            for existing in self.nodes:
-                if existing.old == node.old and existing.nxt == node.nxt:
-                    existing.incoming |= node.incoming
-                    return
+            key = (frozenset(node.old), frozenset(node.nxt))
+            existing = self._by_sets.get(key)
+            if existing is not None:
+                existing.incoming |= node.incoming
+                return
+            self._by_sets[key] = node
             self.nodes.append(node)
             successor = self.fresh({node.name}, node.nxt, set(), set())
             self.expand(successor)
@@ -238,7 +243,6 @@ def _formula_to_nba(formula: Formula, alphabet: Alphabet, obs_span) -> NBA:
         )
     if not acceptance_sets:
         acceptance_sets = [frozenset(range(len(nodes)))]
-    k = len(acceptance_sets)
 
     # The past tester shared by all past atoms: track the conjunction of
     # individual testers via a combined formula.
@@ -260,9 +264,55 @@ def _formula_to_nba(formula: Formula, alphabet: Alphabet, obs_span) -> NBA:
                 successors_of[node_index[source]].append(position)
 
     # Concrete NBA states: (tableau node, tester memory, counter) plus a
-    # pseudo-initial state.  Enumerated lazily breadth-first.
+    # pseudo-initial state.  Enumerated lazily breadth-first; the dense twin
+    # (repro.fastpath.gpvw) produces a bit-identical enumeration stepping
+    # once per symbol-valuation class instead of once per symbol.
+    from repro.fastpath.config import kernel_selected
+
+    if kernel_selected("gpvw", len(nodes) * len(alphabet)):
+        from repro.fastpath.gpvw import enumerate_dense
+
+        order, transitions, accepting = enumerate_dense(
+            alphabet, entry_points, successors_of, literals_of,
+            acceptance_sets, tester, past_atoms,
+        )
+    else:
+        order, transitions, accepting = _enumerate_reference(
+            alphabet, entry_points, successors_of, literals_of,
+            acceptance_sets, tester, past_atoms,
+        )
+    initial = 0
+    elapsed = time.perf_counter() - start
+    METRICS.timer("gpvw.translate").observe(elapsed)
+    obs_span.set_attribute("tableau_nodes", len(nodes))
+    obs_span.set_attribute("nba_states", len(order))
+    trace(
+        "gpvw.translate",
+        tableau_nodes=len(nodes),
+        nba_states=len(order),
+        past_atoms=len(past_atoms),
+        seconds=elapsed,
+    )
+    return NBA(alphabet, len(order), transitions, [initial], accepting)
+
+
+def _enumerate_reference(
+    alphabet: Alphabet,
+    entry_points: list[int],
+    successors_of: dict[int, list[int]],
+    literals_of: list[list[Formula]],
+    acceptance_sets: list[frozenset[int]],
+    tester: PastTester,
+    past_atoms: dict[str, Formula],
+) -> tuple[list[object], dict[tuple[int, Symbol], frozenset[int]], list[int]]:
+    """Breadth-first enumeration of the concrete NBA states.
+
+    Returns the state order (``"nba-init"`` first), the transition relation,
+    and the accepting state indices.
+    """
     from collections import deque
 
+    k = len(acceptance_sets)
     state_index: dict[object, int] = {}
     order: list[object] = []
     transitions: dict[tuple[int, Symbol], set[int]] = {}
@@ -273,7 +323,7 @@ def _formula_to_nba(formula: Formula, alphabet: Alphabet, obs_span) -> NBA:
             order.append(state)
         return state_index[state]
 
-    initial = intern("nba-init")
+    intern("nba-init")
     queue: deque[object] = deque(["nba-init"])
     explored = {"nba-init"}
     while queue:
@@ -313,21 +363,8 @@ def _formula_to_nba(formula: Formula, alphabet: Alphabet, obs_span) -> NBA:
         for index, state in enumerate(order)
         if state != "nba-init" and state[2] == 0 and state[0] in acceptance_sets[0]
     ]
-    elapsed = time.perf_counter() - start
-    METRICS.timer("gpvw.translate").observe(elapsed)
-    obs_span.set_attribute("tableau_nodes", len(nodes))
-    obs_span.set_attribute("nba_states", len(order))
-    trace(
-        "gpvw.translate",
-        tableau_nodes=len(nodes),
-        nba_states=len(order),
-        past_atoms=len(past_atoms),
-        seconds=elapsed,
-    )
-    return NBA(
-        alphabet,
-        len(order),
+    return (
+        order,
         {key: frozenset(value) for key, value in transitions.items()},
-        [initial],
         accepting,
     )

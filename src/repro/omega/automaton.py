@@ -186,10 +186,22 @@ class DetAutomaton:
     # --------------------------------------------------------------- algebra
 
     def complement(self) -> DetAutomaton:
-        """Same core, dual acceptance — determinism makes this exact."""
-        return DetAutomaton(
-            self.alphabet, self._delta, self.initial, self.acceptance.dual(self.num_states)
-        )
+        """Same core, dual acceptance — determinism makes this exact.
+
+        Memoized per instance: the classification pass dualizes the same
+        automaton several times, and the already-validated table need not be
+        re-checked or re-copied.
+        """
+        cached = self.__dict__.get("_complement")
+        if cached is None:
+            cached = DetAutomaton.trusted(
+                self.alphabet,
+                self._delta,
+                self.initial,
+                self.acceptance.dual(self.num_states),
+            )
+            self.__dict__["_complement"] = cached
+        return cached
 
     def with_acceptance(self, acceptance: Acceptance) -> DetAutomaton:
         return DetAutomaton(self.alphabet, self._delta, self.initial, acceptance)

@@ -47,6 +47,102 @@ from repro.omega.graph import (
 # ---------------------------------------------------------------------------
 
 
+class _WagnerBackend:
+    """SCC / good-component service for one automaton's analysis pass.
+
+    The Wagner checks decompose many sub-arenas of the same graph; the dense
+    route (selected once per pass) reuses one Tarjan scratch over the flat
+    transition table and computes good components through the mask kernels
+    in :mod:`repro.fastpath.scc`.  Component *sets* are identical either way
+    — only the enumeration order may differ, and every caller below is
+    order-independent (existence checks, maxima, DAG relabelings).
+    """
+
+    __slots__ = (
+        "aut", "dense", "_scc", "_scratch", "_adjacency", "_vector", "_pair_masks"
+    )
+
+    @classmethod
+    def of(cls, aut: DetAutomaton) -> "_WagnerBackend":
+        """The backend for ``aut`` on the currently selected route.
+
+        Memoized on the automaton (keyed by the route decision, so a
+        ``forced``-mode differential run never reuses the other route's
+        backend): one analysis pass asks for the same graph many times.
+        """
+        from repro.fastpath.config import kernel_selected
+
+        dense = kernel_selected("wagner", aut.num_states * len(aut.alphabet))
+        cache = aut.__dict__.setdefault("_wagner_backends", {})
+        backend = cache.get(dense)
+        if backend is None:
+            backend = cls(aut, dense)
+            cache[dense] = backend
+        return backend
+
+    def __init__(self, aut: DetAutomaton, dense: bool) -> None:
+        self.aut = aut
+        self.dense = dense
+        if self.dense:
+            from repro.fastpath import scc as _scc
+
+            n = aut.num_states
+            self._scc = _scc
+            self._vector = _scc._vector_delta(n, aut._delta)  # noqa: SLF001
+            self._adjacency = (
+                aut._delta if self._vector is None else self._vector  # noqa: SLF001
+            )
+            self._scratch = _scc._TarjanScratch(n, self._adjacency)  # noqa: SLF001
+            self._pair_masks = [
+                (_scc.pack_mask(p.left, n), _scc.pack_mask(p.right, n))
+                for p in aut.acceptance.pairs
+            ]
+
+    def sccs(self, states) -> list[list[int]]:
+        """Restricted SCC member lists of the subgraph induced by ``states``.
+
+        Large candidates route through the scipy SCC pass when available;
+        the component *sets* are identical to Tarjan's, only the emission
+        order (and the member order within a component) differs.
+        """
+        if self.dense:
+            candidate = sorted(states)
+            if (
+                self._vector is not None
+                and len(candidate) >= self._scc.VECTOR_MIN_STATES
+            ):
+                from repro.fastpath import vector
+
+                labels, n_comp, _ = vector.strong_components(
+                    self._vector, vector.as_state_array(candidate)
+                )
+                groups: list[list[int]] = [[] for _ in range(n_comp)]
+                for state, component in zip(candidate, labels.tolist()):
+                    groups[component].append(state)
+                return groups
+            return self._scratch.sccs(candidate)
+        return restricted_sccs(states, self.aut.successors)
+
+    def good_components(self, states) -> list[frozenset[int]]:
+        """Maximal accepting sub-SCCs of the induced subgraph (Streett)."""
+        if self.dense:
+            n = self.aut.num_states
+            scc = self._scc
+            return [
+                frozenset(scc.unpack_positions(mask))
+                for mask in scc.streett_good_masks(
+                    n,
+                    scc.pack_mask(states, n),
+                    self._adjacency,
+                    self._pair_masks,
+                    scratch=self._scratch,
+                )
+            ]
+        return streett_good_components(
+            states, self.aut.successors, self.aut.acceptance.pairs
+        )
+
+
 def is_safety(aut: DetAutomaton) -> bool:
     """Is the property topologically closed (= a safety property)?"""
     return is_safety_closed(aut)
@@ -60,16 +156,17 @@ def _streett_violations_of_recurrence(aut: DetAutomaton) -> bool:
     """Is there an accepting cycle inside a rejecting super-cycle? (Streett kind)"""
     pairs = aut.acceptance.pairs
     reachable = aut.reachable
+    backend = _WagnerBackend.of(aut)
     for pair in pairs:
         arena = reachable - pair.left
-        for scc in restricted_sccs(arena, aut.successors):
+        for scc in backend.sccs(arena):
             scc_set = frozenset(scc)
             internal = lambda s, inside=scc_set: [t for t in aut.successors(s) if t in inside]
             if not is_nontrivial_component(scc, internal):
                 continue
             if scc_set <= pair.right:
                 continue  # the super-cycle would still be accepting on this pair
-            if streett_good_components(scc_set, aut.successors, pairs):
+            if backend.good_components(scc_set):
                 return True
     return False
 
@@ -77,10 +174,11 @@ def _streett_violations_of_recurrence(aut: DetAutomaton) -> bool:
 def _streett_violations_of_persistence(aut: DetAutomaton) -> bool:
     """Is there a rejecting cycle inside an accepting super-cycle? (Streett kind)"""
     pairs = aut.acceptance.pairs
-    for component in streett_good_components(aut.reachable, aut.successors, pairs):
+    backend = _WagnerBackend.of(aut)
+    for component in backend.good_components(aut.reachable):
         for pair in pairs:
             arena = component - pair.left
-            for scc in restricted_sccs(arena, aut.successors):
+            for scc in backend.sccs(arena):
                 scc_set = frozenset(scc)
                 internal = lambda s, inside=scc_set: [t for t in aut.successors(s) if t in inside]
                 if is_nontrivial_component(scc, internal) and not scc_set <= pair.right:
@@ -136,11 +234,12 @@ def _chain_lengths(aut: DetAutomaton) -> tuple[int, int]:
     strictly decreasing and alternate acceptance."""
     pairs = aut.acceptance.pairs
     successors = aut.successors
+    backend = _WagnerBackend.of(aut)
 
     @lru_cache(maxsize=None)
     def top_accepting(arena: frozenset[int]) -> int:
         best = 0
-        for component in streett_good_components(arena, successors, pairs):
+        for component in backend.good_components(arena):
             best = max(best, 1 + top_rejecting(component))
         return best
 
@@ -149,7 +248,7 @@ def _chain_lengths(aut: DetAutomaton) -> tuple[int, int]:
         best = 0
         for pair in pairs:
             shrunk = arena - pair.left
-            for scc in restricted_sccs(shrunk, successors):
+            for scc in backend.sccs(shrunk):
                 scc_set = frozenset(scc)
                 internal = lambda s, inside=scc_set: [t for t in successors(s) if t in inside]
                 if not is_nontrivial_component(scc, internal) or scc_set <= pair.right:
@@ -221,7 +320,7 @@ def obligation_degree(aut: DetAutomaton) -> int | None:
     if not is_obligation(aut):
         return None
     reachable = sorted(aut.reachable)
-    sccs = restricted_sccs(reachable, aut.successors)
+    sccs = _WagnerBackend.of(aut).sccs(reachable)
     label: dict[int, str] = {}
     component_of: dict[int, int] = {}
     component_sets: list[frozenset[int]] = []
@@ -337,7 +436,7 @@ def is_obligation_shaped(aut: DetAutomaton, degree: int | None = None) -> bool:
         return False
     good, _ = _good_bad_split(aut)
     reachable = sorted(aut.reachable)
-    sccs = restricted_sccs(reachable, aut.successors)
+    sccs = _WagnerBackend.of(aut).sccs(reachable)
     component_of: dict[int, int] = {}
     mixed = False
     for index, scc in enumerate(sccs):

@@ -14,23 +14,14 @@ from repro.omega.acceptance import Acceptance, Pair
 from repro.omega.automaton import DetAutomaton
 
 
-def _color_of(aut: DetAutomaton, state: int) -> tuple[bool, ...]:
-    profile: list[bool] = []
-    for pair in aut.acceptance.pairs:
-        profile.append(state in pair.left)
-        profile.append(state in pair.right)
-    return tuple(profile)
-
-
-def quotient_reduce(aut: DetAutomaton) -> DetAutomaton:
-    """The coarsest color-respecting bisimulation quotient (reachable part)."""
-    trimmed = aut.trim()
-    states = list(trimmed.states)
+def _quotient_blocks_reference(
+    trimmed: DetAutomaton, states: list[int], colors: list[tuple[bool, ...]]
+) -> dict[int, int]:
+    """Partition refinement over ``step`` calls (the reference route)."""
     block: dict[int, int] = {}
     signatures: dict[tuple, int] = {}
-    for state in states:
-        signature = _color_of(trimmed, state)
-        block[state] = signatures.setdefault(signature, len(signatures))
+    for state, color in zip(states, colors):
+        block[state] = signatures.setdefault(color, len(signatures))
 
     while True:
         new_signatures: dict[tuple, int] = {}
@@ -44,6 +35,33 @@ def quotient_reduce(aut: DetAutomaton) -> DetAutomaton:
         if new_block == block:
             break
         block = new_block
+    return block
+
+
+def _color_of(aut: DetAutomaton, state: int) -> tuple[bool, ...]:
+    profile: list[bool] = []
+    for pair in aut.acceptance.pairs:
+        profile.append(state in pair.left)
+        profile.append(state in pair.right)
+    return tuple(profile)
+
+
+def quotient_reduce(aut: DetAutomaton) -> DetAutomaton:
+    """The coarsest color-respecting bisimulation quotient (reachable part)."""
+    from repro.fastpath.config import kernel_selected
+
+    trimmed = aut.trim()
+    states = list(trimmed.states)
+    colors = [_color_of(trimmed, state) for state in states]
+
+    if kernel_selected("quotient", trimmed.num_states * len(trimmed.alphabet)):
+        from repro.fastpath.reduce import quotient_blocks_dense
+
+        block = dict(
+            enumerate(quotient_blocks_dense(trimmed._delta, colors))  # noqa: SLF001
+        )
+    else:
+        block = _quotient_blocks_reference(trimmed, states, colors)
 
     representatives: dict[int, int] = {}
     for state in states:

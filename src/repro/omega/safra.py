@@ -143,9 +143,35 @@ def _determinize(nba: NBA, obs_span) -> DetAutomaton:
     import time
 
     from repro.engine.metrics import METRICS, trace
-    from repro.finitary.dfa import explore
+    from repro.fastpath.config import kernel_selected
 
     start = time.perf_counter()
+    # Tree work per macrostate grows with the (up to exponential) number of
+    # Safra nodes, so the work proxy is deliberately superlinear in |Q|.
+    if kernel_selected("safra", nba.num_states ** 2 * len(nba.alphabet)):
+        from repro.fastpath.safra import determinize_dense
+
+        result = determinize_dense(nba)
+    else:
+        result = _determinize_reference(nba)
+    elapsed = time.perf_counter() - start
+    METRICS.timer("safra.determinize").observe(elapsed)
+    METRICS.histogram("safra.macrostates").observe(result.num_states)
+    obs_span.set_attribute("dra_states", result.num_states)
+    obs_span.set_attribute("pairs", len(result.acceptance.pairs))
+    trace(
+        "safra.determinize",
+        nba_states=nba.num_states,
+        dra_states=result.num_states,
+        pairs=len(result.acceptance.pairs),
+        seconds=elapsed,
+    )
+    return result
+
+
+def _determinize_reference(nba: NBA) -> DetAutomaton:
+    from repro.finitary.dfa import explore
+
     if nba.initials:
         initial_tree: FrozenTree | None = (0, frozenset(nba.initials), ())
     else:
@@ -181,18 +207,6 @@ def _determinize(nba: NBA, obs_span) -> DetAutomaton:
             pairs.append(Pair(marked_states, absent_states))
     if not pairs:
         pairs.append(Pair(frozenset(), frozenset()))  # empty language
-    elapsed = time.perf_counter() - start
-    METRICS.timer("safra.determinize").observe(elapsed)
-    METRICS.histogram("safra.macrostates").observe(len(order))
-    obs_span.set_attribute("dra_states", len(order))
-    obs_span.set_attribute("pairs", len(pairs))
-    trace(
-        "safra.determinize",
-        nba_states=nba.num_states,
-        dra_states=len(order),
-        pairs=len(pairs),
-        seconds=elapsed,
-    )
     return DetAutomaton(nba.alphabet, rows, 0, Acceptance(Kind.RABIN, tuple(pairs)))
 
 

@@ -25,6 +25,7 @@ from repro.qa.generate import (
     random_formula,
     random_language,
     random_lasso,
+    random_nba,
     random_nfa,
     random_normal_form_formula,
     random_past_formula,
@@ -46,6 +47,7 @@ __all__ = [
     "random_formula",
     "random_language",
     "random_lasso",
+    "random_nba",
     "random_nfa",
     "random_normal_form_formula",
     "random_past_formula",

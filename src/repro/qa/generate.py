@@ -303,3 +303,29 @@ def random_det_automaton(
             [(subset(), subset()) for _ in range(rng.randrange(1, max_pairs + 1))]
         )
     return DetAutomaton(alphabet, rows, 0, acceptance)
+
+
+def random_nba(
+    rng: random.Random,
+    alphabet: Alphabet,
+    max_states: int = 8,
+    *,
+    density: float = 0.45,
+):
+    """A random nondeterministic Büchi automaton (sparse relation).
+
+    Sparse on purpose: missing (state, symbol) rows exercise the dead-branch
+    handling of both Safra routes, and low densities keep the deterministic
+    blowup bounded for differential runs.
+    """
+    from repro.omega.buchi import NBA
+
+    n = rng.randrange(1, max_states + 1)
+    transitions: dict[tuple[int, object], frozenset[int]] = {}
+    for state in range(n):
+        for symbol in alphabet:
+            targets = frozenset(t for t in range(n) if rng.random() < density)
+            if targets:
+                transitions[(state, symbol)] = targets
+    accepting = [q for q in range(n) if rng.random() < 0.5]
+    return NBA(alphabet, n, transitions, [rng.randrange(n)], accepting)

@@ -481,6 +481,35 @@ def _nfa_from_json(data: dict[str, Any], alphabet: Alphabet):
     )
 
 
+def _nba_to_json(nba) -> dict[str, Any]:
+    return {
+        "num_states": nba.num_states,
+        "edges": [
+            [state, str(symbol), sorted(targets)]
+            for (state, symbol), targets in sorted(
+                nba.transitions.items(), key=lambda item: (item[0][0], str(item[0][1]))
+            )
+        ],
+        "initials": sorted(nba.initials),
+        "accepting": sorted(nba.accepting),
+    }
+
+
+def _nba_from_json(data: dict[str, Any], alphabet: Alphabet):
+    from repro.omega.buchi import NBA
+
+    return NBA(
+        alphabet,
+        data["num_states"],
+        {
+            (state, symbol): frozenset(targets)
+            for state, symbol, targets in data["edges"]
+        },
+        data["initials"],
+        data["accepting"],
+    )
+
+
 class FastpathOracle(Oracle):
     """Every dense kernel against its reference twin, on one random subject.
 
@@ -502,7 +531,7 @@ class FastpathOracle(Oracle):
     )
 
     def generate(self, rng: random.Random, config: GeneratorConfig):
-        from repro.qa.generate import random_nfa
+        from repro.qa.generate import random_nba, random_nfa
 
         nfa_a = random_nfa(rng, config.alphabet, rng.randrange(3, 8))
         nfa_b = random_nfa(rng, config.alphabet, rng.randrange(3, 8))
@@ -511,7 +540,9 @@ class FastpathOracle(Oracle):
         size = rng.randrange(200, 256) if rng.random() < 0.15 else None
         aut_a = random_det_automaton(rng, config.alphabet, size or config.max_states, config.max_pairs)
         aut_b = random_det_automaton(rng, config.alphabet, config.max_states, config.max_pairs)
-        return nfa_a, nfa_b, aut_a, aut_b, rng.random() < 0.5
+        nba = random_nba(rng, config.alphabet, 8)
+        formula = random_formula(rng, config.propositions, config.max_depth)
+        return nfa_a, nfa_b, aut_a, aut_b, rng.random() < 0.5, nba, formula
 
     @staticmethod
     def _same_dfa(a, b) -> bool:
@@ -528,13 +559,24 @@ class FastpathOracle(Oracle):
         check = ProductCheck([aut_a, aut_b], [False, complemented])
         return nonempty, check.witness_component() is None
 
+    @staticmethod
+    def _same_det(a, b) -> bool:
+        return (
+            a._delta == b._delta  # noqa: SLF001 — structural identity is the contract
+            and a.initial == b.initial
+            and a.acceptance == b.acceptance
+        )
+
     def check(self, subject) -> str | None:
         import os
 
         from repro.fastpath.config import forced
+        from repro.fastpath.labels import compress_det, expand_det
         from repro.fastpath.vector import HAVE_VECTOR
+        from repro.logic.translate import formula_to_nba
+        from repro.omega.safra import determinize
 
-        nfa_a, nfa_b, aut_a, aut_b, complemented = subject
+        nfa_a, nfa_b, aut_a, aut_b, complemented, nba, formula = subject
 
         def construction_views():
             dfa_a = nfa_a.determinize()
@@ -547,11 +589,19 @@ class FastpathOracle(Oracle):
                 dfa_a.union(dfa_b),
             )
 
+        def omega_views():
+            return (
+                determinize(nba),
+                formula_to_nba(formula, nba.alphabet),
+            )
+
         with forced("off"):
             reference = construction_views()
+            dra_ref, nba_ref = omega_views()
             nonempty_ref, empty_ref = self._emptiness_views(aut_a, aut_b, complemented)
         with forced("on"):
             dense = construction_views()
+            dra_fast, nba_fast = omega_views()
             nonempty_fast, empty_fast = self._emptiness_views(aut_a, aut_b, complemented)
             if HAVE_VECTOR:
                 # Third route: the dense kernels with the vector backend off.
@@ -569,6 +619,18 @@ class FastpathOracle(Oracle):
         for name, ref, fast in zip(names, reference, dense):
             if not self._same_dfa(ref, fast):
                 return f"{name}: dense result not structurally identical to reference"
+        if not self._same_det(dra_ref, dra_fast):
+            return "safra: dense determinization not structurally identical"
+        if (
+            nba_ref.transitions != nba_fast.transitions
+            or nba_ref.num_states != nba_fast.num_states
+            or nba_ref.initials != nba_fast.initials
+            or nba_ref.accepting != nba_fast.accepting
+        ):
+            return "gpvw: dense tableau enumeration not structurally identical"
+        restored = expand_det(*compress_det(dra_ref))
+        if not self._same_det(dra_ref, restored):
+            return "labels: expand(compress(A)) not structurally identical to A"
         if nonempty_ref != nonempty_fast:
             return (
                 f"nonempty_states: reference {sorted(nonempty_ref)} !="
@@ -582,7 +644,7 @@ class FastpathOracle(Oracle):
         return None
 
     def to_artifact(self, subject) -> dict[str, Any]:
-        nfa_a, nfa_b, aut_a, aut_b, complemented = subject
+        nfa_a, nfa_b, aut_a, aut_b, complemented, nba, formula = subject
         return {
             "nfa_a": _nfa_to_json(nfa_a),
             "nfa_b": _nfa_to_json(nfa_b),
@@ -590,23 +652,38 @@ class FastpathOracle(Oracle):
             "aut_b": to_hoa(aut_b),
             "letters": "".join(str(s) for s in aut_a.alphabet),
             "complemented": complemented,
+            "nba": _nba_to_json(nba),
+            "formula": repr(formula),
         }
 
     def from_artifact(self, artifact):
         alphabet = Alphabet.from_letters(artifact["letters"])
+        nba_data = artifact.get("nba")
+        nba = (
+            _nba_from_json(nba_data, alphabet)
+            if nba_data is not None
+            else _nba_from_json(
+                {"num_states": 1, "edges": [], "initials": [0], "accepting": []},
+                alphabet,
+            )
+        )
+        formula = parse_formula(artifact.get("formula", "a"))
         return (
             _nfa_from_json(artifact["nfa_a"], alphabet),
             _nfa_from_json(artifact["nfa_b"], alphabet),
             from_hoa(artifact["aut_a"], alphabet=alphabet),
             from_hoa(artifact["aut_b"], alphabet=alphabet),
             artifact["complemented"],
+            nba,
+            formula,
         )
 
     def describe(self, subject) -> str:
-        nfa_a, nfa_b, aut_a, aut_b, complemented = subject
+        nfa_a, nfa_b, aut_a, aut_b, complemented, nba, formula = subject
         return (
             f"NFAs {nfa_a.num_states}/{nfa_b.num_states} states,"
             f" ω-automata {aut_a.num_states}/{aut_b.num_states} states,"
+            f" NBA {nba.num_states} states, formula {formula!r},"
             f" complemented={complemented}"
         )
 

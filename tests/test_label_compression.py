@@ -1,0 +1,162 @@
+"""Alphabet/label compression: lossless, order-preserving, degenerate-safe.
+
+The invariants documented in ``repro/fastpath/labels.py``, checked on the
+qa generators plus the two degenerate partitions (one class for the whole
+alphabet; one class per symbol), with the HOA round-trip composed on top:
+compressing, serializing to HOA, parsing back and re-expanding must restore
+the original automaton structurally.
+"""
+
+import random
+
+import pytest
+
+from repro.fastpath.labels import (
+    LabelPartition,
+    compress_det,
+    det_partition,
+    expand_det,
+    nba_partition,
+)
+from repro.omega.acceptance import Acceptance
+from repro.omega.automaton import DetAutomaton
+from repro.omega.hoa import from_hoa, to_hoa
+from repro.qa.generate import random_det_automaton, random_nba
+from repro.words import Alphabet
+
+ABC = Alphabet.from_letters("abc")
+
+
+def _same_det(a, b) -> bool:
+    return (
+        a.alphabet.symbols == b.alphabet.symbols
+        and a._delta == b._delta
+        and a.initial == b.initial
+        and a.acceptance == b.acceptance
+    )
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_compress_expand_round_trip(seed):
+    aut = random_det_automaton(random.Random(seed), ABC, max_states=6)
+    compressed, partition = compress_det(aut)
+    assert _same_det(expand_det(compressed, partition), aut)
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_hoa_round_trip_of_compressed_automaton(seed):
+    aut = random_det_automaton(random.Random(seed), ABC, max_states=6)
+    compressed, partition = compress_det(aut)
+    parsed = from_hoa(to_hoa(compressed), alphabet=compressed.alphabet)
+    assert parsed.acceptance.kind is compressed.acceptance.kind
+    restored = expand_det(parsed, partition)
+    for lasso_seed in range(5):
+        rng = random.Random(lasso_seed)
+        word = [rng.choice(ABC.symbols) for _ in range(6)]
+        assert restored.run_word(word) == aut.run_word(word)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_partition_is_numbered_by_first_occurrence(seed):
+    aut = random_det_automaton(random.Random(seed), ABC, max_states=5)
+    partition = det_partition(aut)
+    # Classes appear in ascending order of their first member, members are
+    # ascending, and class_of/members are mutually consistent.
+    firsts = [group[0] for group in partition.members]
+    assert firsts == sorted(firsts)
+    for class_id, group in enumerate(partition.members):
+        assert list(group) == sorted(group)
+        for position in group:
+            assert partition.class_of[position] == class_id
+    assert sorted(p for g in partition.members for p in g) == list(
+        range(len(ABC))
+    )
+
+
+def test_single_class_degenerate_partition():
+    # Every column equal: the alphabet compresses to one representative.
+    rows = [[1, 1, 1], [0, 0, 0]]
+    aut = DetAutomaton(ABC, rows, 0, Acceptance.buchi([1]))
+    compressed, partition = compress_det(aut)
+    assert partition.num_classes == 1
+    assert not partition.is_trivial
+    assert len(compressed.alphabet) == 1
+    assert compressed.alphabet.symbols == ("a",)
+    assert _same_det(expand_det(compressed, partition), aut)
+    # HOA round-trip survives the single-symbol alphabet.
+    parsed = from_hoa(to_hoa(compressed), alphabet=compressed.alphabet)
+    assert _same_det(expand_det(parsed, partition), aut)
+
+
+def test_identity_degenerate_partition():
+    # All columns distinct: compression is the identity partition.
+    rows = [[0, 1, 2], [1, 2, 0], [2, 0, 1]]
+    aut = DetAutomaton(ABC, rows, 0, Acceptance.buchi([2]))
+    compressed, partition = compress_det(aut)
+    assert partition.num_classes == len(ABC)
+    assert partition.is_trivial
+    assert compressed.alphabet.symbols == ABC.symbols
+    assert _same_det(expand_det(compressed, partition), aut)
+
+
+def test_single_symbol_alphabet():
+    # |Σ| = 1 is simultaneously the one-class and the identity partition.
+    alphabet = Alphabet.from_letters("a")
+    aut = DetAutomaton(alphabet, [[1], [0]], 0, Acceptance.buchi([0]))
+    compressed, partition = compress_det(aut)
+    assert partition.num_classes == 1
+    assert partition.is_trivial
+    assert _same_det(expand_det(compressed, partition), aut)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_nba_partition_groups_equal_columns(seed):
+    nba = random_nba(random.Random(seed), ABC, 6)
+    partition = nba_partition(nba)
+    empty = frozenset()
+
+    def column(symbol):
+        return tuple(
+            nba.transitions.get((state, symbol), empty)
+            for state in range(nba.num_states)
+        )
+
+    symbols = ABC.symbols
+    for class_id, group in enumerate(partition.members):
+        representative = column(symbols[group[0]])
+        for position in group:
+            assert column(symbols[position]) == representative
+    # Distinct classes have distinct columns (the partition is no coarser
+    # than transition equivalence).
+    representatives = [column(symbols[g[0]]) for g in partition.members]
+    assert len(set(representatives)) == len(representatives)
+
+
+def test_powerset_alphabet_compression_is_nontrivial():
+    # A formula-shaped automaton over 2^{a,b,c} that ignores "c": symbols
+    # agreeing on {a,b} must share a class.
+    alphabet = Alphabet.powerset_of_propositions("abc")
+    rows = []
+    for state in range(4):
+        row = []
+        for symbol in alphabet:
+            row.append((state + ("a" in symbol) + 2 * ("b" in symbol)) % 4)
+        rows.append(row)
+    aut = DetAutomaton(alphabet, rows, 0, Acceptance.buchi([0]))
+    partition = det_partition(aut)
+    assert partition.num_classes == 4
+    for group in partition.members:
+        projections = {
+            frozenset(alphabet.symbols[p] & {"a", "b"}) for p in group
+        }
+        assert len(projections) == 1
+    compressed, partition = compress_det(aut)
+    assert _same_det(expand_det(compressed, partition), aut)
+
+
+def test_from_columns_on_explicit_keys():
+    partition = LabelPartition.from_columns(ABC, ["x", "y", "x"])
+    assert partition.class_of == (0, 1, 0)
+    assert partition.members == ((0, 2), (1,))
+    assert partition.representatives() == ("a", "b")
+    assert partition.expand_row([10, 20]) == [10, 20, 10]
