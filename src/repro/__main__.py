@@ -35,6 +35,13 @@ bench --fleet [--out F] [--check F]   vectorized monitor fleet vs a scalar
 monitor FORMULA --streams N           run a monitor fleet over JSONL event
         [--stream F] [--backend B]    batches (file or stdin); exit 1 if any
                                       stream ends VIOLATED
+census PATH... [--jobs N]             classify a whole .ltl corpus through a
+       [--timeout S] [--out CSV]      crash-isolated worker pool; one CSV row
+       [--check BASELINE]             per formula (class, Wagner index,
+       [--summary-out JSON]           liveness flags, automaton sizes per
+                                      route); --check gates against the
+                                      committed baseline census
+census --emit-corpus DIR              regenerate the curated formulas/ corpus
 zoo                                   print the canonical Figure-1 witnesses
 
 Global flags: ``--version``, ``--seed N`` (seeds ``random`` for
@@ -427,6 +434,62 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     return 1 if report.counts.violated else 0
 
 
+def cmd_census(args: argparse.Namespace) -> int:
+    from repro.census import (
+        check_against_baseline,
+        load_corpus,
+        read_census_csv,
+        run_census,
+        summary_json,
+        write_census_csv,
+        write_corpus,
+    )
+
+    if args.emit_corpus:
+        paths = write_corpus(args.emit_corpus, seed=args.corpus_seed)
+        for path in paths:
+            print(f"wrote {path}")
+        return 0
+    if not args.paths:
+        print("error: provide corpus PATHs (or --emit-corpus DIR)", file=sys.stderr)
+        return 2
+    if args.jobs is not None and args.jobs < 1:
+        print("error: --jobs must be at least 1", file=sys.stderr)
+        return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print("error: --timeout must be positive", file=sys.stderr)
+        return 2
+    if args.limit is not None and args.limit < 1:
+        print("error: --limit must be at least 1", file=sys.stderr)
+        return 2
+    entries = load_corpus(args.paths)
+    if args.limit is not None:
+        entries = entries[: args.limit]
+    report = run_census(
+        entries,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        serial=args.serial,
+        start_method=args.start_method,
+    )
+    print(report.render())
+    if args.out:
+        count = write_census_csv(report.rows, args.out)
+        print(f"wrote {count} rows to {args.out}")
+    if args.summary_out:
+        with open(args.summary_out, "w", encoding="utf-8") as handle:
+            handle.write(summary_json(report, [str(p) for p in args.paths]))
+        print(f"wrote {args.summary_out}")
+    exit_code = 0 if report.ok else 1
+    if args.check:
+        baseline = read_census_csv(args.check)
+        check = check_against_baseline(report.rows, baseline)
+        print(check.render())
+        if not check.ok:
+            exit_code = 1
+    return exit_code
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -778,6 +841,67 @@ def main(argv: list[str] | None = None) -> int:
         help="print one character per stream at the end (V/S/?)",
     )
     p_monitor.set_defaults(func=cmd_monitor)
+
+    p_census = sub.add_parser(
+        "census", help="classify a .ltl corpus through a crash-isolated pool"
+    )
+    p_census.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help=".ltl files and/or directories of .ltl files",
+    )
+    p_census.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default: cpu count, max 8)"
+    )
+    p_census.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="per-formula wall-clock budget in seconds (default 60)",
+    )
+    p_census.add_argument(
+        "--serial",
+        action="store_true",
+        help="run in-process (no isolation/timeout; for debugging and tests)",
+    )
+    p_census.add_argument(
+        "--start-method",
+        choices=["fork", "spawn", "forkserver"],
+        default=None,
+        help="multiprocessing start method (default: fork where available)",
+    )
+    p_census.add_argument(
+        "--limit", type=int, default=None, help="census only the first N formulas"
+    )
+    p_census.add_argument(
+        "--out", metavar="CSV", default=None, help="write the per-formula census CSV"
+    )
+    p_census.add_argument(
+        "--summary-out",
+        metavar="JSON",
+        default=None,
+        help="write the deterministic summary (e.g. BENCH_census.json)",
+    )
+    p_census.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="exit 1 if any class/size column deviates from this baseline CSV",
+    )
+    p_census.add_argument(
+        "--emit-corpus",
+        metavar="DIR",
+        default=None,
+        help="regenerate the curated corpus files into DIR and exit",
+    )
+    p_census.add_argument(
+        "--corpus-seed",
+        type=int,
+        default=1990,
+        help="generator seed for --emit-corpus (default 1990)",
+    )
+    p_census.set_defaults(func=cmd_census)
 
     p_zoo = sub.add_parser("zoo", help="print the canonical Figure-1 witnesses")
     p_zoo.set_defaults(func=cmd_zoo)

@@ -1,0 +1,57 @@
+"""Corpus-scale classification census.
+
+The paper's six-class hierarchy is only convincing as a reproduction if it
+holds over *corpora* of formulas, not hand-picked examples.  This package
+turns the repo into that measurement instrument:
+
+* :mod:`repro.census.corpus` — the ``.ltl`` corpus reader (raw lines or
+  ``LTLSPEC``-prefixed, ``%`` comments, CRLF-tolerant, duplicates deduped
+  with their count preserved, parse errors reported with ``file:line``);
+* :mod:`repro.census.pool` — a crash-isolated multiprocessing pool: a
+  worker that segfaults, ``os._exit``\\ s, or hangs past the per-task
+  wall-clock timeout yields a status row and a replacement worker — one
+  poison formula never sinks the run;
+* :mod:`repro.census.run` — the census itself: every formula fanned through
+  the full classify pipeline (engine-cached classification plus the
+  GPVW → Safra → quotient route sizes) into one deterministic CSV row;
+* :mod:`repro.census.check` — the regression gate: diff the class and size
+  columns of a run against the committed baseline census;
+* :mod:`repro.census.families` — the curated corpus builder (Dwyer-style
+  patterns from :mod:`repro.logic.patterns` plus seeded qa generator
+  families, one derived seed per formula so ``spawn`` and ``fork`` agree).
+
+See ``docs/CENSUS.md`` for the corpus format, the CSV schema and the
+baseline-refresh procedure.
+"""
+
+from repro.census.check import CheckReport, check_against_baseline, summary_json
+from repro.census.corpus import CorpusEntry, load_corpus, read_corpus_file
+from repro.census.families import build_corpus, write_corpus
+from repro.census.pool import CrashIsolatedPool, TaskOutcome
+from repro.census.run import (
+    CENSUS_COLUMNS,
+    CensusReport,
+    CensusRow,
+    read_census_csv,
+    run_census,
+    write_census_csv,
+)
+
+__all__ = [
+    "CENSUS_COLUMNS",
+    "CensusReport",
+    "CensusRow",
+    "CheckReport",
+    "CorpusEntry",
+    "CrashIsolatedPool",
+    "TaskOutcome",
+    "build_corpus",
+    "check_against_baseline",
+    "load_corpus",
+    "read_census_csv",
+    "read_corpus_file",
+    "run_census",
+    "summary_json",
+    "write_census_csv",
+    "write_corpus",
+]

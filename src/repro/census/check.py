@@ -1,0 +1,148 @@
+"""The census regression gate: diff a run against the committed baseline.
+
+The baseline is a full census CSV checked into the repository (see
+``formulas/census_baseline.csv``) plus a ``BENCH_census.json`` summary.
+``census --check BASELINE`` re-runs any corpus (the full one, or the ~200
+formula smoke sub-corpus in CI) and diffs the *semantic* columns — status,
+class, membership flags, liveness, Wagner measurements, syntactic view and
+all four automaton-size columns — formula by formula.  A change anywhere in
+the engine that moves a classification or an automaton size therefore fails
+the gate with a message naming the formula, the column, the baseline value
+and the measured value.
+
+Columns that describe the corpus rather than the property (``source``,
+``count``) and the one nondeterministic column (``wall_ms``) are ignored,
+so a sub-corpus run checks cleanly against the full baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro import __version__
+from repro.census.run import CensusReport, CensusRow
+
+#: The columns the gate compares (everything semantic, nothing incidental).
+CHECKED_COLUMNS = (
+    "status",
+    "class",
+    "safety",
+    "guarantee",
+    "obligation",
+    "recurrence",
+    "persistence",
+    "reactivity",
+    "liveness",
+    "uniform_liveness",
+    "streett_index",
+    "obligation_degree",
+    "syntactic",
+    "normal_form",
+    "nba_states",
+    "dra_states",
+    "quotient_states",
+    "automaton_states",
+)
+
+SUMMARY_SCHEMA = "repro-census/1"
+
+
+@dataclass(frozen=True, slots=True)
+class CheckReport:
+    """Outcome of one baseline diff."""
+
+    compared: int
+    failures: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        if self.ok:
+            return f"census matches baseline on all {self.compared} formulas"
+        lines = [
+            f"census deviates from baseline"
+            f" ({len(self.failures)} problem(s), {self.compared} formulas compared):"
+        ]
+        lines.extend(f"  {failure}" for failure in self.failures)
+        return "\n".join(lines)
+
+
+def _row_cells(row: CensusRow) -> dict[str, str]:
+    from repro.census.run import CENSUS_COLUMNS
+
+    return dict(zip(CENSUS_COLUMNS, row.as_cells()))
+
+
+def check_against_baseline(
+    rows: Sequence[CensusRow], baseline: Sequence[dict[str, str]]
+) -> CheckReport:
+    """Diff the checked columns of ``rows`` against the baseline CSV rows.
+
+    Every formula in the run must appear in the baseline; mismatches are
+    reported per formula and column.  The baseline may be a superset (the
+    smoke job runs a sub-corpus against the full committed census).
+    """
+    indexed = {cells["formula"]: cells for cells in baseline}
+    failures: list[str] = []
+    compared = 0
+    for row in rows:
+        expected = indexed.get(row.formula)
+        if expected is None:
+            failures.append(f"{row.formula}: not in baseline (refresh it?)")
+            continue
+        compared += 1
+        measured = _row_cells(row)
+        for column in CHECKED_COLUMNS:
+            if measured[column] != expected[column]:
+                failures.append(
+                    f"{row.formula}: {column} baseline={expected[column]!r}"
+                    f" measured={measured[column]!r}"
+                )
+    return CheckReport(compared=compared, failures=tuple(failures))
+
+
+# ---------------------------------------------------------------------------
+# The committed summary (BENCH_census.json)
+# ---------------------------------------------------------------------------
+
+
+def _size_stats(rows: Sequence[CensusRow], name: str) -> dict[str, int]:
+    values = [getattr(row, name) for row in rows if row.ok]
+    if not values:
+        return {"total": 0, "max": 0}
+    return {"total": sum(values), "max": max(values)}
+
+
+def summary_json(report: CensusReport, corpus: Sequence[str]) -> str:
+    """A deterministic JSON summary of one census run (no timestamps, no
+    wall-clock — byte-identical across runs of the same corpus)."""
+    rows = report.rows
+    ok_rows = [row for row in rows if row.ok]
+    payload = {
+        "schema": SUMMARY_SCHEMA,
+        "version": __version__,
+        "corpus": list(corpus),
+        "formulas": len(rows),
+        "occurrences": sum(row.count for row in rows),
+        "status": report.status_counts(),
+        "classes": report.class_counts(),
+        "liveness": sum(1 for row in ok_rows if row.liveness),
+        "syntactic_matches_semantic": sum(
+            1 for row in ok_rows if row.syntactic == row.class_
+        ),
+        "max_streett_index": max((row.streett_index for row in ok_rows), default=0),
+        "sizes": {
+            name: _size_stats(rows, name)
+            for name in (
+                "nba_states",
+                "dra_states",
+                "quotient_states",
+                "automaton_states",
+            )
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,139 @@
+"""Reading ``.ltl`` corpus files into a deduplicated formula list.
+
+The accepted format is the common denominator of the corpora floating
+around the LTL tool ecosystem (Spot's ``genltl`` output, NuSMV spec files,
+one-formula-per-line collections):
+
+* one formula per line, in this library's LTL+Past syntax;
+* an optional ``LTLSPEC`` prefix (NuSMV style) is stripped;
+* ``%`` starts a comment — full-line or inline — running to end of line;
+* blank lines (and lines that are only a comment) are skipped;
+* CRLF and trailing whitespace are tolerated;
+* duplicate formulas (structurally equal after parsing) are deduplicated,
+  keeping the first occurrence's source position and counting the rest.
+
+A line that fails to parse raises :class:`repro.errors.CorpusError` naming
+``file:line`` and carrying the underlying :class:`~repro.errors.ParseError`
+with its character offset and caret snippet, so the message points at the
+exact column inside the exact line of the corpus file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import CorpusError, ParseError
+from repro.logic.ast import Formula
+from repro.logic.parser import parse_formula
+
+#: NuSMV-style line prefix, stripped case-sensitively (NuSMV keywords are
+#: uppercase; a lowercase ``ltlspec`` would be a parse error anyway since
+#: ``ltlspec`` is a valid proposition identifier).
+LTLSPEC_PREFIX = "LTLSPEC"
+
+#: Comment character.  ``%`` cannot occur inside a formula (the tokenizer
+#: rejects it), so stripping from the first ``%`` is always safe.
+COMMENT_CHAR = "%"
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusEntry:
+    """One unique formula of a corpus.
+
+    ``text`` is the canonical rendering (``repr`` of the parsed formula,
+    which reparses structurally), not the raw source line — so two spellings
+    of the same formula ("``G p``" and "``G(p)``") share one entry.
+    """
+
+    text: str
+    formula: Formula
+    source: str  # "file.ltl:12" of the first occurrence
+    count: int  # occurrences across the whole corpus (≥ 1)
+
+
+def _strip_line(raw: str) -> str:
+    """Comment/whitespace/prefix stripping for one raw corpus line."""
+    line = raw.split(COMMENT_CHAR, 1)[0].strip()
+    if line.startswith(LTLSPEC_PREFIX):
+        rest = line[len(LTLSPEC_PREFIX):]
+        # Only treat it as the NuSMV keyword when it is a whole word:
+        # ``LTLSPECx`` is not a prefix (and not a formula either, but that
+        # is the parser's diagnostic to give, at the right offset).
+        if rest == "" or rest[0].isspace():
+            line = rest.strip()
+    return line
+
+
+def read_corpus_file(path: Path | str) -> list[tuple[Formula, int]]:
+    """Parse one ``.ltl`` file into ``(formula, line_number)`` pairs.
+
+    Line numbers are 1-based and refer to the physical line in the file.
+    Duplicates are *not* collapsed here — :func:`load_corpus` does that
+    across the whole corpus.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise CorpusError(f"cannot read corpus file {path}: {error}") from error
+    formulas: list[tuple[Formula, int]] = []
+    # splitlines handles \n, \r\n and \r uniformly.
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_line(raw)
+        if not line:
+            continue
+        try:
+            formulas.append((parse_formula(line), lineno))
+        except ParseError as error:
+            raise CorpusError(
+                f"{path}:{lineno}: {error}", path=str(path), line=lineno, cause=error
+            ) from error
+    return formulas
+
+
+def _corpus_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    """Expand directories to their sorted ``*.ltl`` members; keep files."""
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            members = sorted(path.glob("*.ltl"))
+            if not members:
+                raise CorpusError(f"corpus directory {path} contains no .ltl files")
+            yield from members
+        else:
+            yield path
+
+
+def load_corpus(paths: Iterable[Path | str] | Path | str) -> list[CorpusEntry]:
+    """Load and deduplicate a corpus from files and/or directories.
+
+    Directories contribute their ``*.ltl`` files in sorted name order, so a
+    corpus directory always loads in the same order on every platform.
+    Returns entries in first-occurrence order; structurally equal formulas
+    collapse to one entry whose ``count`` says how often they appeared.
+    """
+    if isinstance(paths, (str, Path)):
+        paths = [paths]
+    order: list[Formula] = []
+    seen: dict[Formula, dict] = {}
+    for path in _corpus_files(paths):
+        for formula, lineno in read_corpus_file(path):
+            slot = seen.get(formula)
+            if slot is None:
+                seen[formula] = {"source": f"{path}:{lineno}", "count": 1}
+                order.append(formula)
+            else:
+                slot["count"] += 1
+    if not order:
+        raise CorpusError("corpus is empty (no formulas found)")
+    return [
+        CorpusEntry(
+            text=repr(formula),
+            formula=formula,
+            source=seen[formula]["source"],
+            count=seen[formula]["count"],
+        )
+        for formula in order
+    ]

@@ -1,0 +1,170 @@
+"""Building the curated ``formulas/`` corpus.
+
+Two ingredients, both fully deterministic:
+
+* **Dwyer-style specification patterns** — every pattern/scope combination
+  of :mod:`repro.logic.patterns` over several atom instantiations (plain
+  propositions, boolean combinations, permuted roles), annotated with the
+  pattern name as an inline ``%`` comment;
+* **seeded generator families** — per-class κ-normal-form formulas and a
+  mixed family of unrestricted LTL+Past formulas from the
+  :mod:`repro.qa.generate` generators.  Every formula draws its *own*
+  ``Random`` via :func:`repro.qa.generate.derive_rng`, so the i-th member
+  of a family is identical under ``fork``, ``spawn`` or serial generation
+  (seed derived per formula, never per worker).
+
+Generated candidates whose GPVW NBA exceeds :data:`NBA_STATE_CAP` states
+are skipped (deterministically — the candidate index keeps advancing), so
+the committed corpus never contains a formula whose Safra determinization
+could stall the census; the cap is generous next to the sizes the families
+actually produce.
+
+``write_corpus`` also emits ``smoke.ltl``: every 6th formula of the full
+corpus, ``LTLSPEC``-prefixed (exercising the NuSMV-style reader path), as
+the ~200-formula sub-corpus the CI smoke job checks against the committed
+baseline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.classes import TemporalClass
+from repro.logic.ast import And, Formula, Not, Or, Prop
+from repro.logic.patterns import catalog
+from repro.qa.generate import derive_rng, random_formula, random_normal_form_formula
+
+#: Candidates with a GPVW NBA above this size are excluded from generated
+#: families.  PR 8's Safra twin handles hundreds of NBA states comfortably;
+#: the cap exists so no generated formula can approach the pathological
+#: blowups hypothesis once found around ~80 states.
+NBA_STATE_CAP = 24
+
+#: Default corpus seed — the paper's PODC year, like everything else here.
+DEFAULT_SEED = 1990
+
+_CLASS_QUOTA = 130
+_MIXED_QUOTA = 320
+_SMOKE_STRIDE = 6
+
+
+def _nba_size_ok(formula: Formula) -> bool:
+    from repro.core.classifier import default_alphabet
+    from repro.logic.translate import formula_to_nba
+
+    try:
+        nba = formula_to_nba(formula, default_alphabet(formula))
+    except Exception:  # noqa: BLE001 — unsupported fragment etc.: skip candidate
+        return False
+    return nba.num_states <= NBA_STATE_CAP
+
+
+def _pattern_lines() -> list[str]:
+    p, s, q, r = Prop("p"), Prop("s"), Prop("q"), Prop("r")
+    instantiations = [
+        ("atoms", (p, s, q, r)),
+        ("boolean", (And((p, q)), Or((s, r)), q, r)),
+        ("negated", (Not(p), s, Or((q, p)), And((r, Not(s))))),
+        ("permuted", (p, Not(q), r, s)),
+    ]
+    lines: list[str] = []
+    for tag, (ip, is_, iq, ir) in instantiations:
+        for pattern in catalog(ip, is_, iq, ir):
+            scope = pattern.scope.value.replace(" ", "-")
+            lines.append(
+                f"{pattern.formula!r}  % {pattern.name}/{scope} [{tag}]"
+            )
+    return lines
+
+
+def _unique_family(seed: int, family: str, quota: int, draw) -> list[str]:
+    """Draw candidates by index until ``quota`` unique, cap-passing formulas
+    accumulate.  ``draw(rng)`` produces one candidate."""
+    seen: set[Formula] = set()
+    lines: list[str] = []
+    index = 0
+    while len(lines) < quota:
+        formula = draw(derive_rng(seed, family, index))
+        index += 1
+        if formula in seen or not _nba_size_ok(formula):
+            continue
+        seen.add(formula)
+        lines.append(repr(formula))
+        if index > quota * 50:  # pragma: no cover — generator degenerated
+            raise RuntimeError(f"family {family!r} cannot reach {quota} formulas")
+    return lines
+
+
+def build_corpus(seed: int = DEFAULT_SEED) -> dict[str, list[str]]:
+    """The full corpus as ``{file name: lines}`` (comments included)."""
+    props = ("p", "q")
+    files: dict[str, list[str]] = {}
+    files["patterns.ltl"] = [
+        "% Dwyer-style specification patterns (repro.logic.patterns),",
+        "% every pattern/scope combination over four atom instantiations.",
+        *_pattern_lines(),
+    ]
+    for temporal_class in TemporalClass:
+        name = temporal_class.value
+        files[f"{name}.ltl"] = [
+            f"% {name} family: kappa-normal-form formulas"
+            f" (repro.qa.generate.random_normal_form_formula,"
+            f" seed derived per formula from {seed}).",
+            *_unique_family(
+                seed,
+                f"normal:{name}",
+                _CLASS_QUOTA,
+                lambda rng, cls=temporal_class: random_normal_form_formula(
+                    rng, props, cls
+                ),
+            ),
+        ]
+    files["mixed.ltl"] = [
+        f"% mixed family: unrestricted LTL+Past formulas"
+        f" (repro.qa.generate.random_formula, depth 3,"
+        f" seed derived per formula from {seed}).",
+        *_unique_family(
+            seed,
+            "mixed",
+            _MIXED_QUOTA,
+            lambda rng: random_formula(rng, props, 3),
+        ),
+    ]
+    return files
+
+
+def _is_formula_line(line: str) -> bool:
+    stripped = line.split("%", 1)[0].strip()
+    return bool(stripped)
+
+
+def build_smoke(files: dict[str, list[str]]) -> list[str]:
+    """Every ``_SMOKE_STRIDE``-th corpus formula, ``LTLSPEC``-prefixed."""
+    formulas = [
+        line.split("%", 1)[0].strip()
+        for name in sorted(files)
+        for line in files[name]
+        if _is_formula_line(line)
+    ]
+    picked = formulas[::_SMOKE_STRIDE]
+    return [
+        "% smoke sub-corpus: every"
+        f" {_SMOKE_STRIDE}th formula of the committed corpus, NuSMV-style.",
+        "% The CI census-smoke job runs this file with --check against the",
+        "% committed baseline (duplicates of the main corpus on purpose).",
+        *[f"LTLSPEC {text}" for text in picked],
+    ]
+
+
+def write_corpus(directory: Path | str, seed: int = DEFAULT_SEED) -> list[Path]:
+    """Write the whole corpus (including ``smoke.ltl``); returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    files = build_corpus(seed)
+    files["smoke.ltl"] = build_smoke(files)
+    written = []
+    for name in sorted(files):
+        path = directory / name
+        path.write_text("\n".join(files[name]) + "\n", encoding="utf-8")
+        written.append(path)
+    return written

@@ -60,3 +60,25 @@ class ClassificationError(ReproError):
 
 class MonitorError(ReproError):
     """A monitor stream is malformed (bad JSONL batch line, bad payload)."""
+
+
+class CorpusError(ReproError):
+    """A ``.ltl`` corpus file is unreadable, empty, or fails to parse.
+
+    For parse failures, ``path`` and ``line`` locate the offending corpus
+    line and ``cause`` is the underlying :class:`ParseError` (whose message,
+    already embedded here, carries the character offset and caret snippet).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        line: int | None = None,
+        cause: ParseError | None = None,
+    ) -> None:
+        self.path = path
+        self.line = line
+        self.cause = cause
+        super().__init__(message)

@@ -76,6 +76,27 @@ def coerce_rng(rng: random.Random | int | None) -> random.Random:
     return random.Random(0 if rng is None else rng)
 
 
+def derive_rng(seed: int, *parts: object) -> random.Random:
+    """A ``Random`` derived from ``seed`` and a structured key, not a stream.
+
+    Sequential generators (one ``Random(seed)`` shared by a whole run) make
+    every draw depend on every earlier draw — fine in one process, but fatal
+    the moment generation fans out over a worker pool: under the ``spawn``
+    start method each worker would reseed from scratch (or worse, from a
+    per-worker offset), so the generated family depends on the platform's
+    start method and on how tasks happened to be partitioned.
+
+    Deriving one ``Random`` per generated object from ``(seed, *parts)``
+    — e.g. ``derive_rng(1990, "mixed", 17)`` for the 17th mixed-family
+    formula — removes the order dependence entirely: the i-th formula of a
+    family is the same under ``fork``, ``spawn``, serial generation, or any
+    worker partition.  String seeding hashes with SHA-512 internally, so the
+    derivation is stable across platforms and ``PYTHONHASHSEED`` values.
+    """
+    key = ":".join(str(part) for part in (seed, *parts))
+    return random.Random(key)
+
+
 # ---------------------------------------------------------------------------
 # Words
 # ---------------------------------------------------------------------------

@@ -1,0 +1,116 @@
+"""The ``.ltl`` corpus reader: every edge the census CLI promises to handle."""
+
+import pytest
+
+from repro.census.corpus import CorpusEntry, load_corpus, read_corpus_file
+from repro.errors import CorpusError, ParseError
+from repro.logic.parser import parse_formula
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_bytes(text.encode("utf-8"))
+    return path
+
+
+def test_raw_lines(tmp_path):
+    path = _write(tmp_path, "a.ltl", "G p\nF q\n")
+    formulas = read_corpus_file(path)
+    assert [(repr(f), n) for f, n in formulas] == [("G p", 1), ("F q", 2)]
+
+
+def test_ltlspec_prefix(tmp_path):
+    path = _write(tmp_path, "a.ltl", "LTLSPEC G p\nLTLSPEC  F q\n")
+    formulas = read_corpus_file(path)
+    assert [repr(f) for f, _ in formulas] == ["G p", "F q"]
+
+
+def test_ltlspec_must_be_a_whole_word(tmp_path):
+    # ``ltlspecish`` is a valid proposition; ``LTLSPECx`` is neither the
+    # keyword nor parsable — the parser's diagnostic fires, not the stripper.
+    path = _write(tmp_path, "a.ltl", "LTLSPECx G p\n")
+    with pytest.raises(CorpusError):
+        read_corpus_file(path)
+
+
+def test_full_line_and_inline_comments(tmp_path):
+    path = _write(
+        tmp_path,
+        "a.ltl",
+        "% a header comment\nG p  % trailing words % more\n   % indented comment\nF q\n",
+    )
+    formulas = read_corpus_file(path)
+    assert [(repr(f), n) for f, n in formulas] == [("G p", 2), ("F q", 4)]
+
+
+def test_crlf_and_blank_lines(tmp_path):
+    path = _write(tmp_path, "a.ltl", "G p\r\n\r\n  \r\nF q\r\n")
+    formulas = read_corpus_file(path)
+    assert [(repr(f), n) for f, n in formulas] == [("G p", 1), ("F q", 4)]
+
+
+def test_empty_file_yields_no_formulas_and_empty_corpus_errors(tmp_path):
+    path = _write(tmp_path, "a.ltl", "% only a comment\n\n")
+    assert read_corpus_file(path) == []
+    with pytest.raises(CorpusError, match="empty"):
+        load_corpus(path)
+
+
+def test_missing_file(tmp_path):
+    with pytest.raises(CorpusError, match="cannot read"):
+        read_corpus_file(tmp_path / "nope.ltl")
+
+
+def test_duplicates_deduped_with_count(tmp_path):
+    # Structural dedup: different spellings of one formula share an entry.
+    path = _write(tmp_path, "a.ltl", "G p\nG(p)\nF q\nLTLSPEC G p\n")
+    entries = load_corpus(path)
+    assert [(e.text, e.count) for e in entries] == [("G p", 3), ("F q", 1)]
+    assert entries[0].source == f"{path}:1"  # first occurrence wins
+
+
+def test_dedup_across_files_in_sorted_order(tmp_path):
+    _write(tmp_path, "b.ltl", "G p\nG q\n")
+    _write(tmp_path, "a.ltl", "G p\n")
+    entries = load_corpus(tmp_path)
+    # Directory members load in sorted name order: a.ltl first.
+    assert [(e.text, e.count, e.source) for e in entries] == [
+        ("G p", 2, f"{tmp_path / 'a.ltl'}:1"),
+        ("G q", 1, f"{tmp_path / 'b.ltl'}:2"),
+    ]
+
+
+def test_directory_without_ltl_files(tmp_path):
+    with pytest.raises(CorpusError, match="no .ltl files"):
+        load_corpus(tmp_path)
+
+
+def test_parse_error_reports_file_and_line(tmp_path):
+    path = _write(tmp_path, "bad.ltl", "G p\nG (p ->\nF q\n")
+    with pytest.raises(CorpusError) as excinfo:
+        read_corpus_file(path)
+    error = excinfo.value
+    assert error.path == str(path)
+    assert error.line == 2
+    assert f"{path}:2:" in str(error)
+    # The underlying ParseError travels along with its character offset —
+    # the caret in the message points into the stripped formula text.
+    assert isinstance(error.cause, ParseError)
+    assert error.cause.position is not None
+    assert "^" in str(error)
+
+
+def test_parse_error_offset_survives_comment_stripping(tmp_path):
+    # The offset is relative to the *stripped* line the parser saw.
+    path = _write(tmp_path, "bad.ltl", "G p &  % comment\n")
+    with pytest.raises(CorpusError) as excinfo:
+        read_corpus_file(path)
+    assert excinfo.value.cause.position == len("G p &")
+
+
+def test_canonical_text_reparses(tmp_path):
+    path = _write(tmp_path, "a.ltl", "p U q & G r\n")
+    entries = load_corpus(path)
+    entry = entries[0]
+    assert isinstance(entry, CorpusEntry)
+    assert parse_formula(entry.text) == entry.formula

@@ -1,0 +1,126 @@
+"""Crash isolation in :class:`repro.census.pool.CrashIsolatedPool`.
+
+The worker functions live at module level so they pickle under every start
+method (``tests`` is a package).  Each fault mode — a raised exception, a
+hard ``os._exit`` (standing in for a segfault/OOM kill), and a sleep past
+the deadline — must yield a status row for the poisoned task while every
+other task completes normally.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.census.pool import (
+    STATUS_CRASHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CrashIsolatedPool,
+    default_start_method,
+)
+
+
+def echo_worker(payload):
+    return payload * 10
+
+
+def faulty_worker(payload):
+    if payload == "raise":
+        raise ValueError("deliberate failure")
+    if payload == "die":
+        os._exit(17)
+    if payload == "hang":
+        time.sleep(60.0)
+    return f"ok:{payload}"
+
+
+def _run(payloads, **kwargs):
+    kwargs.setdefault("jobs", 2)
+    return CrashIsolatedPool(faulty_worker, **kwargs).map(payloads)
+
+
+def test_plain_map_preserves_order_and_counts():
+    outcomes = CrashIsolatedPool(echo_worker, jobs=3).map(list(range(20)))
+    assert [o.result for o in outcomes] == [i * 10 for i in range(20)]
+    assert all(o.status == STATUS_OK and o.ok for o in outcomes)
+    assert [o.index for o in outcomes] == list(range(20))
+
+
+def test_raised_exception_becomes_error_row():
+    outcomes = _run(["a", "raise", "b"])
+    assert [o.status for o in outcomes] == [STATUS_OK, STATUS_ERROR, STATUS_OK]
+    assert "deliberate failure" in outcomes[1].error
+    assert outcomes[1].result is None
+    assert not outcomes[1].ok
+    assert [o.result for o in (outcomes[0], outcomes[2])] == ["ok:a", "ok:b"]
+
+
+def test_worker_death_becomes_crashed_row_and_pool_recovers():
+    payloads = ["a", "die", "b", "c", "d"]
+    outcomes = _run(payloads)
+    assert outcomes[1].status == STATUS_CRASHED
+    assert "exitcode" in outcomes[1].error
+    assert {o.status for o in outcomes} == {STATUS_OK, STATUS_CRASHED}
+    survivors = [o for o in outcomes if o.status == STATUS_OK]
+    assert sorted(o.result for o in survivors) == ["ok:a", "ok:b", "ok:c", "ok:d"]
+
+
+def test_hang_becomes_timeout_row_and_remainder_completes():
+    started = time.monotonic()
+    outcomes = _run(["a", "hang", "b"], timeout=1.5)
+    elapsed = time.monotonic() - started
+    assert [o.status for o in outcomes] == [STATUS_OK, STATUS_TIMEOUT, STATUS_OK]
+    assert "timed out after 1.5s" in outcomes[1].error
+    # The hang is bounded by the deadline, not by the worker's sleep(60).
+    assert elapsed < 30.0
+    assert outcomes[1].wall_seconds >= 1.5
+
+
+def test_multiple_faults_in_one_batch():
+    payloads = ["a", "die", "raise", "hang", "b", "die", "c"]
+    outcomes = _run(payloads, timeout=1.5, jobs=3)
+    assert [o.status for o in outcomes] == [
+        STATUS_OK,
+        STATUS_CRASHED,
+        STATUS_ERROR,
+        STATUS_TIMEOUT,
+        STATUS_OK,
+        STATUS_CRASHED,
+        STATUS_OK,
+    ]
+    assert sorted(o.result for o in outcomes if o.ok) == ["ok:a", "ok:b", "ok:c"]
+
+
+def test_all_workers_dead_simultaneously_still_drains():
+    # Every in-flight task dies at once: the pool must respawn and finish.
+    payloads = ["die", "die", "die", "a", "b"]
+    outcomes = _run(payloads, jobs=3)
+    assert [o.status for o in outcomes[:3]] == [STATUS_CRASHED] * 3
+    assert [o.result for o in outcomes[3:]] == ["ok:a", "ok:b"]
+
+
+def test_empty_batch():
+    assert CrashIsolatedPool(echo_worker, jobs=2).map([]) == []
+
+
+def test_invalid_configuration():
+    with pytest.raises(ValueError):
+        CrashIsolatedPool(echo_worker, jobs=0)
+    with pytest.raises(ValueError):
+        CrashIsolatedPool(echo_worker, timeout=0)
+
+
+def test_default_start_method_is_available():
+    import multiprocessing
+
+    assert default_start_method() in multiprocessing.get_all_start_methods()
+
+
+@pytest.mark.perf
+def test_spawn_start_method_round_trip():
+    outcomes = CrashIsolatedPool(echo_worker, jobs=2, start_method="spawn").map(
+        [1, 2, 3]
+    )
+    assert [o.result for o in outcomes] == [10, 20, 30]
