@@ -16,8 +16,22 @@ engine FILE [--executor …]            batch-evaluate a spec file through the
 serve [--port P | --socket S]         run the long-lived classification
       [--store F] [--window-ms N]     service: JSON-lines protocol, request
       [--max-inflight N] [--quota N]  batching, persistent shared cache
+      [--telemetry-port P] [--trace]  …plus the telemetry plane: an HTTP
+                                      sidecar (/metrics /healthz /readyz
+                                      /spans/recent /stats /recorder/dump),
+                                      per-request span trees with wire
+                                      propagation, and a flight recorder
+                                      (dump on SIGUSR1)
 serve --smoke SPEC --store F          two-phase restart-durability smoke
+serve --telemetry-smoke SPEC --store F  telemetry-plane smoke: traced
+                                      traffic, sidecar endpoints, recorder
+                                      dump, stitched client→server spans
+stats --remote HOST:PORT              one dashboard frame from a running
+stats --telemetry URL [--watch]       server (stats verb or sidecar URL);
+                                      --watch polls and redraws live
 classify FORMULA --remote HOST:PORT   classify against a running server
+                                      (--trace prints the stitched span
+                                      tree: client root → server stages)
 trace FILE [--jsonl F] [--prometheus] run a spec file with span tracing on;
                                       print the span tree and top spans,
                                       optionally export JSONL / Prometheus
@@ -28,6 +42,9 @@ bench [--quick] [--out F] [--check F] time the dense fastpath kernels against
                                       JSON report (see docs/PERFORMANCE.md)
 bench --obs [--out F]                 measure span-tracing overhead on the
                                       same kernels; gate it below 5%
+bench --obs --serve                   …plus the end-to-end telemetry A/B
+                                      (tracing + sidecar + recorder vs
+                                      off); gate it below 10%
 bench --serve [--out F] [--check F]   end-to-end service benchmark: rps and
                                       p50/p99 latency over a warm store
 bench --fleet [--out F] [--check F]   vectorized monitor fleet vs a scalar
@@ -92,12 +109,27 @@ def cmd_classify(args: argparse.Namespace) -> int:
         props = None
         if args.props:
             props = [p.strip() for p in args.props.split(",") if p.strip()]
-        with ServeClient.connect(host, port) as client:
-            if args.explain:
-                payload = client.explain(args.formula, props=props)
-            else:
-                payload = client.classify(args.formula, props=props)
+        if args.trace:
+            from repro.obs.spans import TRACER
+
+            TRACER.enable()
+            TRACER.clear()
+        try:
+            with ServeClient.connect(host, port) as client:
+                if args.explain:
+                    payload = client.explain(args.formula, props=props)
+                else:
+                    payload = client.classify(args.formula, props=props)
+        finally:
+            if args.trace:
+                TRACER.disable()
         print(render_payload(payload))
+        if args.trace:
+            from repro.obs.export import render_span_tree
+
+            print()
+            print(render_span_tree(TRACER.finished()))
+            TRACER.clear()
         return 0
     if args.batch:
         from repro.engine.session import EngineSession, SpecSyntaxError
@@ -311,19 +343,48 @@ def _bench_obs(args: argparse.Namespace) -> int:
         quick=args.quick, repeat=args.repeat, kernels=args.kernel or None
     )
     print(render_obs_table(results))
+    serve_telemetry = None
+    failures = overhead_failures(results, limit=limit)
+    if args.serve:
+        from repro.bench.serve import (
+            TELEMETRY_OVERHEAD_LIMIT,
+            run_telemetry_overhead,
+            telemetry_failures,
+        )
+
+        serve_telemetry = run_telemetry_overhead(
+            quick=args.quick, repeat=args.repeat
+        )
+        print(
+            f"\n{serve_telemetry.workload}: {serve_telemetry.off_rps:.0f} req/s off"
+            f" → {serve_telemetry.on_rps:.0f} req/s on"
+            f" ({serve_telemetry.overhead:+.1%}, budget"
+            f" {TELEMETRY_OVERHEAD_LIMIT:.0%}, A/A noise"
+            f" {serve_telemetry.noise:.1%}); traced client"
+            f" {serve_telemetry.traced_rps:.0f} req/s"
+            f" ({serve_telemetry.traced_overhead:+.1%}, informational)"
+        )
+        failures.extend(telemetry_failures(serve_telemetry))
     if args.out:
         report = obs_report_json(
-            results, quick=args.quick, repeat=args.repeat, limit=limit
+            results,
+            quick=args.quick,
+            repeat=args.repeat,
+            limit=limit,
+            serve_telemetry=serve_telemetry,
         )
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(report)
         print(f"wrote {args.out}")
-    failures = overhead_failures(results, limit=limit)
     for failure in failures:
         print(f"overhead: {failure}", file=sys.stderr)
     if failures:
         return 1
-    print(f"tracing overhead within the {limit:.0%} budget on every kernel")
+    scope = "every kernel" if serve_telemetry is None else (
+        "every kernel, and the end-to-end telemetry plane within"
+        " its 10% budget"
+    )
+    print(f"tracing overhead within the {limit:.0%} budget on {scope}")
     return 0
 
 
@@ -512,6 +573,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         print(report.render())
         return 0 if report.ok else 1
+    if args.telemetry_smoke:
+        from repro.serve.smoke import run_telemetry_smoke
+
+        if not args.store:
+            print("error: --telemetry-smoke needs --store FILE", file=sys.stderr)
+            return 2
+        report = run_telemetry_smoke(
+            args.telemetry_smoke, args.store, window_ms=args.window_ms
+        )
+        print(report.render())
+        return 0 if report.ok else 1
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -522,12 +594,45 @@ def cmd_serve(args: argparse.Namespace) -> int:
         client_quota=args.quota,
         executor=args.executor,
         max_workers=args.jobs,
+        telemetry_port=args.telemetry_port,
+        telemetry_host=args.telemetry_host,
+        trace=args.trace,
     )
 
     async def _main() -> None:
+        import signal
+
         server = ClassificationServer(config)
         await server.start()
         print(f"serving on {server.address}  (Ctrl-C to stop)")
+        if server.telemetry_port is not None:
+            print(
+                f"telemetry sidecar on http://{config.telemetry_host}:"
+                f"{server.telemetry_port}  (/metrics /healthz /readyz"
+                " /spans/recent /stats /recorder/dump)"
+            )
+        if hasattr(signal, "SIGUSR1"):
+            def _dump() -> None:
+                count = server.dump_recorder(args.recorder_dump)
+                print(f"flight recorder: wrote {count} spans to {args.recorder_dump}")
+
+            try:
+                asyncio.get_running_loop().add_signal_handler(
+                    signal.SIGUSR1, _dump
+                )
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms without loop signal support run without it
+        if hasattr(signal, "SIGTERM"):
+            # Ctrl-C arrives as KeyboardInterrupt; SIGTERM (init systems,
+            # `kill`, shells where background jobs ignore SIGINT) must get
+            # the same graceful drain, not an abrupt exit.
+            try:
+                asyncio.get_running_loop().add_signal_handler(
+                    signal.SIGTERM,
+                    lambda: asyncio.ensure_future(server.stop()),
+                )
+            except (NotImplementedError, RuntimeError):
+                pass
         try:
             await server.wait_stopped()
         except asyncio.CancelledError:
@@ -539,6 +644,68 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_main())
     except KeyboardInterrupt:
         print("interrupted — server shut down", file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry.watch import (
+        http_stats_fetcher,
+        render_dashboard,
+        render_progress,
+        watch,
+    )
+
+    if bool(args.remote) == bool(args.telemetry):
+        print(
+            "error: pick one stats door: --remote HOST:PORT or --telemetry URL",
+            file=sys.stderr,
+        )
+        return 2
+    if args.telemetry:
+        base = args.telemetry
+        if "://" not in base:
+            base = f"http://{base}"
+        fetch = http_stats_fetcher(base)
+    else:
+        host, port = _parse_remote(args.remote)
+
+        def fetch() -> dict:
+            from repro.serve.client import ServeClient
+
+            # One connection per poll: a dashboard must survive server
+            # restarts, which a held socket would not.
+            with ServeClient.connect(host, port) as client:
+                return client.stats()
+
+    if args.watch:
+        clear = sys.stdout.isatty()
+        try:
+            successes = watch(
+                fetch,
+                interval=args.interval,
+                iterations=args.iterations,
+                clear=clear,
+            )
+        except KeyboardInterrupt:
+            return 0
+        return 0 if successes else 1
+    try:
+        stats = fetch()
+    except Exception as error:  # noqa: BLE001 — one-shot: report and exit
+        print(f"error: stats unavailable: {error}", file=sys.stderr)
+        return 1
+    print(render_dashboard(stats))
+    if args.progress and args.telemetry:
+        import json as json_module
+        from urllib.request import urlopen
+
+        base = args.telemetry
+        if "://" not in base:
+            base = f"http://{base}"
+        with urlopen(base.rstrip("/") + "/progress", timeout=5.0) as response:
+            payload = json_module.loads(response.read().decode("utf-8"))
+        print()
+        print(render_progress(payload.get("jobs", {})))
     return 0
 
 
@@ -610,6 +777,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="send the request to a running classification server instead",
     )
+    p_classify.add_argument(
+        "--trace",
+        action="store_true",
+        help="with --remote: propagate a trace on the wire and print the"
+        " stitched span tree (client root → server request → stages)",
+    )
     p_classify.set_defaults(func=cmd_classify)
 
     p_serve = sub.add_parser(
@@ -657,7 +830,81 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="run the two-phase restart-durability smoke over SPEC and exit",
     )
+    p_serve.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=None,
+        metavar="P",
+        help="serve the HTTP telemetry sidecar on this port (0 = ephemeral;"
+        " default: no sidecar)",
+    )
+    p_serve.add_argument(
+        "--telemetry-host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="bind address for the telemetry sidecar (default 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span tree per request (wire propagation, flight"
+        " recorder capture, response echo for traced clients)",
+    )
+    p_serve.add_argument(
+        "--recorder-dump",
+        metavar="FILE",
+        default="repro-recorder.jsonl",
+        help="where SIGUSR1 dumps the flight recorder"
+        " (default repro-recorder.jsonl)",
+    )
+    p_serve.add_argument(
+        "--telemetry-smoke",
+        metavar="SPEC",
+        default=None,
+        help="run the telemetry-plane smoke (traced traffic, sidecar"
+        " endpoints, recorder dump, stitched spans) over SPEC and exit",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_stats = sub.add_parser(
+        "stats", help="dashboard over a running classification server"
+    )
+    p_stats.add_argument(
+        "--remote",
+        metavar="HOST:PORT",
+        default=None,
+        help="poll the JSON-lines stats verb on this server",
+    )
+    p_stats.add_argument(
+        "--telemetry",
+        metavar="URL",
+        default=None,
+        help="poll a telemetry sidecar instead (e.g. http://127.0.0.1:9100)",
+    )
+    p_stats.add_argument(
+        "--watch",
+        action="store_true",
+        help="poll and redraw until interrupted instead of printing one frame",
+    )
+    p_stats.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between --watch polls (default 2)",
+    )
+    p_stats.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop --watch after N polls (default: run until Ctrl-C)",
+    )
+    p_stats.add_argument(
+        "--progress",
+        action="store_true",
+        help="with --telemetry: also show the /progress job heartbeats",
+    )
+    p_stats.set_defaults(func=cmd_stats)
 
     p_trace = sub.add_parser(
         "trace", help="run a spec file with span tracing and print the span tree"

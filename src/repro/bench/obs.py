@@ -172,16 +172,36 @@ def overhead_failures(
 
 
 def report_json(
-    results: Sequence[ObsResult], *, quick: bool, repeat: int, limit: float = MAX_OVERHEAD
+    results: Sequence[ObsResult],
+    *,
+    quick: bool,
+    repeat: int,
+    limit: float = MAX_OVERHEAD,
+    serve_telemetry=None,
 ) -> str:
+    """The ``BENCH_obs.json`` payload.
+
+    ``serve_telemetry`` — the optional end-to-end A/B from
+    :func:`repro.bench.serve.run_telemetry_overhead` (``bench --obs
+    --serve``): the whole telemetry plane measured against the telemetry-off
+    server, committed beside the per-kernel tracing figures.
+    """
+    command = f"python -m repro bench --obs{' --quick' if quick else ''}"
+    if serve_telemetry is not None:
+        command += " --serve"
     payload = {
         "schema": SCHEMA,
-        "command": f"python -m repro bench --obs{' --quick' if quick else ''} --repeat {repeat}",
+        "command": f"{command} --repeat {repeat}",
         "quick": quick,
         "repeat": repeat,
         "overhead_limit": limit,
         "kernels": {result.kernel: result.as_json() for result in results},
     }
+    if serve_telemetry is not None:
+        from repro.bench.serve import TELEMETRY_OVERHEAD_LIMIT
+
+        payload["serve_telemetry_limit"] = TELEMETRY_OVERHEAD_LIMIT
+        payload["serve_telemetry"] = serve_telemetry.as_json()
     return json.dumps(payload, indent=2) + "\n"
 
 
@@ -206,5 +226,14 @@ def baseline_failures(baseline: Mapping, *, limit: float = MAX_OVERHEAD) -> list
         if entry.get("overhead", 0.0) > limit + entry.get("noise", 0.0):
             failures.append(
                 f"{kernel}: committed overhead {entry['overhead']:.1%} exceeds {limit:.0%}"
+            )
+    serve_entry = baseline.get("serve_telemetry")
+    if serve_entry is not None:
+        serve_limit = baseline.get("serve_telemetry_limit", 0.10)
+        allowance = serve_limit + serve_entry.get("noise", 0.0)
+        if serve_entry.get("overhead", 0.0) > allowance:
+            failures.append(
+                f"serve_telemetry: committed overhead"
+                f" {serve_entry['overhead']:.1%} exceeds {serve_limit:.0%}"
             )
     return failures

@@ -39,6 +39,10 @@ SCHEMA = "repro-bench-serve/1"
 #: baseline/FACTOR (absolute timings need a wide berth on shared runners).
 GATE_FACTOR = 4.0
 
+#: The telemetry plane (tracing + sidecar + recorder) may slow the serving
+#: path by at most this fraction versus the identical telemetry-off server.
+TELEMETRY_OVERHEAD_LIMIT = 0.10
+
 #: The benchmark corpus: one representative per hierarchy class plus
 #: pattern-style properties with shared subterms (cache-friendly traffic).
 FORMULAS = (
@@ -175,6 +179,208 @@ def run_serve_benchmarks(*, quick: bool = False, repeat: int = 3) -> list[ServeR
             repeat=repeat,
         ),
     ]
+
+
+@dataclass(frozen=True)
+class TelemetryOverheadResult:
+    """The telemetry A/B: the same warm workload, telemetry off vs on.
+
+    ``off``/``on`` compare the *standing* cost of running the service with
+    the full telemetry plane (per-request span trees, flight recorder,
+    sidecar) against the identical telemetry-off server, as seen by a
+    standard untraced client — this is what the 10% gate holds.
+    ``traced_seconds`` additionally measures a client that opts into wire
+    trace propagation per request (client span, ``trace`` field, server
+    echo, adoption) — a per-request diagnostic whose cost is reported for
+    transparency but not gated.  ``noise`` is an A/A control: the spread
+    between two interleaved telemetry-off series, i.e. what the machine
+    does to identical code.
+    """
+
+    workload: str
+    description: str
+    requests: int
+    off_seconds: float
+    on_seconds: float
+    traced_seconds: float
+    noise: float
+
+    @property
+    def off_rps(self) -> float:
+        return self.requests / self.off_seconds if self.off_seconds else 0.0
+
+    @property
+    def on_rps(self) -> float:
+        return self.requests / self.on_seconds if self.on_seconds else 0.0
+
+    @property
+    def traced_rps(self) -> float:
+        return self.requests / self.traced_seconds if self.traced_seconds else 0.0
+
+    @property
+    def overhead(self) -> float:
+        """Fractional slowdown from the telemetry plane (0.03 = 3% slower)."""
+        if not self.off_seconds:
+            return 0.0
+        return self.on_seconds / self.off_seconds - 1.0
+
+    @property
+    def traced_overhead(self) -> float:
+        """Slowdown of the full traced round trip (informational)."""
+        if not self.off_seconds:
+            return 0.0
+        return self.traced_seconds / self.off_seconds - 1.0
+
+    def as_json(self) -> dict:
+        return {
+            "description": self.description,
+            "requests": self.requests,
+            "off_rps": round(self.off_rps, 1),
+            "on_rps": round(self.on_rps, 1),
+            "overhead": round(self.overhead, 4),
+            "noise": round(self.noise, 4),
+            "traced_rps": round(self.traced_rps, 1),
+            "traced_overhead": round(self.traced_overhead, 4),
+        }
+
+
+def run_telemetry_overhead(
+    *, quick: bool = False, repeat: int = 3
+) -> TelemetryOverheadResult:
+    """Time the warm pipelined workload against two otherwise-identical
+    servers: telemetry off, and telemetry fully on (tracing + sidecar +
+    recorder).
+
+    Four interleaved series per repeat, best-of-``repeat`` each:
+
+    * ``off_a`` / ``off_b`` — untraced client, telemetry-off server (the
+      pair's spread is the A/A noise figure);
+    * ``on`` — untraced client, telemetry-on server (the gated number:
+      the standing cost every request pays);
+    * ``traced`` — traced client against the telemetry-on server (wire
+      propagation, span echo, adoption — informational).
+
+    The process tracer is a process-wide switch shared by the in-process
+    client, so it is toggled per pass; the untraced passes construct the
+    client with ``trace=False`` so client-side span costs cannot leak into
+    the off side.
+
+    Garbage collection is handled as in :mod:`repro.bench.obs`:
+    ``gc.collect()`` before every timed pass, plus ``gc.freeze()`` around
+    the whole measurement so whatever heap the process accrued *before*
+    this benchmark (``bench --obs --serve`` runs it after six kernel
+    benchmarks) is exempt from collection — otherwise the traced side's
+    span allocations trigger full collections that scan megabytes of
+    unrelated kernel garbage, and that scan time gets billed as telemetry
+    overhead.
+    """
+    import gc
+
+    from repro.obs.spans import TRACER
+
+    passes = 2 if quick else 5
+    requests = _requests_for("classify_warm", passes)
+    previously_enabled = TRACER.enabled
+    stores: list[str] = []
+    handles = []
+    best = {"off_a": float("inf"), "off_b": float("inf"),
+            "on": float("inf"), "traced": float("inf")}
+
+    def timed_pass(client: ServeClient) -> float:
+        gc.collect()
+        start = time.perf_counter()
+        ids = [client.send(verb, **params) for verb, params in requests]
+        for request_id in ids:
+            client.unwrap(client.recv_for(request_id))
+        return time.perf_counter() - start
+
+    try:
+        for telemetry in (False, True):
+            fd, store_path = tempfile.mkstemp(
+                prefix="repro-bench-telemetry-", suffix=".db"
+            )
+            os.close(fd)
+            os.unlink(store_path)
+            stores.append(store_path)
+            config = ServerConfig(
+                port=0,
+                store_path=store_path,
+                window_ms=2.0,
+                telemetry_port=0 if telemetry else None,
+                trace=telemetry,
+            )
+            handles.append(start_in_thread(config))
+        with ServeClient.connect(port=handles[0].port, trace=False) as off_client, \
+                ServeClient.connect(port=handles[1].port, trace=False) as on_client, \
+                ServeClient.connect(port=handles[1].port) as traced_client:
+            TRACER.disable()
+            for client in (off_client, on_client):  # warm: fill store + bank
+                for verb, params in requests:
+                    client.request(verb, **params)
+            gc.collect()
+            gc.freeze()
+            for _ in range(repeat):
+                TRACER.disable()
+                best["off_a"] = min(best["off_a"], timed_pass(off_client))
+                TRACER.enable()
+                TRACER.clear()
+                best["on"] = min(best["on"], timed_pass(on_client))
+                TRACER.disable()
+                best["off_b"] = min(best["off_b"], timed_pass(off_client))
+                TRACER.enable()
+                TRACER.clear()
+                best["traced"] = min(best["traced"], timed_pass(traced_client))
+                TRACER.clear()
+    finally:
+        gc.unfreeze()
+        if previously_enabled:
+            TRACER.enable()
+        else:
+            TRACER.disable()
+        TRACER.clear()
+        for handle in handles:
+            handle.stop()
+        for store_path in stores:
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    os.unlink(store_path + suffix)
+                except OSError:
+                    pass
+    off = min(best["off_a"], best["off_b"])
+    noise = abs(best["off_a"] - best["off_b"]) / off if off else 0.0
+    return TelemetryOverheadResult(
+        workload="classify_warm_telemetry",
+        description=(
+            f"pipelined classify × {len(requests)} over a warm store:"
+            " telemetry off vs tracing + sidecar + recorder on"
+            " (traced = client wire propagation too)"
+        ),
+        requests=len(requests),
+        off_seconds=off,
+        on_seconds=best["on"],
+        traced_seconds=best["traced"],
+        noise=noise,
+    )
+
+
+def telemetry_failures(
+    result: TelemetryOverheadResult, *, limit: float = TELEMETRY_OVERHEAD_LIMIT
+) -> list[str]:
+    """The telemetry acceptance gate: overhead must stay under ``limit``.
+
+    Mirrors :func:`repro.bench.obs.overhead_failures`: the budget is
+    compared against the slowdown beyond the run's own A/A noise, since
+    clock wander on a shared runner moves the two off series just as far
+    apart as it moves off against on.
+    """
+    if result.overhead > limit + result.noise:
+        return [
+            f"{result.workload}: telemetry overhead {result.overhead:.1%}"
+            f" exceeds the {limit:.0%} budget plus the run's"
+            f" {result.noise:.1%} A/A noise"
+            f" ({result.off_rps:.0f} req/s → {result.on_rps:.0f} req/s)"
+        ]
+    return []
 
 
 def regressions_against(

@@ -132,6 +132,13 @@ class CrashIsolatedPool:
     initializer:
         Optional module-level callable run once in each fresh worker
         (including replacements spawned after a crash).
+    on_outcome:
+        Optional callable invoked with each :class:`TaskOutcome` the moment
+        it lands (success, error, crash or timeout) — :meth:`map` blocks
+        until the whole run finishes, so live progress (the census
+        heartbeat) must ride this hook.  Runs on the supervising thread; a
+        raising hook is counted (``census.pool.callback_errors``) and
+        ignored, never fatal.
     """
 
     def __init__(
@@ -142,6 +149,7 @@ class CrashIsolatedPool:
         timeout: float | None = None,
         start_method: str | None = None,
         initializer: Callable[[], None] | None = None,
+        on_outcome: Callable[[TaskOutcome], None] | None = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("pool jobs must be at least 1")
@@ -151,7 +159,19 @@ class CrashIsolatedPool:
         self.jobs = jobs or min(multiprocessing.cpu_count() or 1, 8)
         self.timeout = timeout
         self.initializer = initializer
+        self.on_outcome = on_outcome
+        #: Live worker-process count, readable from other threads while
+        #: :meth:`map` runs (worker-liveness telemetry).
+        self.workers_alive = 0
         self._ctx = multiprocessing.get_context(start_method or default_start_method())
+
+    def _emit(self, outcome: TaskOutcome) -> None:
+        if self.on_outcome is None:
+            return
+        try:
+            self.on_outcome(outcome)
+        except Exception:  # noqa: BLE001 — observer must not sink the run
+            METRICS.counter("census.pool.callback_errors").inc()
 
     # ------------------------------------------------------------ lifecycle
 
@@ -188,6 +208,7 @@ class CrashIsolatedPool:
         if not payloads:
             return []
         slots = [self._spawn_slot() for _ in range(min(self.jobs, len(payloads)))]
+        self.workers_alive = len(slots)
         remaining = len(payloads)
         try:
             while remaining:
@@ -196,8 +217,12 @@ class CrashIsolatedPool:
                 if not busy:
                     break  # every task accounted for (or unassignable)
                 self._collect(slots, busy, pending, outcomes)
+                self.workers_alive = sum(
+                    1 for slot in slots if slot.process.is_alive()
+                )
                 remaining = sum(1 for outcome in outcomes if outcome is None)
         finally:
+            self.workers_alive = 0
             for slot in slots:
                 if slot.task is None:
                     try:
@@ -282,6 +307,7 @@ class CrashIsolatedPool:
                     wall_seconds=wall,
                 )
                 METRICS.counter("census.pool.crashed").inc()
+                self._emit(outcomes[held])
             METRICS.counter("census.pool.respawns").inc()
             if pending:
                 slots[position] = self._spawn_slot()
@@ -297,6 +323,7 @@ class CrashIsolatedPool:
         )
         if status == STATUS_ERROR:
             METRICS.counter("census.pool.errors").inc()
+        self._emit(outcomes[index])
         slot.task = None
         slot.payload = None
         slot.deadline = None
@@ -321,6 +348,7 @@ class CrashIsolatedPool:
             wall_seconds=wall,
         )
         METRICS.counter("census.pool.timeouts").inc()
+        self._emit(outcomes[held])
         METRICS.counter("census.pool.respawns").inc()
         if pending:
             slots[position] = self._spawn_slot()

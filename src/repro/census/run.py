@@ -322,13 +322,21 @@ def run_census(
     still become ``error`` rows), which is what the differential tests use
     to compare census rows against direct engine calls bit for bit.
     """
+    from repro.obs.telemetry.heartbeat import heartbeat
+
     start = time.perf_counter()
-    with span("census.run", formulas=len(entries), serial=serial) as run_span:
+    with span("census.run", formulas=len(entries), serial=serial) as run_span, heartbeat(
+        "census", total=len(entries)
+    ) as beat:
         parent = TRACER.capture() if TRACER.enabled else None
         parent_tuple = (parent.trace_id, parent.span_id) if parent else None
         payloads = [{"text": entry.text, "parent": parent_tuple} for entry in entries]
         if serial:
-            outcomes = [_serial_outcome(index, payload) for index, payload in enumerate(payloads)]
+            outcomes = []
+            for index, payload in enumerate(payloads):
+                outcome = _serial_outcome(index, payload)
+                beat.advance(errors=0 if outcome.ok else 1)
+                outcomes.append(outcome)
             jobs_used = 1
         else:
             pool = CrashIsolatedPool(
@@ -337,6 +345,14 @@ def run_census(
                 timeout=timeout,
                 start_method=start_method,
             )
+
+            def _beat_outcome(outcome: TaskOutcome) -> None:
+                # map() blocks until the run ends, so liveness telemetry
+                # (rows/s, ETA, live worker count) rides the pool's hook.
+                beat.advance(errors=0 if outcome.ok else 1)
+                beat.set_workers(pool.workers_alive)
+
+            pool.on_outcome = _beat_outcome
             jobs_used = pool.jobs
             outcomes = pool.map(payloads)
         rows = []

@@ -118,7 +118,7 @@ class Timer:
 class Histogram:
     """Bucketed counts of a numeric observable (bucket = inclusive upper bound)."""
 
-    __slots__ = ("name", "bounds", "counts", "overflow", "observations", "_lock")
+    __slots__ = ("name", "bounds", "counts", "overflow", "observations", "total", "_lock")
 
     DEFAULT_BOUNDS: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
 
@@ -128,6 +128,7 @@ class Histogram:
         self.counts = [0] * len(self.bounds)
         self.overflow = 0
         self.observations = 0
+        self.total = 0.0
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -135,6 +136,7 @@ class Histogram:
         # bound ≥ value — bisect_left, not a linear scan.
         with self._lock:
             self.observations += 1
+            self.total += value
             index = bisect.bisect_left(self.bounds, value)
             if index < len(self.bounds):
                 self.counts[index] += 1
@@ -147,11 +149,17 @@ class Histogram:
             self.counts = [0] * len(self.bounds)
             self.overflow = 0
             self.observations = 0
+            self.total = 0.0
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, float]:
+        """Bucket counts plus the ``sum`` of raw observations (Prometheus
+        histograms expose ``_sum`` alongside the cumulative buckets)."""
         with self._lock:
-            result = {f"le_{bound:g}": count for bound, count in zip(self.bounds, self.counts)}
+            result: dict[str, float] = {
+                f"le_{bound:g}": count for bound, count in zip(self.bounds, self.counts)
+            }
             result["overflow"] = self.overflow
+            result["sum"] = self.total
             return result
 
     def __repr__(self) -> str:
@@ -342,7 +350,9 @@ class MetricsRegistry:
                 for label, count in data.items():
                     if not count:
                         continue
-                    if label == "overflow":
+                    if label == "sum":
+                        histogram.total += count
+                    elif label == "overflow":
                         histogram.overflow += count
                         histogram.observations += count
                     elif label in labels:

@@ -188,17 +188,25 @@ def run_stream(
     ``on_batch`` — optional callback ``(batch_index, fleet)`` invoked after
     every applied batch (the CLI's ``--per-batch`` output).
     """
+    from repro.obs.telemetry.heartbeat import heartbeat
+
     report = StreamReport(streams=fleet.num_streams, backend=fleet.backend)
     start = time.perf_counter()
     with span(
         "fleet.stream", streams=fleet.num_streams, backend=fleet.backend
-    ) as stream_span:
+    ) as stream_span, heartbeat("fleet.stream") as beat:
+        # Events, not batches: events/s is the fleet's real throughput, and
+        # a telemetry sidecar polling /progress sees it live.
+        beat.note("streams", fleet.num_streams)
+        beat.note("backend", fleet.backend)
         for line_number, text in enumerate(lines, start=1):
             batch = parse_batch(text, line_number)
             if batch is None:
                 continue
-            report.events += apply_batch(fleet, batch)
+            consumed = apply_batch(fleet, batch)
+            report.events += consumed
             report.batches += 1
+            beat.advance(consumed)
             if on_batch is not None:
                 on_batch(report.batches, fleet)
         stream_span.set_attribute("batches", report.batches)

@@ -190,8 +190,52 @@ def validate_jsonl_file(path: str | Path) -> list[str]:
 
 
 def _prom_name(name: str) -> str:
-    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    """One registry name → a legal Prometheus metric name (lossy).
+
+    Legal metric-name characters are ``[a-zA-Z0-9_:]``; everything else
+    maps to ``_``.  The mapping is many-to-one (``serve.latency-ms`` and
+    ``serve.latency_ms`` both clean to the same text), which is why
+    :func:`_assign_prom_names` exists — never call this directly when
+    rendering a whole snapshot section.
+    """
+    cleaned = "".join(
+        ch if ch.isalnum() or ch in "_:" else "_" for ch in name
+    )
     return f"repro_{cleaned}"
+
+
+def _assign_prom_names(names: Iterable[str]) -> dict[str, str]:
+    """Collision-free Prometheus names for one snapshot section.
+
+    Names are assigned in sorted order so the output is deterministic: the
+    lexicographically first registry name that cleans to a given metric
+    name keeps it, and every later collider gets a stable 8-hex-digit
+    suffix derived from its *original* name (so the disambiguated name
+    never changes between scrapes or depends on which metrics exist).
+    """
+    import hashlib
+
+    assigned: dict[str, str] = {}
+    taken: set[str] = set()
+    for name in sorted(names):
+        metric = _prom_name(name)
+        if metric in taken:
+            digest = hashlib.sha256(name.encode("utf-8")).hexdigest()[:8]
+            metric = f"{metric}_{digest}"
+        taken.add(metric)
+        assigned[name] = metric
+    return assigned
+
+
+def _escape_label_value(value: object) -> str:
+    """Escape one label value per the exposition format: backslash, double
+    quote and newline are the only characters that need it."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 def prometheus_text(registry: MetricsRegistry) -> str:
@@ -199,18 +243,23 @@ def prometheus_text(registry: MetricsRegistry) -> str:
 
     Counters map to ``counter`` samples, timers to a ``summary``-style
     ``_seconds_count``/``_seconds_sum`` pair plus min/max gauges, histograms
-    to *cumulative* ``_bucket{le=…}`` samples with the conventional
-    ``+Inf`` bucket and ``_count`` total.
+    to well-formed histogram families: *cumulative* ``_bucket{le=…}``
+    samples ending in the conventional ``+Inf`` bucket, plus ``_sum`` and
+    ``_count``.  Registry names that clean to the same metric name are
+    disambiguated deterministically (:func:`_assign_prom_names`) and label
+    values are escaped, so any registry content yields a parseable page.
     """
     snap = registry.snapshot()
     lines: list[str] = []
+    counter_names = _assign_prom_names(snap["counters"])
     for name in sorted(snap["counters"]):
-        metric = _prom_name(name)
+        metric = counter_names[name]
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {snap['counters'][name]}")
+    timer_names = _assign_prom_names(snap["timers"])
     for name in sorted(snap["timers"]):
         data = snap["timers"][name]
-        metric = _prom_name(name) + "_seconds"
+        metric = timer_names[name] + "_seconds"
         lines.append(f"# TYPE {metric} summary")
         lines.append(f"{metric}_count {data['count']}")
         lines.append(f"{metric}_sum {data['total']:.9f}")
@@ -218,18 +267,21 @@ def prometheus_text(registry: MetricsRegistry) -> str:
         lines.append(f"{metric}_min {data['min']:.9f}")
         lines.append(f"# TYPE {metric}_max gauge")
         lines.append(f"{metric}_max {data['max']:.9f}")
+    histogram_names = _assign_prom_names(snap["histograms"])
     for name in sorted(snap["histograms"]):
         data = snap["histograms"][name]
-        metric = _prom_name(name)
+        metric = histogram_names[name]
         lines.append(f"# TYPE {metric} histogram")
         cumulative = 0
         for label, count in data.items():
             if not label.startswith("le_"):
                 continue
             cumulative += count
-            lines.append(f'{metric}_bucket{{le="{label[3:]}"}} {cumulative}')
+            bound = _escape_label_value(label[3:])
+            lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
         cumulative += data.get("overflow", 0)
         lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {data.get('sum', 0.0):.9f}")
         lines.append(f"{metric}_count {cumulative}")
     return "\n".join(lines) + ("\n" if lines else "")
 

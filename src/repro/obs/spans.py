@@ -150,6 +150,7 @@ class SpanTracer:
         self.dropped = 0
         self._lock = threading.Lock()
         self._finished: list[Span] = []
+        self._seen_ids: set[str] = set()
         self._ids = itertools.count(1)
         self._pid = os.getpid()
         self._nonce = f"{self._pid:x}"
@@ -160,6 +161,7 @@ class SpanTracer:
         """Start recording (clears previously finished spans)."""
         with self._lock:
             self._finished.clear()
+            self._seen_ids.clear()
             self.dropped = 0
             if capacity is not None:
                 self.capacity = capacity
@@ -171,6 +173,7 @@ class SpanTracer:
     def clear(self) -> None:
         with self._lock:
             self._finished.clear()
+            self._seen_ids.clear()
             self.dropped = 0
 
     @contextmanager
@@ -238,6 +241,161 @@ class SpanTracer:
                 self.dropped += 1
             else:
                 self._finished.append(span)
+                self._seen_ids.add(span.span_id)
+
+    # ---------------------------------------------------------- manual spans
+    #
+    # The context-manager form above owns the contextvar stack, which suits
+    # nested synchronous work.  Request pipelines (the serve layer) need
+    # spans that open in one coroutine/thread and close in another, without
+    # ever touching the ambient context: ``start_manual``/``finish_manual``
+    # for open-ended operations and ``record_span`` for stages whose
+    # boundaries were measured retrospectively with ``perf_counter``.
+
+    def start_manual(
+        self,
+        name: str,
+        *,
+        parent: Span | SpanContext | None = None,
+        start: float | None = None,
+        **attributes: object,
+    ) -> Span | None:
+        """Open a span without activating it; ``None`` while disabled.
+
+        The caller keeps the span and must hand it to :meth:`finish_manual`.
+        ``parent=None`` starts a fresh trace (manual spans never consult the
+        contextvar — that is the point of them).
+        """
+        if not self.enabled:
+            return None
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = f"t{self._new_id()}", None
+        span = Span(
+            name=name,
+            span_id=self._new_id(),
+            trace_id=trace_id,
+            parent_id=parent_id,
+            start=time.perf_counter() if start is None else start,
+        )
+        for key, value in attributes.items():
+            span.attributes[key] = _scalar(value)
+        return span
+
+    def finish_manual(
+        self, span: Span | None, *, status: str = "ok", error: str | None = None
+    ) -> None:
+        """Close and record a span from :meth:`start_manual` (``None`` ok)."""
+        if span is None:
+            return
+        span.end = time.perf_counter()
+        span.status = status
+        span.error = error
+        self._record(span)
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        start: float,
+        end: float,
+        parent: Span | SpanContext | None = None,
+        trace_id: str | None = None,
+        status: str = "ok",
+        error: str | None = None,
+        **attributes: object,
+    ) -> Span | None:
+        """Record an already-measured interval as a span; ``None`` if off.
+
+        This is how the serve layer turns per-stage ``perf_counter`` marks
+        into children of a request span after the fact.
+        """
+        if not self.enabled:
+            return None
+        if trace_id is None:
+            trace_id = parent.trace_id if parent is not None else f"t{self._new_id()}"
+        span = Span(
+            name=name,
+            span_id=self._new_id(),
+            trace_id=trace_id,
+            parent_id=parent.span_id if parent is not None else None,
+            start=start,
+            end=end,
+            status=status,
+            error=error,
+        )
+        for key, value in attributes.items():
+            span.attributes[key] = _scalar(value)
+        self._record(span)
+        return span
+
+    def record_tree(
+        self,
+        name: str,
+        *,
+        start: float,
+        end: float,
+        parent: Span | SpanContext | None = None,
+        status: str = "ok",
+        error: str | None = None,
+        children: Iterable[tuple[str, float, float]] = (),
+        attributes: dict[str, object] | None = None,
+    ) -> tuple[Span | None, tuple[Span, ...]]:
+        """Record a root and its leaf children as one batch; ``(None, ())`` off.
+
+        The per-request fast path of the serve layer: a root plus a handful
+        of ``(name, start, end)`` stage children every few hundred
+        microseconds.  Recording them one :meth:`record_span` at a time pays
+        the pid check, the kwargs plumbing and the buffer lock once per
+        span; this method pays each once per *tree*, which is what keeps
+        the end-to-end telemetry overhead inside its ``BENCH_obs.json``
+        budget.
+        """
+        if not self.enabled:
+            return None, ()
+        pid = os.getpid()
+        if pid != self._pid:
+            self._pid = pid
+            self._nonce = f"{pid:x}"
+        nonce, ids = self._nonce, self._ids
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = f"t{nonce}-{next(ids):x}", None
+        root = Span(
+            name=name,
+            span_id=f"{nonce}-{next(ids):x}",
+            trace_id=trace_id,
+            parent_id=parent_id,
+            start=start,
+            end=end,
+            status=status,
+            error=error,
+        )
+        if attributes:
+            for key, value in attributes.items():
+                root.attributes[key] = _scalar(value)
+        kids = tuple(
+            Span(
+                name=child_name,
+                span_id=f"{nonce}-{next(ids):x}",
+                trace_id=trace_id,
+                parent_id=root.span_id,
+                start=child_start,
+                end=child_end,
+            )
+            for child_name, child_start, child_end in children
+        )
+        with self._lock:
+            finished, seen = self._finished, self._seen_ids
+            for span in (root, *kids):
+                if len(finished) >= self.capacity:
+                    self.dropped += 1
+                else:
+                    finished.append(span)
+                    seen.add(span.span_id)
+        return root, kids
 
     def traced(self, name: str, **attributes: object) -> Callable:
         """Decorator form of :meth:`span`."""
@@ -293,11 +451,19 @@ class SpanTracer:
         Worker-side root spans (``parent_id is None``) become children of
         ``parent``, and every adopted span joins the parent's trace so the
         request renders as one tree.  Span ids carry the worker's pid nonce,
-        so they cannot collide with locally issued ids.
+        so they cannot collide with locally issued ids.  A payload whose
+        span id was already recorded here is skipped: when client and server
+        share one process (tests, the telemetry smoke) the server records
+        its spans directly *and* ships them over the wire, and adopting the
+        echo must not duplicate them.
         """
         adopted = []
+        with self._lock:
+            seen = set(self._seen_ids)
         for payload in payloads:
             span = Span.from_payload(payload)
+            if span.span_id in seen:
+                continue
             if parent is not None:
                 if span.parent_id is None:
                     span.parent_id = parent.span_id

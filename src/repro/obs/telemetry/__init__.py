@@ -1,0 +1,38 @@
+"""The live telemetry plane: operating a running service, not post-mortems.
+
+``repro.obs`` (PR 4) made traces and metrics *exportable*; this package
+makes them *operational*.  Four pieces, each usable alone:
+
+* :mod:`~repro.obs.telemetry.recorder` — a flight recorder: a bounded ring
+  of recently completed request span-trees, with always-capture for slow
+  and errored requests, dumpable as schema-valid JSONL.
+* :mod:`~repro.obs.telemetry.sidecar` — a stdlib HTTP sidecar serving
+  ``/metrics`` (Prometheus), ``/healthz``, ``/readyz``, ``/spans/recent``,
+  ``/stats``, ``/progress`` and ``/recorder/dump`` beside the JSON-lines
+  service port.
+* :mod:`~repro.obs.telemetry.heartbeat` — progress heartbeats (rows/s,
+  ETA, worker liveness) for long-running census and fleet work, published
+  through the same registry the sidecar reads.
+* :mod:`~repro.obs.telemetry.watch` — the ``repro stats --watch`` terminal
+  dashboard polling a sidecar (or the ``stats`` verb) in a refresh loop.
+
+Everything here is stdlib-only, as with the rest of ``repro.obs``.
+"""
+
+from repro.obs.telemetry.heartbeat import HEARTBEATS, Heartbeat, HeartbeatRegistry, heartbeat
+from repro.obs.telemetry.recorder import FlightRecorder, RecordedRequest, quantile
+from repro.obs.telemetry.sidecar import TelemetrySidecar
+from repro.obs.telemetry.watch import render_dashboard, watch
+
+__all__ = [
+    "FlightRecorder",
+    "RecordedRequest",
+    "quantile",
+    "TelemetrySidecar",
+    "Heartbeat",
+    "HeartbeatRegistry",
+    "HEARTBEATS",
+    "heartbeat",
+    "render_dashboard",
+    "watch",
+]

@@ -1,0 +1,167 @@
+"""Progress heartbeats: is the long-running job alive, and when will it end.
+
+A census over a 100k-formula corpus or a fleet stepping a million streams
+gives no sign of life between start and finish.  A :class:`Heartbeat` is
+the minimal fix: the worker calls :meth:`Heartbeat.advance` as rows
+complete, and anyone — the telemetry sidecar's ``/progress`` route, a
+``stats --watch`` dashboard, a test — reads a consistent snapshot with
+throughput (rows/s over the whole run), ETA (from the remaining count at
+the current rate) and worker liveness.
+
+Heartbeats live in a process-wide :data:`HEARTBEATS` registry keyed by
+name, so publishing is one import away from any layer without plumbing an
+object through every call signature.  The :func:`heartbeat` context
+manager registers on entry and marks the entry finished (but leaves it
+readable) on exit, so a poller that arrives late still sees the final
+counts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+
+class Heartbeat:
+    """One job's progress: counts in, rates and ETA out (thread-safe).
+
+    ``clock`` is the monotonic time source — injectable so rate/ETA
+    arithmetic is testable without real sleeps.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        total: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._total = total
+        self._done = 0
+        self._errors = 0
+        self._workers_alive: int | None = None
+        self._status = "running"
+        self._clock = clock
+        self._started_wall = time.time()
+        self._started = clock()
+        self._updated = self._started
+        self._notes: dict[str, Any] = {}
+
+    # -------------------------------------------------------------- writing
+
+    def advance(self, n: int = 1, *, errors: int = 0) -> None:
+        with self._lock:
+            self._done += n
+            self._errors += errors
+            self._updated = self._clock()
+
+    def set_total(self, total: int | None) -> None:
+        with self._lock:
+            self._total = total
+
+    def set_workers(self, alive: int | None) -> None:
+        with self._lock:
+            self._workers_alive = alive
+            self._updated = self._clock()
+
+    def note(self, key: str, value: Any) -> None:
+        """Attach one extra scalar (e.g. the current corpus file)."""
+        with self._lock:
+            self._notes[key] = value
+
+    def finish(self, status: str = "done") -> None:
+        with self._lock:
+            self._status = status
+            self._updated = self._clock()
+
+    # -------------------------------------------------------------- reading
+
+    def as_dict(self) -> dict[str, Any]:
+        with self._lock:
+            now = self._clock()
+            elapsed = max(now - self._started, 1e-9)
+            rate = self._done / elapsed
+            remaining = (
+                self._total - self._done
+                if self._total is not None and self._total >= self._done
+                else None
+            )
+            eta_s = (
+                remaining / rate if remaining is not None and rate > 0 else None
+            )
+            return {
+                "name": self.name,
+                "status": self._status,
+                "total": self._total,
+                "done": self._done,
+                "errors": self._errors,
+                "rate_per_s": round(rate, 3),
+                "eta_s": round(eta_s, 3) if eta_s is not None else None,
+                "elapsed_s": round(elapsed, 3),
+                "since_update_s": round(now - self._updated, 3),
+                "workers_alive": self._workers_alive,
+                "started_wall": self._started_wall,
+                **{f"note_{key}": value for key, value in self._notes.items()},
+            }
+
+
+class HeartbeatRegistry:
+    """Name → heartbeat, readable as one snapshot (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._beats: dict[str, Heartbeat] = {}
+
+    def register(self, beat: Heartbeat) -> Heartbeat:
+        with self._lock:
+            self._beats[beat.name] = beat
+        return beat
+
+    def get(self, name: str) -> Heartbeat | None:
+        with self._lock:
+            return self._beats.get(name)
+
+    def remove(self, name: str) -> None:
+        with self._lock:
+            self._beats.pop(name, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._beats.clear()
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        with self._lock:
+            beats = list(self._beats.values())
+        return {beat.name: beat.as_dict() for beat in beats}
+
+
+#: The process-wide registry the sidecar's ``/progress`` route serves.
+HEARTBEATS = HeartbeatRegistry()
+
+
+@contextmanager
+def heartbeat(
+    name: str,
+    *,
+    total: int | None = None,
+    registry: HeartbeatRegistry | None = None,
+) -> Iterator[Heartbeat]:
+    """Register a heartbeat for a block of work.
+
+    On clean exit the heartbeat is marked ``done``; on exception,
+    ``failed``.  Either way it *stays* in the registry so late pollers see
+    the final state — callers that want it gone use ``registry.remove``.
+    """
+    target = registry if registry is not None else HEARTBEATS
+    beat = target.register(Heartbeat(name, total=total))
+    try:
+        yield beat
+    except BaseException:
+        beat.finish("failed")
+        raise
+    else:
+        beat.finish("done")

@@ -1,0 +1,228 @@
+"""The HTTP telemetry sidecar: scrape, probe, and inspect a live process.
+
+The JSON-lines service port is for clients; this port is for operators.
+A :class:`TelemetrySidecar` is a stdlib ``ThreadingHTTPServer`` on its own
+daemon thread, wired to whatever the host process gives it:
+
+============== ================================================ ===========
+route          body                                             content
+============== ================================================ ===========
+``/metrics``   Prometheus text (``obs.export.prometheus_text``) text/plain
+``/healthz``   liveness: 200 while up, 503 once draining        JSON
+``/readyz``    readiness: liveness **and** the store probe      JSON
+``/spans/recent`` the flight recorder's last N request traces   JSON
+``/recorder/dump`` full recorder contents as span JSONL         text/plain
+``/stats``     the same payload as the ``stats`` verb           JSON
+``/progress``  every registered heartbeat (census/fleet jobs)   JSON
+============== ================================================ ===========
+
+Every hook is optional — a process that only wants ``/metrics`` passes a
+registry and nothing else; missing hooks answer 404.  Handler exceptions
+answer 500 and never unwind the serving thread.  Binding port 0 picks an
+ephemeral port, published as :attr:`TelemetrySidecar.port` (the tests and
+the ``serve --telemetry-port 0`` path rely on this).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+from urllib.parse import parse_qs, urlsplit
+
+from repro.engine.metrics import MetricsRegistry
+from repro.obs.telemetry.heartbeat import HEARTBEATS, HeartbeatRegistry
+from repro.obs.telemetry.recorder import FlightRecorder
+
+#: The content type Prometheus scrapers expect from a text endpoint.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class TelemetrySidecar:
+    """An HTTP observer of one process (see module docstring)."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: MetricsRegistry | None = None,
+        recorder: FlightRecorder | None = None,
+        stats_fn: Callable[[], dict[str, Any]] | None = None,
+        healthy_fn: Callable[[], tuple[bool, dict[str, Any]]] | None = None,
+        ready_fn: Callable[[], tuple[bool, dict[str, Any]]] | None = None,
+        heartbeats: HeartbeatRegistry | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.metrics = metrics
+        self.recorder = recorder
+        self.stats_fn = stats_fn
+        self.healthy_fn = healthy_fn
+        self.ready_fn = ready_fn
+        self.heartbeats = heartbeats if heartbeats is not None else HEARTBEATS
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        if self._httpd is not None:
+            return
+        sidecar = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # Operator traffic; stay silent on stderr.
+            def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+                pass
+
+            def do_GET(self) -> None:  # noqa: N802 — http.server contract
+                try:
+                    sidecar._route(self)
+                except BrokenPipeError:
+                    pass
+                except Exception as error:  # noqa: BLE001 — keep serving
+                    try:
+                        sidecar._reply_json(
+                            self,
+                            500,
+                            {"error": f"{type(error).__name__}: {error}"},
+                        )
+                    except Exception:  # noqa: BLE001
+                        pass
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> TelemetrySidecar:
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ---------------------------------------------------------------- routes
+
+    def _route(self, handler: BaseHTTPRequestHandler) -> None:
+        parts = urlsplit(handler.path)
+        path = parts.path.rstrip("/") or "/"
+        query = parse_qs(parts.query)
+        if path == "/metrics":
+            body = prometheus_page(self.metrics)
+            self._reply_text(handler, 200, body, content_type=PROMETHEUS_CONTENT_TYPE)
+        elif path == "/healthz":
+            ok, payload = self._probe(self.healthy_fn)
+            self._reply_json(handler, 200 if ok else 503, payload)
+        elif path == "/readyz":
+            ok, payload = self._probe(self.ready_fn)
+            self._reply_json(handler, 200 if ok else 503, payload)
+        elif path == "/spans/recent":
+            if self.recorder is None:
+                self._reply_json(handler, 404, {"error": "no flight recorder"})
+                return
+            limit = _int_param(query, "n", default=20)
+            entries = self.recorder.recent(limit)
+            self._reply_json(
+                handler,
+                200,
+                {
+                    "requests": [entry.as_dict() for entry in entries],
+                    "recorder": self.recorder.stats(),
+                },
+            )
+        elif path == "/recorder/dump":
+            if self.recorder is None:
+                self._reply_json(handler, 404, {"error": "no flight recorder"})
+                return
+            lines = self.recorder.dump_lines()
+            self._reply_text(handler, 200, "\n".join(lines) + "\n")
+        elif path == "/stats":
+            if self.stats_fn is None:
+                self._reply_json(handler, 404, {"error": "no stats source"})
+                return
+            self._reply_json(handler, 200, self.stats_fn())
+        elif path == "/progress":
+            self._reply_json(handler, 200, {"jobs": self.heartbeats.snapshot()})
+        else:
+            self._reply_json(handler, 404, {"error": f"unknown route {path!r}"})
+
+    @staticmethod
+    def _probe(
+        fn: Callable[[], tuple[bool, dict[str, Any]]] | None
+    ) -> tuple[bool, dict[str, Any]]:
+        """Run a health hook; a missing hook means plain liveness (200)."""
+        if fn is None:
+            return True, {"status": "ok"}
+        ok, payload = fn()
+        payload = dict(payload)
+        payload.setdefault("status", "ok" if ok else "unavailable")
+        return ok, payload
+
+    # --------------------------------------------------------------- replies
+
+    @staticmethod
+    def _reply_text(
+        handler: BaseHTTPRequestHandler,
+        code: int,
+        body: str,
+        *,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        encoded = body.encode("utf-8")
+        handler.send_response(code)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(encoded)))
+        handler.end_headers()
+        handler.wfile.write(encoded)
+
+    @classmethod
+    def _reply_json(
+        cls, handler: BaseHTTPRequestHandler, code: int, payload: dict[str, Any]
+    ) -> None:
+        cls._reply_text(
+            handler,
+            code,
+            json.dumps(payload, sort_keys=True),
+            content_type="application/json; charset=utf-8",
+        )
+
+
+def prometheus_page(metrics: MetricsRegistry | None) -> str:
+    """The ``/metrics`` body for a registry (empty page when none wired)."""
+    if metrics is None:
+        return ""
+    from repro.obs.export import prometheus_text
+
+    return prometheus_text(metrics)
+
+
+def _int_param(query: dict[str, list[str]], name: str, *, default: int) -> int:
+    values = query.get(name)
+    if not values:
+        return default
+    try:
+        return max(1, int(values[-1]))
+    except ValueError:
+        return default

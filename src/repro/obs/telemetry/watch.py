@@ -1,0 +1,206 @@
+"""The live dashboard behind ``repro stats --watch``.
+
+A poll-and-render loop over the service's stats payload.  The payload can
+come from either door — the telemetry sidecar's ``/stats`` route
+(:func:`http_stats_fetcher`) or the JSON-lines ``stats`` verb — because
+both serve the same dict; the dashboard only looks at the shape.
+
+Rates (req/s) are computed *here*, from the delta between consecutive
+counter snapshots, so the server stays stateless about its own derivative
+metrics.  Rendering is plain text rebuilt per tick and prefixed with an
+ANSI home+clear when ``clear=True``; with ``clear=False`` ticks append,
+which is what the tests and non-tty pipes want.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Iterable
+from urllib.request import urlopen
+
+
+def http_stats_fetcher(base_url: str, *, timeout: float = 5.0) -> Callable[[], dict]:
+    """A fetcher polling ``<base_url>/stats`` on a telemetry sidecar."""
+    url = base_url.rstrip("/") + "/stats"
+
+    def fetch() -> dict:
+        with urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    return fetch
+
+
+def _fmt_rate(value: float) -> str:
+    return f"{value:,.1f}/s"
+
+
+def _fmt_pct(value: float | None) -> str:
+    return "—" if value is None else f"{value * 100:.1f}%"
+
+
+def _counters(stats: dict[str, Any]) -> dict[str, int]:
+    counters = stats.get("counters")
+    return counters if isinstance(counters, dict) else {}
+
+
+def _responses(counters: dict[str, int]) -> int:
+    return int(counters.get("serve.responses_ok", 0)) + int(
+        counters.get("serve.responses_error", 0)
+    )
+
+
+def render_dashboard(
+    stats: dict[str, Any],
+    *,
+    previous: dict[str, Any] | None = None,
+    elapsed_s: float | None = None,
+) -> str:
+    """One dashboard frame from one stats payload (plus an optional
+    previous payload for rates)."""
+    lines: list[str] = []
+    health = stats.get("health") or {}
+    status = health.get("status", "?")
+    version = stats.get("version", health.get("version", "?"))
+    uptime = stats.get("uptime_s", health.get("uptime_s"))
+    uptime_text = f"{uptime:,.0f}s" if isinstance(uptime, (int, float)) else "—"
+    lines.append(
+        f"repro serve {version} · status={status} · uptime={uptime_text}"
+    )
+
+    counters = _counters(stats)
+    total = _responses(counters)
+    rate_text = "—"
+    if previous is not None and elapsed_s and elapsed_s > 0:
+        delta = total - _responses(_counters(previous))
+        rate_text = _fmt_rate(max(delta, 0) / elapsed_s)
+    inflight = health.get("inflight", "?")
+    max_inflight = health.get("max_inflight", "?")
+    connections = health.get("connections", "?")
+    lines.append(
+        f"traffic: {rate_text} · responses={total:,}"
+        f" · inflight={inflight}/{max_inflight} · connections={connections}"
+    )
+    rejected = {
+        code: int(counters[name])
+        for code in ("overloaded", "quota", "draining")
+        if (name := f"serve.rejected.{code}") in counters and counters[name]
+    }
+    if rejected:
+        lines.append(
+            "rejected: "
+            + " · ".join(f"{code}={count:,}" for code, count in rejected.items())
+        )
+
+    latency = stats.get("latency_ms")
+    if isinstance(latency, dict) and latency:
+        lines.append("latency (ms):")
+        lines.append(
+            f"  {'verb':10s} {'count':>8s} {'p50':>8s} {'p90':>8s} {'p99':>8s} {'max':>8s}"
+        )
+        for verb in sorted(latency):
+            row = latency[verb]
+            lines.append(
+                f"  {verb:10s} {row.get('count', 0):>8,d}"
+                f" {row.get('p50', 0.0):>8.2f} {row.get('p90', 0.0):>8.2f}"
+                f" {row.get('p99', 0.0):>8.2f} {row.get('max', 0.0):>8.2f}"
+            )
+
+    caches = stats.get("caches")
+    if isinstance(caches, dict) and caches:
+        hits = sum(int(entry.get("hits", 0)) for entry in caches.values())
+        misses = sum(int(entry.get("misses", 0)) for entry in caches.values())
+        lookups = hits + misses
+        cache_rate = hits / lookups if lookups else None
+        lines.append(
+            f"caches: hit-rate={_fmt_pct(cache_rate)}"
+            f" · lookups={lookups:,} · banks={len(caches)}"
+        )
+    store = stats.get("store")
+    if isinstance(store, dict):
+        lines.append(
+            f"store:  hit-rate={_fmt_pct(store.get('hit_rate'))}"
+            f" · rows={store.get('rows', 0):,} · writes={store.get('writes', 0):,}"
+        )
+
+    telemetry = stats.get("telemetry")
+    if isinstance(telemetry, dict):
+        recorder = telemetry.get("recorder")
+        if isinstance(recorder, dict):
+            threshold = recorder.get("slow_threshold_ms")
+            threshold_text = (
+                f"{threshold:.1f}ms" if isinstance(threshold, (int, float)) else "—"
+            )
+            lines.append(
+                f"flight recorder: {recorder.get('buffered', 0)} buffered"
+                f" · {recorder.get('notable', 0)} notable"
+                f" · slow>{threshold_text}"
+            )
+        if telemetry.get("trace"):
+            lines.append("tracing: on (wire propagation enabled)")
+    return "\n".join(lines)
+
+
+def render_progress(jobs: dict[str, dict[str, Any]]) -> str:
+    """A one-line-per-job rendering of a ``/progress`` snapshot."""
+    if not jobs:
+        return "(no jobs reporting)"
+    lines = []
+    for name in sorted(jobs):
+        job = jobs[name]
+        total = job.get("total")
+        done = job.get("done", 0)
+        position = f"{done:,}/{total:,}" if isinstance(total, int) else f"{done:,}"
+        eta = job.get("eta_s")
+        eta_text = f" · eta={eta:,.0f}s" if isinstance(eta, (int, float)) else ""
+        workers = job.get("workers_alive")
+        workers_text = (
+            f" · workers={workers}" if isinstance(workers, int) else ""
+        )
+        lines.append(
+            f"{name}: {job.get('status', '?')} {position}"
+            f" · {job.get('rate_per_s', 0.0):,.1f} rows/s{eta_text}{workers_text}"
+        )
+    return "\n".join(lines)
+
+
+#: ANSI: cursor home + clear-to-end, the classic watch(1) refresh.
+_CLEAR = "\x1b[H\x1b[2J"
+
+
+def watch(
+    fetch: Callable[[], dict[str, Any]],
+    *,
+    interval: float = 2.0,
+    iterations: int | None = None,
+    out: Callable[[str], object] = print,
+    clear: bool = True,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Poll ``fetch`` and render until interrupted (or ``iterations`` ticks).
+
+    Returns the number of successful polls.  A failing poll renders the
+    error and keeps going — a draining or restarting server should show as
+    such, not kill the dashboard.
+    """
+    ticks = 0
+    successes = 0
+    previous: dict[str, Any] | None = None
+    previous_at: float | None = None
+    while iterations is None or ticks < iterations:
+        if ticks:
+            sleep(interval)
+        ticks += 1
+        prefix = _CLEAR if clear else ""
+        try:
+            stats = fetch()
+        except Exception as error:  # noqa: BLE001 — keep polling
+            out(f"{prefix}stats unavailable: {type(error).__name__}: {error}")
+            continue
+        now = time.monotonic()
+        elapsed = now - previous_at if previous_at is not None else None
+        frame = render_dashboard(stats, previous=previous, elapsed_s=elapsed)
+        out(prefix + frame)
+        previous, previous_at = stats, now
+        successes += 1
+    return successes

@@ -11,6 +11,13 @@ test suite and the bench harness.  Two levels of API:
   pipelining for callers that keep many requests in flight on one
   connection (the bench harness, the quota tests).  Responses may arrive
   out of send order; they are matched by id.
+
+When the process tracer is enabled (``classify --remote --trace``), every
+work request opens a ``serve.client.request`` span, propagates its context
+on the wire via the frame's ``trace`` field, and adopts the server-side
+spans echoed on the response — so one stitched tree (client root → server
+request → stage children) lands in the local tracer.  With tracing off
+the client sends exactly the frames it always sent.
 """
 
 from __future__ import annotations
@@ -20,7 +27,14 @@ import socket
 from typing import Any
 
 from repro.errors import ReproError
-from repro.serve.protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION, decode_frame, encode_frame
+from repro.obs.spans import TRACER, Span
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+    trace_field,
+)
 
 
 class ServeError(ReproError):
@@ -42,12 +56,22 @@ class ServeConnectionError(ServeError):
 class ServeClient:
     """One connection to a :class:`~repro.serve.server.ClassificationServer`."""
 
-    def __init__(self, sock: socket.socket, *, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        timeout: float = 30.0,
+        trace: bool | None = None,
+    ) -> None:
         sock.settimeout(timeout)
         self._sock = sock
         self._file = sock.makefile("rwb")
         self._ids = itertools.count(1)
         self._stash: dict[Any, dict] = {}
+        self._pending_spans: dict[Any, Span] = {}
+        #: None = follow the process tracer; False = never trace (callers
+        #: that must not pay wire-propagation costs, e.g. the bench A/B).
+        self._trace = trace
         self._closed = False
 
     @classmethod
@@ -58,6 +82,7 @@ class ServeClient:
         *,
         socket_path: str | None = None,
         timeout: float = 30.0,
+        trace: bool | None = None,
     ) -> ServeClient:
         if socket_path:
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -67,19 +92,36 @@ class ServeClient:
             if port is None:
                 raise ValueError("connect() needs a port (or a socket_path)")
             sock = socket.create_connection((host, port), timeout=timeout)
-        return cls(sock, timeout=timeout)
+        return cls(sock, timeout=timeout, trace=trace)
 
     # -------------------------------------------------------------- plumbing
 
     def send(self, verb: str, **params: Any) -> Any:
-        """Write one request frame; returns its id (for :meth:`recv_for`)."""
+        """Write one request frame; returns its id (for :meth:`recv_for`).
+
+        With tracing enabled, work verbs open a client span and propagate
+        its context on the frame; the span closes (and the server's echoed
+        spans are adopted) when :meth:`recv_for` matches the response.
+        """
         request_id = next(self._ids)
         frame = {"v": PROTOCOL_VERSION, "id": request_id, "verb": verb}
         frame.update({key: value for key, value in params.items() if value is not None})
+        if (
+            self._trace is not False
+            and TRACER.enabled
+            and verb in ("classify", "explain")
+        ):
+            client_span = TRACER.start_manual(
+                "serve.client.request", verb=verb, request_id=request_id
+            )
+            if client_span is not None:
+                frame["trace"] = trace_field(client_span.context())
+                self._pending_spans[request_id] = client_span
         try:
             self._file.write(encode_frame(frame))
             self._file.flush()
         except (OSError, ValueError) as error:
+            self._finish_span(request_id, ok=False, error=str(error))
             raise ServeConnectionError(f"send failed: {error}") from None
         return request_id
 
@@ -96,12 +138,34 @@ class ServeClient:
     def recv_for(self, request_id: Any) -> dict:
         """The response frame for ``request_id`` (stashing out-of-order ones)."""
         if request_id in self._stash:
-            return self._stash.pop(request_id)
+            return self._settle(request_id, self._stash.pop(request_id))
         while True:
             frame = self.recv()
             if frame.get("id") == request_id:
-                return frame
+                return self._settle(request_id, frame)
             self._stash[frame.get("id")] = frame
+
+    def _settle(self, request_id: Any, frame: dict) -> dict:
+        """Close the request's client span and adopt the server's echo."""
+        client_span = self._pending_spans.pop(request_id, None)
+        if client_span is not None:
+            ok = bool(frame.get("ok"))
+            echo = frame.get("trace")
+            if isinstance(echo, dict) and isinstance(echo.get("spans"), list):
+                TRACER.adopt(echo["spans"], client_span.context())
+            TRACER.finish_manual(
+                client_span,
+                status="ok" if ok else "error",
+                error=None if ok else (frame.get("error") or {}).get("message"),
+            )
+        return frame
+
+    def _finish_span(self, request_id: Any, *, ok: bool, error: str | None) -> None:
+        client_span = self._pending_spans.pop(request_id, None)
+        if client_span is not None:
+            TRACER.finish_manual(
+                client_span, status="ok" if ok else "error", error=error
+            )
 
     @staticmethod
     def unwrap(frame: dict) -> dict:

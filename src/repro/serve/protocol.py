@@ -26,6 +26,13 @@ and resending the same frame can succeed (backpressure, quotas, draining)
 or cannot (malformed input).  A request that never parsed far enough to
 yield an id is answered with ``"id": null``.
 
+Requests may carry an optional ``trace`` field (``{"id": …, "span": …}``)
+naming the caller's open span; a tracing server parents its request span
+on it and echoes the finished server-side spans back on the response as
+``{"trace": {"id": …, "spans": […]}}``, which the client re-stitches via
+``repro.obs`` payload adoption.  Malformed trace fields are ``bad-frame``
+errors; the connection survives.
+
 The payload builders at the bottom turn the library's rich result objects
 (:class:`~repro.core.classifier.FormulaReport`,
 :class:`~repro.obs.provenance.Explanation`, classification verdicts) into
@@ -40,9 +47,14 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import ReproError
+from repro.obs.spans import SpanContext
 
 #: Protocol version spoken by this build; bumped on incompatible changes.
 PROTOCOL_VERSION = 1
+
+#: Trace ids on the wire are tracer-issued hex-ish tokens; anything longer
+#: than this is not one of ours and is rejected before it can bloat spans.
+MAX_TRACE_VALUE_CHARS = 120
 
 #: Hard per-frame size limit (bytes, including the newline).  Formulas big
 #: enough to hit this would take hours to determinize anyway; the limit
@@ -88,6 +100,10 @@ class Request:
     id: Any
     verb: str
     params: dict[str, Any] = field(default_factory=dict)
+    #: The caller's open span, when the frame carried a ``trace`` field —
+    #: the server parents its request span on it so the two sides stitch
+    #: into one tree (see ``docs/OBSERVABILITY.md``).
+    trace: SpanContext | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -118,6 +134,40 @@ def decode_frame(line: bytes | str) -> dict[str, Any]:
     return frame
 
 
+def trace_field(context: SpanContext) -> dict[str, str]:
+    """The wire form of a span context (the request's ``trace`` field)."""
+    return {"id": context.trace_id, "span": context.span_id}
+
+
+def parse_trace_field(value: Any) -> SpanContext:
+    """Validate a request ``trace`` field into a :class:`SpanContext`.
+
+    Strict on purpose: a malformed trace is a ``bad-frame`` protocol error
+    (non-retryable), never a silent drop — a client that *thinks* it is
+    propagating context should find out it is not.
+    """
+    if not isinstance(value, dict):
+        raise ProtocolError("bad-frame", "'trace' must be a JSON object")
+    unknown = set(value) - {"id", "span"}
+    if unknown:
+        raise ProtocolError(
+            "bad-frame",
+            f"'trace' has unknown keys: {', '.join(sorted(unknown))}",
+        )
+    for name in ("id", "span"):
+        part = value.get(name)
+        if not isinstance(part, str) or not part:
+            raise ProtocolError(
+                "bad-frame", f"'trace.{name}' must be a non-empty string"
+            )
+        if len(part) > MAX_TRACE_VALUE_CHARS:
+            raise ProtocolError(
+                "bad-frame",
+                f"'trace.{name}' exceeds {MAX_TRACE_VALUE_CHARS} characters",
+            )
+    return SpanContext(trace_id=value["id"], span_id=value["span"])
+
+
 def parse_request(frame: dict[str, Any]) -> Request:
     """Validate a decoded frame into a :class:`Request`.
 
@@ -141,8 +191,13 @@ def parse_request(frame: dict[str, Any]) -> Request:
         raise ProtocolError(
             "unknown-verb", f"unknown verb {verb!r} (known: {', '.join(VERBS)})"
         )
+    trace = None
+    if frame.get("trace") is not None:
+        trace = parse_trace_field(frame["trace"])
     params = {
-        key: value for key, value in frame.items() if key not in ("v", "id", "verb")
+        key: value
+        for key, value in frame.items()
+        if key not in ("v", "id", "verb", "trace")
     }
     if verb in ("classify", "explain"):
         has_formula = isinstance(params.get("formula"), str)
@@ -160,7 +215,7 @@ def parse_request(frame: dict[str, Any]) -> Request:
         letters = params.get("letters")
         if letters is not None and not isinstance(letters, str):
             raise ProtocolError("bad-request", "'letters' must be a string")
-    return Request(id=request_id, verb=verb, params=params)
+    return Request(id=request_id, verb=verb, params=params, trace=trace)
 
 
 # ---------------------------------------------------------------------------

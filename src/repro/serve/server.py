@@ -31,6 +31,18 @@ in-flight request to be answered, then closes connections and the store.
 ``serve.dispatch``, ``serve.store.*``) and per-request latency lands in
 the ``serve.latency_ms`` histogram, exported by the existing Prometheus
 renderer — see ``docs/SERVING.md`` for the operations guide.
+
+With tracing on, every request additionally gets a retrospective span
+tree — a ``serve.request`` root (parented on the client's wire-propagated
+span, when the frame carried a ``trace`` field) with
+``serve.stage.{decode,admission,store,engine,encode}`` children — recorded
+into the process tracer and the :class:`~repro.obs.telemetry.FlightRecorder`,
+and echoed back on the response for client-side adoption.  Per-stage
+latency histograms (``serve.stage_ms.*``) are always on.  With
+``--telemetry-port`` set, a :class:`~repro.obs.telemetry.TelemetrySidecar`
+serves ``/metrics``, ``/healthz``, ``/readyz``, ``/spans/recent``,
+``/stats`` and ``/recorder/dump`` beside the service port — see
+``docs/OBSERVABILITY.md`` ("Operating the service").
 """
 
 from __future__ import annotations
@@ -38,6 +50,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -45,7 +58,9 @@ import repro
 from repro.engine.batch import ClassifyFormula, ClassifyOmega, EvaluationEngine, Job
 from repro.engine.cache import CacheBank
 from repro.engine.metrics import METRICS, MetricsRegistry
-from repro.obs.spans import span
+from repro.obs.spans import TRACER, Span, SpanContext, span
+from repro.obs.telemetry.recorder import FlightRecorder, quantile
+from repro.obs.telemetry.sidecar import TelemetrySidecar
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     ProtocolError,
@@ -64,6 +79,14 @@ from repro.serve.store import PersistentStore, store_key
 #: Buckets for the per-request latency histogram (milliseconds).
 LATENCY_BOUNDS_MS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000)
 
+#: Buckets for the per-stage latency histograms (milliseconds).  Stages are
+#: much shorter than whole requests (a decode is microseconds), so the
+#: bucket floor sits two orders of magnitude lower.
+STAGE_BOUNDS_MS = (0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500, 2000)
+
+#: How many recent per-verb durations back the stats quantiles (p50/p90/p99).
+LATENCY_WINDOW = 512
+
 
 @dataclass(frozen=True)
 class ServerConfig:
@@ -80,6 +103,16 @@ class ServerConfig:
     executor: str = "serial"
     max_workers: int | None = None
     drain_timeout: float = 10.0
+    #: None = no sidecar; 0 = sidecar on an ephemeral port (published on
+    #: :attr:`ClassificationServer.telemetry_port` once started).
+    telemetry_port: int | None = None
+    telemetry_host: str = "127.0.0.1"
+    #: Enable span tracing at startup (per-request span trees, wire
+    #: propagation, recorder capture).  Tracing already enabled on the
+    #: process tracer is honored either way.
+    trace: bool = False
+    recorder_capacity: int = 256
+    recorder_notable: int = 64
 
 
 @dataclass(eq=False)  # identity hash: connections live in a set
@@ -105,6 +138,15 @@ class _WorkItem:
     to_payload: Callable[[Any], dict] | None  # engine value → wire payload
     future: asyncio.Future = field(repr=False, default=None)
     enqueued: float = 0.0
+    #: perf_counter at frame arrival — the request span's start.
+    t_recv: float = 0.0
+    #: stage → (start, end) perf_counter marks, turned into child spans and
+    #: ``serve.stage_ms.*`` histogram samples when the response goes out.
+    marks: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: the client's open span, when the request carried a ``trace`` field.
+    trace_parent: SpanContext | None = None
+    #: source of the payload once dispatched ("store" or "computed").
+    source: str = ""
 
 
 class ClassificationServer:
@@ -131,6 +173,32 @@ class ClassificationServer:
         )
         self.store: PersistentStore | None = None
         self.port: int | None = None
+        self.recorder = FlightRecorder(
+            capacity=self.config.recorder_capacity,
+            notable_capacity=self.config.recorder_notable,
+        )
+        self.sidecar: TelemetrySidecar | None = None
+        self.telemetry_port: int | None = None
+        self._latency: dict[str, deque[float]] = defaultdict(
+            lambda: deque(maxlen=LATENCY_WINDOW)
+        )
+        self._latency_lock = threading.Lock()
+        # The per-request instruments, resolved once: the registry lookup
+        # (a lock plus a dict probe, times seven instruments per request)
+        # is measurable at warm-pipeline request rates.
+        self._request_timer = self.metrics.timer("serve.request")
+        self._latency_hist = self.metrics.histogram(
+            "serve.latency_ms", LATENCY_BOUNDS_MS
+        )
+        self._ok_counter = self.metrics.counter("serve.responses_ok")
+        self._error_counter = self.metrics.counter("serve.responses_error")
+        self._stage_hists = {
+            stage: self.metrics.histogram(f"serve.stage_ms.{stage}", STAGE_BOUNDS_MS)
+            for stage in ("decode", "admission", "store", "engine", "encode")
+        }
+        self._stage_span_names = {
+            stage: f"serve.stage.{stage}" for stage in self._stage_hists
+        }
         self._server: asyncio.AbstractServer | None = None
         self._queue: asyncio.Queue[_WorkItem] | None = None
         self._dispatcher: asyncio.Task | None = None
@@ -164,6 +232,20 @@ class ClassificationServer:
             )
             self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.monotonic()
+        if self.config.trace and not TRACER.enabled:
+            TRACER.enable()
+        if self.config.telemetry_port is not None:
+            self.sidecar = TelemetrySidecar(
+                host=self.config.telemetry_host,
+                port=self.config.telemetry_port,
+                metrics=self.metrics,
+                recorder=self.recorder,
+                stats_fn=self._stats_payload,
+                healthy_fn=self._liveness,
+                ready_fn=self._readiness,
+            )
+            self.sidecar.start()
+            self.telemetry_port = self.sidecar.port
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
 
     @property
@@ -203,6 +285,10 @@ class ClassificationServer:
             except Exception:  # noqa: BLE001 — already-broken sockets
                 pass
         self._connections.clear()
+        if self.sidecar is not None:
+            # Off-loop: sidecar.stop() joins its serving thread.
+            await asyncio.to_thread(self.sidecar.stop)
+            self.sidecar = None
         if self.store is not None:
             self.store.close()
         self._stopped.set()
@@ -246,6 +332,7 @@ class ClassificationServer:
                 pass
 
     async def _handle_line(self, conn: _Connection, line: bytes) -> None:
+        t_recv = time.perf_counter()
         try:
             frame = decode_frame(line)
         except ProtocolError as error:
@@ -261,6 +348,7 @@ class ClassificationServer:
             self.metrics.counter("serve.bad_frames").inc()
             await self._send(conn, error_response(raw_id, error.code, str(error)))
             return
+        t_decoded = time.perf_counter()
         self.metrics.counter(f"serve.requests.{request.verb}").inc()
         if request.verb == "health":
             await self._send(conn, ok_response(request.id, self._health_payload()))
@@ -268,11 +356,17 @@ class ClassificationServer:
         if request.verb == "stats":
             await self._send(conn, ok_response(request.id, self._stats_payload()))
             return
-        await self._admit(conn, request)
+        await self._admit(conn, request, decode=(t_recv, t_decoded))
 
     # -------------------------------------------------------------- admission
 
-    async def _admit(self, conn: _Connection, request: Request) -> None:
+    async def _admit(
+        self,
+        conn: _Connection,
+        request: Request,
+        *,
+        decode: tuple[float, float],
+    ) -> None:
         if self._draining:
             self.metrics.counter("serve.rejected.draining").inc()
             await self._send(
@@ -322,6 +416,10 @@ class ClassificationServer:
             return
         item.future = asyncio.get_running_loop().create_future()
         item.enqueued = time.perf_counter()
+        item.t_recv = decode[0]
+        item.marks["decode"] = decode
+        item.marks["admission"] = (decode[1], item.enqueued)
+        item.trace_parent = request.trace
         self._inflight += 1
         conn.inflight += 1
         self._idle.clear()
@@ -436,6 +534,7 @@ class ClassificationServer:
             for entry, ok, payload_or_error, source in outcomes:
                 if entry.future.done():
                     continue
+                entry.source = source
                 if ok:
                     response = ok_response(entry.request_id, payload_or_error)
                     response["cached"] = source == "store"
@@ -455,12 +554,21 @@ class ClassificationServer:
             pending: list[_WorkItem] = []
             for item in batch:
                 if self.store is not None and item.key is not None:
+                    lookup_start = time.perf_counter()
                     payload = self.store.get(item.key)
+                    item.marks["store"] = (lookup_start, time.perf_counter())
                     if payload is not None:
                         outcomes.append((item, True, payload, "store"))
                         continue
                 pending.append(item)
+            engine_start = time.perf_counter()
             computed = self._evaluate(pending)
+            engine_interval = (engine_start, time.perf_counter())
+            for item in pending:
+                # One window, one engine run: every miss in the window gets
+                # the window's engine interval (the per-item share is not
+                # observable from outside the engine).
+                item.marks["engine"] = engine_interval
             for item, ok, payload_or_error in computed:
                 if ok and self.store is not None and item.key is not None:
                     self.store.put(item.key, item.verb, payload_or_error)
@@ -508,20 +616,91 @@ class ClassificationServer:
         try:
             response = await item.future
             elapsed = time.perf_counter() - item.enqueued
-            self.metrics.timer("serve.request").observe(elapsed)
-            self.metrics.histogram(
-                "serve.latency_ms", LATENCY_BOUNDS_MS
-            ).observe(elapsed * 1000.0)
-            if response.get("ok"):
-                self.metrics.counter("serve.responses_ok").inc()
+            ok = bool(response.get("ok"))
+            self._request_timer.observe(elapsed)
+            self._latency_hist.observe(elapsed * 1000.0)
+            with self._latency_lock:
+                self._latency[item.verb].append(elapsed * 1000.0)
+            if ok:
+                self._ok_counter.inc()
             else:
-                self.metrics.counter("serve.responses_error").inc()
+                self._error_counter.inc()
+            root, children = self._request_spans(item, ok=ok)
+            if root is not None and item.trace_parent is not None:
+                # The client asked for propagation: echo the finished
+                # server-side spans so it can adopt them into its trace.
+                # (The encode stage closes after the send; it stays
+                # server-side only.)
+                response["trace"] = {
+                    "id": root.trace_id,
+                    "spans": [s.as_payload() for s in (root, *children)],
+                }
+            encode_start = time.perf_counter()
             await self._send(conn, response)
+            if root is not None:
+                encode_span = TRACER.record_span(
+                    "serve.stage.encode",
+                    start=encode_start,
+                    end=time.perf_counter(),
+                    parent=root,
+                )
+                if encode_span is not None:
+                    children = (*children, encode_span)
+            self._stage_hists["encode"].observe(
+                (time.perf_counter() - encode_start) * 1000.0
+            )
+            spans = (root, *children) if root is not None else ()
+            self.recorder.record(
+                request_id=item.request_id,
+                verb=item.verb,
+                duration_s=time.perf_counter() - item.t_recv,
+                spans=spans,
+                error=not ok,
+            )
         finally:
             self._inflight -= 1
             conn.inflight -= 1
             if self._inflight == 0:
                 self._idle.set()
+
+    def _request_spans(
+        self, item: _WorkItem, *, ok: bool
+    ) -> tuple[Span | None, tuple[Span, ...]]:
+        """The request's span tree, built retrospectively from stage marks.
+
+        The pipeline crosses the event loop, a worker thread, and possibly
+        an engine pool, so spans are recorded from ``perf_counter`` marks
+        after the fact instead of via the contextvar stack.  The root
+        parents on the client's wire-propagated span when one was sent.
+        Stage histograms (``serve.stage_ms.*``) are fed here too, so they
+        exist even with tracing off.
+        """
+        now = time.perf_counter()
+        stage_hists = self._stage_hists
+        for stage, (start, end) in item.marks.items():
+            stage_hists[stage].observe((end - start) * 1000.0)
+        if not TRACER.enabled:
+            return None, ()
+        span_names = self._stage_span_names
+        return TRACER.record_tree(
+            "serve.request",
+            start=item.t_recv,
+            end=now,
+            parent=item.trace_parent,
+            status="ok" if ok else "error",
+            children=(
+                (span_names[stage], start, end)
+                for stage, (start, end) in sorted(
+                    item.marks.items(), key=lambda entry: entry[1]
+                )
+            ),
+            attributes={
+                "verb": item.verb,
+                "subject": item.subject,
+                "request_id": item.request_id,
+                "source": item.source,
+            },
+        )
 
     async def _send(self, conn: _Connection, frame: dict) -> None:
         if conn.closed:
@@ -551,6 +730,36 @@ class ClassificationServer:
             "store": self.store.path if self.store is not None else None,
         }
 
+    def _liveness(self) -> tuple[bool, dict[str, Any]]:
+        """The sidecar ``/healthz`` hook: alive until draining begins."""
+        payload = self._health_payload()
+        return not self._draining, payload
+
+    def _readiness(self) -> tuple[bool, dict[str, Any]]:
+        """The sidecar ``/readyz`` hook: liveness *and* a live store probe."""
+        alive, payload = self._liveness()
+        if self.store is not None:
+            store_ok = self.store.probe()
+            payload["store_ok"] = store_ok
+            alive = alive and store_ok
+        return alive, payload
+
+    def _latency_quantiles(self) -> dict[str, dict[str, float | int]]:
+        """Per-verb p50/p90/p99/max over the recent-latency windows (ms)."""
+        with self._latency_lock:
+            windows = {verb: list(values) for verb, values in self._latency.items()}
+        return {
+            verb: {
+                "count": len(values),
+                "p50": round(quantile(values, 0.50), 3),
+                "p90": round(quantile(values, 0.90), 3),
+                "p99": round(quantile(values, 0.99), 3),
+                "max": round(max(values), 3),
+            }
+            for verb, values in windows.items()
+            if values
+        }
+
     def _stats_payload(self) -> dict[str, Any]:
         cache_stats = {
             name: {
@@ -566,12 +775,35 @@ class ClassificationServer:
             for name, counter in self.metrics.snapshot()["counters"].items()
             if name.startswith("serve.")
         }
+        store_stats = self.store.stats().as_dict() if self.store is not None else None
         return {
             "health": self._health_payload(),
             "caches": cache_stats,
-            "store": self.store.stats().as_dict() if self.store is not None else None,
+            "store": store_stats,
             "counters": counters,
+            "version": repro.__version__,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "store_hit_rate": (
+                store_stats["hit_rate"] if store_stats is not None else None
+            ),
+            "latency_ms": self._latency_quantiles(),
+            "telemetry": {
+                "trace": TRACER.enabled,
+                "sidecar": (
+                    f"{self.config.telemetry_host}:{self.telemetry_port}"
+                    if self.telemetry_port is not None
+                    else None
+                ),
+                "recorder": self.recorder.stats(),
+            },
         }
+
+    def dump_recorder(self, path: str) -> int:
+        """Write the flight recorder's JSONL to ``path`` (SIGUSR1 hook);
+        returns the span count."""
+        count = self.recorder.dump(path)
+        self.metrics.counter("serve.recorder_dumps").inc()
+        return count
 
 
 # ---------------------------------------------------------------------------

@@ -19,10 +19,25 @@ store:
 The workload alternates verbs per spec line, so both the ``classify`` and
 ``explain`` result shapes exercise the store.  ``monitor`` spec lines are
 skipped (monitoring is stateful per word; it is not served).
+
+Each phase also asserts the **stats wire contract**: the enriched ``stats``
+payload (version, uptime, store hit rate, per-verb latency quantiles,
+telemetry block) is pinned here, so removing a field breaks the smoke, not
+a downstream dashboard.
+
+:func:`run_telemetry_smoke` (``serve --telemetry-smoke``, CI ``obs-smoke``)
+is the telemetry-plane acceptance scenario: a traced server with a sidecar,
+a traced client workload, then assertions over ``/metrics``, ``/healthz``,
+``/readyz``, ``/spans/recent``, a schema-validated ``/recorder/dump``, and
+the end-to-end stitched span tree (client root → server request → stage
+children).
 """
 
 from __future__ import annotations
 
+import json
+import urllib.error
+import urllib.request
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -33,6 +48,20 @@ from repro.serve.server import ServerConfig, start_in_thread
 
 #: The restart phase must answer at least this share of requests from disk.
 HIT_RATE_FLOOR = 0.9
+
+#: Fields the enriched ``stats`` payload must always carry (satellite of
+#: the telemetry plane: the wire contract the dashboard builds on).
+STATS_CONTRACT_FIELDS = (
+    "health",
+    "caches",
+    "store",
+    "counters",
+    "version",
+    "uptime_s",
+    "store_hit_rate",
+    "latency_ms",
+    "telemetry",
+)
 
 
 @dataclass(frozen=True)
@@ -83,11 +112,13 @@ class SmokeReport:
         lines = [phase.line() for phase in self.phases]
         if self.problems:
             lines.extend(f"FAIL: {problem}" for problem in self.problems)
-        else:
+        elif any(phase.label == "restart" for phase in self.phases):
             lines.append(
                 "ok: restart answered from the persistent store"
                 " (no GPVW/Safra re-derivation)"
             )
+        else:
+            lines.append("ok: telemetry plane answered on every endpoint")
         return "\n".join(lines)
 
 
@@ -144,6 +175,7 @@ def _run_phase(
                         f" {error.get('message')}"
                     )
             stats = client.stats()
+        phase.failures.extend(check_stats_contract(stats))
         store = stats.get("store") or {}
         phase.store_hits = store.get("hits", 0)
         phase.store_misses = store.get("misses", 0)
@@ -189,3 +221,160 @@ def run_smoke(
             f" {restart.safra_runs} Safra determinizations (expected 0)"
         )
     return SmokeReport(phases=[cold, restart], problems=problems)
+
+
+# ---------------------------------------------------------------------------
+# The stats wire contract
+# ---------------------------------------------------------------------------
+
+
+def check_stats_contract(stats: dict) -> list[str]:
+    """Assert the enriched ``stats`` payload shape; returns problems found."""
+    problems = []
+    for name in STATS_CONTRACT_FIELDS:
+        if name not in stats:
+            problems.append(f"stats payload missing field {name!r}")
+    if not isinstance(stats.get("version"), str) or not stats.get("version"):
+        problems.append("stats 'version' must be a non-empty string")
+    if not isinstance(stats.get("uptime_s"), (int, float)):
+        problems.append("stats 'uptime_s' must be a number")
+    hit_rate = stats.get("store_hit_rate")
+    if stats.get("store") is not None and not isinstance(hit_rate, (int, float)):
+        problems.append("stats 'store_hit_rate' must be a number when a store is attached")
+    latency = stats.get("latency_ms")
+    if not isinstance(latency, dict):
+        problems.append("stats 'latency_ms' must be an object")
+    else:
+        for verb, row in latency.items():
+            for key in ("count", "p50", "p90", "p99", "max"):
+                if key not in row:
+                    problems.append(f"stats latency_ms[{verb!r}] missing {key!r}")
+    telemetry = stats.get("telemetry")
+    if not isinstance(telemetry, dict) or not {"trace", "sidecar", "recorder"} <= set(
+        telemetry
+    ):
+        problems.append(
+            "stats 'telemetry' must carry 'trace', 'sidecar' and 'recorder'"
+        )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# The telemetry-plane smoke
+# ---------------------------------------------------------------------------
+
+
+def _http_get(base: str, path: str, *, timeout: float = 10.0) -> tuple[int, str]:
+    try:
+        with urllib.request.urlopen(base + path, timeout=timeout) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+def run_telemetry_smoke(
+    spec_path: str | Path,
+    store_path: str | Path,
+    *,
+    window_ms: float = 5.0,
+) -> SmokeReport:
+    """The telemetry-plane acceptance scenario (see module docstring)."""
+    from repro.obs.export import validate_jsonl_lines
+    from repro.obs.spans import TRACER
+
+    requests = workload_from_spec(spec_path)
+    phase = SmokePhase(label="telemetry")
+    problems: list[str] = []
+    previously_enabled = TRACER.enabled
+    TRACER.enable()
+    config = ServerConfig(
+        port=0,
+        store_path=str(store_path),
+        window_ms=window_ms,
+        telemetry_port=0,
+        trace=True,
+    )
+    handle = start_in_thread(config)
+    try:
+        with ServeClient.connect(port=handle.port) as client:
+            ids = [client.send(req.verb, **req.params) for req in requests]
+            for req, request_id in zip(requests, ids):
+                frame = client.recv_for(request_id)
+                phase.requests += 1
+                if not frame.get("ok"):
+                    error = frame.get("error", {})
+                    phase.failures.append(
+                        f"{req.verb} {req.params}: [{error.get('code')}]"
+                        f" {error.get('message')}"
+                    )
+            stats = client.stats()
+        phase.failures.extend(check_stats_contract(stats))
+        base = f"http://127.0.0.1:{handle.server.telemetry_port}"
+
+        code, body = _http_get(base, "/metrics")
+        if code != 200:
+            problems.append(f"/metrics answered {code}")
+        elif "repro_serve_latency_ms_bucket" not in body:
+            problems.append("/metrics is missing the serve latency histogram")
+        elif "repro_serve_stage_ms_decode_bucket" not in body:
+            problems.append("/metrics is missing the per-stage histograms")
+
+        code, body = _http_get(base, "/healthz")
+        if code != 200:
+            problems.append(f"/healthz answered {code} while serving")
+        code, body = _http_get(base, "/readyz")
+        if code != 200:
+            problems.append(f"/readyz answered {code} with a healthy store")
+
+        code, body = _http_get(base, "/spans/recent?n=5")
+        if code != 200:
+            problems.append(f"/spans/recent answered {code}")
+        else:
+            recent = json.loads(body)
+            entries = recent.get("requests", [])
+            if not entries:
+                problems.append("/spans/recent returned no requests")
+            else:
+                names = {
+                    span["name"] for entry in entries for span in entry["spans"]
+                }
+                if "serve.request" not in names:
+                    problems.append("recorded traces carry no serve.request root")
+                if not any(name.startswith("serve.stage.") for name in names):
+                    problems.append("recorded traces carry no stage children")
+
+        code, body = _http_get(base, "/recorder/dump")
+        if code != 200:
+            problems.append(f"/recorder/dump answered {code}")
+        else:
+            schema_errors = validate_jsonl_lines(body.splitlines())
+            if schema_errors:
+                problems.append(
+                    f"recorder dump failed schema validation: {schema_errors[0]}"
+                )
+
+        # The stitched tree: the client's root span must have adopted the
+        # server's request span as a child in the same trace.
+        spans = TRACER.finished()
+        client_roots = [s for s in spans if s.name == "serve.client.request"]
+        if not client_roots:
+            problems.append("no client-side request spans were recorded")
+        else:
+            stitched = any(
+                child.name == "serve.request"
+                and child.parent_id == root.span_id
+                and child.trace_id == root.trace_id
+                for root in client_roots
+                for child in spans
+            )
+            if not stitched:
+                problems.append(
+                    "no server request span stitched under a client span"
+                    " (wire trace propagation broken)"
+                )
+    finally:
+        handle.stop()
+        if not previously_enabled:
+            TRACER.disable()
+    problems.extend(f"telemetry: {failure}" for failure in phase.failures)
+    return SmokeReport(phases=[phase], problems=problems)

@@ -160,49 +160,52 @@ class PersistentStore:
         deleted and reported as a miss, so the caller transparently
         recomputes and overwrites it with a current result.
         """
-        with span("serve.store.get"):
-            try:
-                with self._lock:
-                    row = self._conn.execute(
-                        "SELECT schema, version, payload FROM classifications"
-                        " WHERE key = ?",
-                        (key,),
-                    ).fetchone()
-            except sqlite3.Error:
-                self.metrics.counter("serve.store.errors").inc()
-                row = None
-            if row is None:
-                with self._lock:
-                    self._misses += 1
-                self.metrics.counter("serve.store.misses").inc()
-                return None
-            schema, version, payload = row
-            if schema != self.schema or version != self.version:
-                with self._lock:
-                    self._version_mismatches += 1
-                    self._misses += 1
-                    try:
-                        self._conn.execute(
-                            "DELETE FROM classifications WHERE key = ?", (key,)
-                        )
-                        self._conn.commit()
-                    except sqlite3.Error:
-                        self.metrics.counter("serve.store.errors").inc()
-                self.metrics.counter("serve.store.version_mismatch").inc()
-                self.metrics.counter("serve.store.misses").inc()
-                return None
-            try:
-                result = json.loads(payload)
-            except json.JSONDecodeError:
-                self.metrics.counter("serve.store.errors").inc()
-                with self._lock:
-                    self._misses += 1
-                self.metrics.counter("serve.store.misses").inc()
-                return None
+        # No span here: on the serve path the request tree's
+        # ``serve.stage.store`` child times exactly this interval and the
+        # root's ``source`` attribute carries hit/miss, so a span would
+        # duplicate both — at several microseconds per warm request.
+        try:
             with self._lock:
-                self._hits += 1
-            self.metrics.counter("serve.store.hits").inc()
-            return result
+                row = self._conn.execute(
+                    "SELECT schema, version, payload FROM classifications"
+                    " WHERE key = ?",
+                    (key,),
+                ).fetchone()
+        except sqlite3.Error:
+            self.metrics.counter("serve.store.errors").inc()
+            row = None
+        if row is None:
+            with self._lock:
+                self._misses += 1
+            self.metrics.counter("serve.store.misses").inc()
+            return None
+        schema, version, payload = row
+        if schema != self.schema or version != self.version:
+            with self._lock:
+                self._version_mismatches += 1
+                self._misses += 1
+                try:
+                    self._conn.execute(
+                        "DELETE FROM classifications WHERE key = ?", (key,)
+                    )
+                    self._conn.commit()
+                except sqlite3.Error:
+                    self.metrics.counter("serve.store.errors").inc()
+            self.metrics.counter("serve.store.version_mismatch").inc()
+            self.metrics.counter("serve.store.misses").inc()
+            return None
+        try:
+            result = json.loads(payload)
+        except json.JSONDecodeError:
+            self.metrics.counter("serve.store.errors").inc()
+            with self._lock:
+                self._misses += 1
+            self.metrics.counter("serve.store.misses").inc()
+            return None
+        with self._lock:
+            self._hits += 1
+        self.metrics.counter("serve.store.hits").inc()
+        return result
 
     def put(self, key: str, verb: str, payload: dict[str, Any]) -> None:
         """Write-through one finished payload (stamped with this release)."""
@@ -224,6 +227,20 @@ class PersistentStore:
             self.metrics.counter("serve.store.writes").inc()
 
     # ----------------------------------------------------------- maintenance
+
+    def probe(self) -> bool:
+        """Is the store answering queries right now?  (``/readyz`` hook.)
+
+        One trivial read inside the lock; any :mod:`sqlite3` error —
+        deleted file, corrupted page, poisoned connection — reports
+        not-ready instead of raising.
+        """
+        with self._lock:
+            try:
+                self._conn.execute("SELECT 1").fetchone()
+            except sqlite3.Error:
+                return False
+        return True
 
     def __len__(self) -> int:
         with self._lock:

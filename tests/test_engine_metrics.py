@@ -119,7 +119,12 @@ class TestTraces:
         assert snap["timers"]["t"]["total"] == 1.5
         assert snap["timers"]["t"]["min"] == 0.25
         assert snap["timers"]["t"]["max"] == 0.75
-        assert snap["histograms"]["sizes"] == {"le_10": 1, "le_100": 0, "overflow": 1}
+        assert snap["histograms"]["sizes"] == {
+            "le_10": 1,
+            "le_100": 0,
+            "overflow": 1,
+            "sum": 5005.0,
+        }
 
     def test_snapshot_delta_isolates_one_job(self):
         from repro.engine.metrics import snapshot_delta
@@ -188,14 +193,14 @@ class TestTraces:
         for value in (0, 1, 1.5, 2, 2.1, 5, 6):
             histogram.observe(value)
         data = histogram.as_dict()
-        assert data == {"le_1": 2, "le_2": 2, "le_5": 2, "overflow": 1}
+        assert data == {"le_1": 2, "le_2": 2, "le_5": 2, "overflow": 1, "sum": 17.6}
 
     def test_histogram_reset_in_place(self):
         histogram = Histogram("h", bounds=[10])
         histogram.observe(3)
         histogram.observe(30)
         histogram.reset()
-        assert histogram.as_dict() == {"le_10": 0, "overflow": 0}
+        assert histogram.as_dict() == {"le_10": 0, "overflow": 0, "sum": 0.0}
         assert histogram.observations == 0
 
     def test_report_mentions_instruments(self):

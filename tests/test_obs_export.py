@@ -189,3 +189,65 @@ def test_prometheus_sanitizes_metric_names():
     registry = MetricsRegistry()
     registry.counter("cache.formula-nba.hits").inc()
     assert "repro_cache_formula_nba_hits 1" in prometheus_text(registry)
+
+
+def test_prometheus_keeps_colons():
+    registry = MetricsRegistry()
+    registry.counter("serve:requests").inc()
+    assert "repro_serve:requests 1" in prometheus_text(registry)
+
+
+def test_prometheus_histogram_emits_sum():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency", bounds=(1, 10))
+    histogram.observe(0.5)
+    histogram.observe(7.0)
+    text = prometheus_text(registry)
+    assert "repro_latency_sum 7.500000000" in text
+    assert "repro_latency_count 2" in text
+
+
+def test_prometheus_disambiguates_colliding_names():
+    # "a.b" and "a-b" both sanitize to repro_a_b; the rendered page must
+    # keep them apart and carry both values.
+    registry = MetricsRegistry()
+    registry.counter("a.b").inc(3)
+    registry.counter("a-b").inc(5)
+    text = prometheus_text(registry)
+    names = {
+        line.split()[0]
+        for line in text.splitlines()
+        if line and not line.startswith("#")
+    }
+    assert len(names) == 2
+    assert "repro_a_b" in names  # sorted-first collider keeps the clean name
+    assert "repro_a_b 5" in text  # "a-b" sorts before "a.b"
+    assert any(name.startswith("repro_a_b_") for name in names)
+
+
+def test_prometheus_collision_suffix_is_stable():
+    # The suffix depends only on the original name, not on which other
+    # metrics exist in the registry at scrape time.
+    registry_both = MetricsRegistry()
+    registry_both.counter("a-b").inc()
+    registry_both.counter("a.b").inc()
+    text = prometheus_text(registry_both)
+    suffixed = [
+        line.split()[0]
+        for line in text.splitlines()
+        if line.startswith("repro_a_b_")
+    ]
+    assert len(suffixed) == 1
+    registry_again = MetricsRegistry()
+    registry_again.counter("a-b").inc()
+    registry_again.counter("a.b").inc()
+    registry_again.counter("unrelated").inc()
+    assert suffixed[0] in prometheus_text(registry_again)
+
+
+def test_prometheus_escapes_label_values():
+    from repro.obs.export import _escape_label_value
+
+    assert _escape_label_value('a"b') == 'a\\"b'
+    assert _escape_label_value("a\\b") == "a\\\\b"
+    assert _escape_label_value("a\nb") == "a\\nb"

@@ -1,0 +1,113 @@
+"""Tests for job heartbeats: progress counters, rate/ETA, the registry."""
+
+import pytest
+
+from repro.obs.telemetry.heartbeat import HEARTBEATS, Heartbeat, heartbeat
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    HEARTBEATS.clear()
+    yield
+    HEARTBEATS.clear()
+
+
+def make_clock(start=100.0):
+    state = {"now": start}
+
+    def clock():
+        return state["now"]
+
+    return state, clock
+
+
+class TestHeartbeat:
+    def test_rate_and_eta_from_advance(self):
+        state, clock = make_clock()
+        hb = Heartbeat("census", total=100, clock=clock)
+        state["now"] += 10.0
+        hb.advance(20)
+        snap = hb.as_dict()
+        assert snap["name"] == "census"
+        assert snap["status"] == "running"
+        assert snap["done"] == 20
+        assert snap["total"] == 100
+        assert snap["rate_per_s"] == pytest.approx(2.0)
+        # 80 rows left at 2 rows/s.
+        assert snap["eta_s"] == pytest.approx(40.0)
+
+    def test_no_eta_without_total_or_progress(self):
+        state, clock = make_clock()
+        hb = Heartbeat("scan", clock=clock)
+        assert hb.as_dict()["eta_s"] is None
+        state["now"] += 5.0
+        hb.advance(3)
+        assert hb.as_dict()["eta_s"] is None  # no total: ETA undefined
+
+    def test_errors_counted_separately(self):
+        _, clock = make_clock()
+        hb = Heartbeat("census", total=10, clock=clock)
+        hb.advance(3, errors=2)
+        snap = hb.as_dict()
+        assert snap["done"] == 3
+        assert snap["errors"] == 2
+
+    def test_since_update_tracks_staleness(self):
+        state, clock = make_clock()
+        hb = Heartbeat("census", total=10, clock=clock)
+        hb.advance(1)
+        state["now"] += 7.0
+        assert hb.as_dict()["since_update_s"] == pytest.approx(7.0)
+
+    def test_workers_and_notes(self):
+        _, clock = make_clock()
+        hb = Heartbeat("fleet", clock=clock)
+        hb.set_workers(4)
+        hb.note("shard", "2/8")
+        snap = hb.as_dict()
+        assert snap["workers_alive"] == 4
+        assert snap["note_shard"] == "2/8"
+
+    def test_finish_states(self):
+        _, clock = make_clock()
+        hb = Heartbeat("census", clock=clock)
+        hb.finish()
+        assert hb.as_dict()["status"] == "done"
+        hb2 = Heartbeat("other", clock=clock)
+        hb2.finish("failed")
+        assert hb2.as_dict()["status"] == "failed"
+
+
+class TestRegistry:
+    def test_register_and_snapshot(self):
+        _, clock = make_clock()
+        hb = Heartbeat("census", total=5, clock=clock)
+        HEARTBEATS.register(hb)
+        hb.advance(2)
+        snap = HEARTBEATS.snapshot()
+        assert set(snap) == {"census"}
+        assert snap["census"]["done"] == 2
+
+    def test_reregistering_name_replaces(self):
+        _, clock = make_clock()
+        HEARTBEATS.register(Heartbeat("census", total=5, clock=clock))
+        second = Heartbeat("census", total=9, clock=clock)
+        HEARTBEATS.register(second)
+        assert HEARTBEATS.snapshot()["census"]["total"] == 9
+
+
+class TestContextManager:
+    def test_success_finishes_done_and_stays_registered(self):
+        with heartbeat("census", total=3) as hb:
+            hb.advance(3)
+            assert HEARTBEATS.snapshot()["census"]["status"] == "running"
+        # Completed jobs stay visible so a dashboard can show the last run.
+        snap = HEARTBEATS.snapshot()["census"]
+        assert snap["status"] == "done"
+        assert snap["done"] == 3
+
+    def test_exception_finishes_failed(self):
+        with pytest.raises(RuntimeError):
+            with heartbeat("census", total=3):
+                raise RuntimeError("boom")
+        assert HEARTBEATS.snapshot()["census"]["status"] == "failed"
